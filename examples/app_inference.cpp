@@ -1,0 +1,111 @@
+/**
+ * @file
+ * End-to-end application inference: run any of the paper's five
+ * applications (Section VII-A) on the HBM baseline and the PIM-HBM
+ * system, at a chosen batch size, and print the layer-level breakdown.
+ *
+ *   $ ./app_inference            # all apps, batch 1
+ *   $ ./app_inference GNMT 2     # one app at batch 2
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.h"
+#include "host/host_model.h"
+#include "stack/app_runner.h"
+#include "stack/preprocessor.h"
+#include "stack/workloads.h"
+
+using namespace pimsim;
+
+namespace {
+
+void
+runOne(const AppSpec &app, unsigned batch)
+{
+    PimSystem hbm_sys(SystemConfig::hbmSystem());
+    HostModel hbm_host(hbm_sys);
+    AppRunner hbm(hbm_host, nullptr);
+
+    PimSystem pim_sys(SystemConfig::pimHbmSystem());
+    HostModel pim_host(pim_sys);
+    PimBlas blas(pim_sys);
+    AppRunner pim(pim_host, &blas);
+
+    const AppRunResult h = hbm.runApp(app, batch);
+    const AppRunResult p = pim.runApp(app, batch);
+
+    std::printf("%-8s batch %u\n", app.name.c_str(), batch);
+    std::printf("  HBM baseline: %10.2f ms  (LLC miss %.0f%%)\n",
+                h.ns / 1e6, 100 * h.avgLlcMissRate);
+    std::printf("  PIM-HBM:      %10.2f ms  (PIM kernels %.2f ms, host "
+                "%.2f ms, launches %.2f ms over %llu calls)\n",
+                p.ns / 1e6, p.pimNs / 1e6, p.hostNs / 1e6,
+                p.launchNs / 1e6,
+                static_cast<unsigned long long>(p.kernelLaunches));
+    std::printf("  speedup: %.2fx\n\n", h.ns / p.ns);
+}
+
+void
+printOffloadPlan(const AppSpec &app, unsigned batch)
+{
+    // What the runtime preprocessor (Section V-A) decides per layer.
+    const PimPreprocessor pre(SystemConfig::pimHbmSystem());
+    std::printf("offload plan for %s at batch %u:\n", app.name.c_str(),
+                batch);
+    unsigned idx = 0;
+    for (const auto &layer : app.layers) {
+        OffloadDecision d;
+        const char *kind = "";
+        switch (layer.kind) {
+          case LayerSpec::Kind::Conv:
+            d = pre.conv(layer.flops);
+            kind = "conv";
+            break;
+          case LayerSpec::Kind::Lstm:
+            d = pre.gemv(4 * layer.hidden, layer.input + layer.hidden,
+                         batch);
+            kind = "lstm";
+            break;
+          case LayerSpec::Kind::Fc:
+            d = pre.gemv(layer.hidden, layer.input, batch);
+            kind = "fc";
+            break;
+          case LayerSpec::Kind::Residual:
+            d = pre.elementwise(layer.elements, 2);
+            kind = "residual";
+            break;
+          case LayerSpec::Kind::BatchNorm:
+            d = pre.elementwise(layer.elements, 1);
+            kind = "bn";
+            break;
+        }
+        std::printf("  layer %2u %-9s -> %s (est. PIM %.1f us, host "
+                    "%.1f us)\n",
+                    idx++, kind, d.usePim ? "PIM " : "host",
+                    d.estimatedPimNs / 1e3, d.estimatedHostNs / 1e3);
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    const char *which = argc > 1 ? argv[1] : nullptr;
+    const unsigned batch =
+        argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 1;
+
+    for (const auto &app : allApps()) {
+        if (which && std::strcmp(which, app.name.c_str()) != 0)
+            continue;
+        if (which)
+            printOffloadPlan(app, batch);
+        runOne(app, batch);
+    }
+    return 0;
+}

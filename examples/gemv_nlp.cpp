@@ -1,0 +1,81 @@
+/**
+ * @file
+ * GEMV acceleration for NLP-style layers (the paper's headline case).
+ *
+ * Runs the Table VI GEMV microbenchmarks through both the PIM path and
+ * the host model, reproducing the memory-bound level-2 BLAS story of
+ * Sections II-A and VII-B: the stock host GEMV cannot feed the compute
+ * units, while PIM streams the matrix at bank bandwidth.
+ *
+ *   $ ./gemv_nlp [batch]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "host/host_model.h"
+#include "stack/blas.h"
+#include "stack/reference.h"
+#include "stack/workloads.h"
+
+using namespace pimsim;
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    const unsigned batch =
+        argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 1;
+
+    PimSystem pim_system(SystemConfig::pimHbmSystem());
+    PimBlas blas(pim_system);
+
+    PimSystem hbm_system(SystemConfig::hbmSystem());
+    HostModel host(hbm_system);
+
+    std::printf("GEMV on PIM-HBM vs stock host kernel (batch %u)\n\n",
+                batch);
+    std::printf("%-8s %-12s %-12s %-12s %-10s %-10s\n", "name", "shape",
+                "host", "PIM", "speedup", "correct");
+
+    for (const auto &micro : table6Microbenchmarks()) {
+        if (micro.kind != MicroKind::Gemv)
+            continue;
+
+        Rng rng(7 ^ micro.m);
+        Fp16Vector w(std::size_t{micro.m} * micro.n);
+        Fp16Vector x(micro.n);
+        for (auto &v : w)
+            v = rng.nextFp16();
+        for (auto &v : x)
+            v = rng.nextFp16();
+
+        // PIM: real command-level execution (one batch element at a
+        // time — PIM has no cache to blame for reuse).
+        Fp16Vector y;
+        const BlasTiming t = blas.gemv(w, micro.m, micro.n, x, y);
+        const double pim_ns = batch * t.totalNs();
+
+        // Host: issue-rate-limited stock kernel.
+        const HostKernelResult h = host.gemv(micro.m, micro.n, batch);
+
+        const Fp16Vector expected = refGemv(w, micro.m, micro.n, x);
+        bool exact = true;
+        for (unsigned i = 0; i < micro.m; ++i)
+            exact = exact && y[i].bits() == expected[i].bits();
+
+        char shape[32];
+        std::snprintf(shape, sizeof(shape), "%ux%u", micro.m, micro.n);
+        std::printf("%-8s %-12s %-9.1f us %-9.1f us %-10.2f %-10s\n",
+                    micro.name.c_str(), shape, h.ns / 1000.0,
+                    pim_ns / 1000.0, h.ns / pim_ns,
+                    exact ? "bit-exact" : "MISMATCH");
+    }
+
+    std::printf("\nThe speedup falls as batch grows (try batch 4): "
+                "batching turns level-2 BLAS\ninto level-3 BLAS and the "
+                "host stops being memory-bound (Section VII-B).\n");
+    return 0;
+}

@@ -1,0 +1,84 @@
+#include "common/bf16.h"
+
+#include <cstring>
+#include <ostream>
+
+namespace pimsim {
+
+namespace {
+
+std::uint32_t
+floatBits(float f)
+{
+    std::uint32_t u;
+    std::memcpy(&u, &f, sizeof(u));
+    return u;
+}
+
+float
+bitsFloat(std::uint32_t u)
+{
+    float f;
+    std::memcpy(&f, &u, sizeof(f));
+    return f;
+}
+
+} // namespace
+
+std::uint16_t
+floatToBf16Bits(float value)
+{
+    std::uint32_t f = floatBits(value);
+    if ((f & 0x7fffffffu) > 0x7f800000u) {
+        // NaN: keep quiet with non-zero payload.
+        std::uint16_t hi = static_cast<std::uint16_t>(f >> 16);
+        return static_cast<std::uint16_t>(hi | 0x0040u);
+    }
+    // RNE on the low 16 bits.
+    const std::uint32_t lsb = (f >> 16) & 1u;
+    const std::uint32_t rounding = 0x7fffu + lsb;
+    f += rounding;
+    return static_cast<std::uint16_t>(f >> 16);
+}
+
+float
+bf16BitsToFloat(std::uint16_t bits)
+{
+    return bitsFloat(static_cast<std::uint32_t>(bits) << 16);
+}
+
+Bf16::Bf16(float value) : bits_(floatToBf16Bits(value)) {}
+
+float
+Bf16::toFloat() const
+{
+    return bf16BitsToFloat(bits_);
+}
+
+Bf16
+bf16Add(Bf16 a, Bf16 b)
+{
+    // BF16 has an 8-bit significand; a float add of two BF16 values is
+    // exact, so one final rounding is correct.
+    return Bf16(a.toFloat() + b.toFloat());
+}
+
+Bf16
+bf16Mul(Bf16 a, Bf16 b)
+{
+    return Bf16(a.toFloat() * b.toFloat());
+}
+
+Bf16
+bf16Mac(Bf16 a, Bf16 b, Bf16 c)
+{
+    return bf16Add(bf16Mul(a, b), c);
+}
+
+std::ostream &
+operator<<(std::ostream &os, Bf16 b)
+{
+    return os << b.toFloat();
+}
+
+} // namespace pimsim

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Software bfloat16 arithmetic.
+ *
+ * Table I of the paper compares BFLOAT16 MAC units against FP16/INT units;
+ * Section III-C discusses why FP16 was chosen for the product. We provide a
+ * BF16 datapath so the trade-off can be exercised in simulation (DSE) and
+ * so the Table I harness can validate numerics of both formats.
+ */
+
+#ifndef PIMSIM_COMMON_BF16_H
+#define PIMSIM_COMMON_BF16_H
+
+#include <cstdint>
+#include <iosfwd>
+
+namespace pimsim {
+
+/** Value type wrapping a bfloat16 bit pattern (top 16 bits of binary32). */
+class Bf16
+{
+  public:
+    constexpr Bf16() : bits_(0) {}
+
+    static constexpr Bf16 fromBits(std::uint16_t bits)
+    {
+        Bf16 b;
+        b.bits_ = bits;
+        return b;
+    }
+
+    /** Convert from float with round-to-nearest-even. */
+    explicit Bf16(float value);
+
+    /** Widen to float (exact: append 16 zero bits). */
+    float toFloat() const;
+
+    constexpr std::uint16_t bits() const { return bits_; }
+    constexpr bool signBit() const { return (bits_ >> 15) != 0; }
+
+    bool isInf() const { return (bits_ & 0x7fffu) == 0x7f80u; }
+    bool isNan() const
+    {
+        return (bits_ & 0x7f80u) == 0x7f80u && (bits_ & 0x7fu) != 0;
+    }
+
+    constexpr bool operator==(const Bf16 &o) const { return bits_ == o.bits_; }
+    constexpr bool operator!=(const Bf16 &o) const { return bits_ != o.bits_; }
+
+  private:
+    std::uint16_t bits_;
+};
+
+/** BF16 addition: round(a + b) with RNE. */
+Bf16 bf16Add(Bf16 a, Bf16 b);
+/** BF16 multiplication: round(a * b) with RNE. */
+Bf16 bf16Mul(Bf16 a, Bf16 b);
+/** BF16 non-fused multiply-accumulate. */
+Bf16 bf16Mac(Bf16 a, Bf16 b, Bf16 c);
+
+/** Round a binary32 value to bfloat16 bits (RNE, NaN preserved quiet). */
+std::uint16_t floatToBf16Bits(float value);
+/** Widen bfloat16 bits to float. */
+float bf16BitsToFloat(std::uint16_t bits);
+
+std::ostream &operator<<(std::ostream &os, Bf16 b);
+
+} // namespace pimsim
+
+#endif // PIMSIM_COMMON_BF16_H

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Bit-field helpers used by the PIM instruction encoder/decoder and the
+ * DRAM address mapper.
+ */
+
+#ifndef PIMSIM_COMMON_BITS_H
+#define PIMSIM_COMMON_BITS_H
+
+#include <cstdint>
+
+#include "common/logging.h"
+
+namespace pimsim {
+
+/** Mask with the low n bits set (n in [0,64]). */
+constexpr std::uint64_t
+maskBits(unsigned n)
+{
+    return n >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1);
+}
+
+/** Extract bits [lo, lo+width) of value. */
+constexpr std::uint64_t
+extractBits(std::uint64_t value, unsigned lo, unsigned width)
+{
+    return (value >> lo) & maskBits(width);
+}
+
+/** Return value with bits [lo, lo+width) replaced by field. */
+constexpr std::uint64_t
+insertBits(std::uint64_t value, unsigned lo, unsigned width,
+           std::uint64_t field)
+{
+    const std::uint64_t m = maskBits(width) << lo;
+    return (value & ~m) | ((field << lo) & m);
+}
+
+/** True iff value is a power of two (0 is not). */
+constexpr bool
+isPowerOfTwo(std::uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** floor(log2(value)); value must be non-zero. */
+constexpr unsigned
+floorLog2(std::uint64_t value)
+{
+    unsigned result = 0;
+    while (value >>= 1)
+        ++result;
+    return result;
+}
+
+/** log2 of a power of two (asserts on non-powers). */
+inline unsigned
+exactLog2(std::uint64_t value)
+{
+    PIMSIM_ASSERT(isPowerOfTwo(value), "exactLog2 of non-power-of-two ",
+                  value);
+    return floorLog2(value);
+}
+
+/** Round value up to the next multiple of a power-of-two alignment. */
+constexpr std::uint64_t
+roundUp(std::uint64_t value, std::uint64_t align)
+{
+    return (value + align - 1) & ~(align - 1);
+}
+
+/** Integer ceiling division. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace pimsim
+
+#endif // PIMSIM_COMMON_BITS_H

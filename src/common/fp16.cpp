@@ -1,0 +1,185 @@
+#include "common/fp16.h"
+
+#include <cmath>
+#include <cstring>
+#include <ostream>
+
+namespace pimsim {
+
+namespace {
+
+/** Bit-cast float <-> uint32 without violating aliasing rules. */
+std::uint32_t
+floatBits(float f)
+{
+    std::uint32_t u;
+    std::memcpy(&u, &f, sizeof(u));
+    return u;
+}
+
+float
+bitsFloat(std::uint32_t u)
+{
+    float f;
+    std::memcpy(&f, &u, sizeof(f));
+    return f;
+}
+
+} // namespace
+
+Fp16Bits
+floatToFp16Bits(float value)
+{
+    const std::uint32_t f = floatBits(value);
+    const std::uint32_t sign = (f >> 16) & 0x8000u;
+    const std::uint32_t abs = f & 0x7fffffffu;
+
+    // NaN: preserve a quiet NaN with some payload.
+    if (abs > 0x7f800000u) {
+        const std::uint32_t mant = (abs >> 13) & 0x3ffu;
+        return static_cast<Fp16Bits>(sign | 0x7c00u | (mant ? mant : 1u));
+    }
+    // Infinity or overflow after rounding: half max finite is 65504;
+    // values >= 65520 round to infinity.
+    if (abs >= 0x47800000u) { // 65536.0f and above including inf
+        if (abs >= 0x7f800000u)
+            return static_cast<Fp16Bits>(sign | 0x7c00u);
+        // 65504 < |x| < 65536: rounds to inf iff |x| >= 65520.
+        if (abs >= 0x477ff000u)
+            return static_cast<Fp16Bits>(sign | 0x7c00u);
+        return static_cast<Fp16Bits>(sign | 0x7bffu);
+    }
+    if (abs >= 0x477ff000u) // 65520.0f .. 65536.0f rounds to inf
+        return static_cast<Fp16Bits>(sign | 0x7c00u);
+
+    std::int32_t exp = static_cast<std::int32_t>(abs >> 23) - 127;
+    std::uint32_t mant = abs & 0x7fffffu;
+
+    if (exp < -24) {
+        // Underflows to zero even after rounding (|x| < 2^-25 exactly
+        // rounds to 0; |x| == 2^-25 ties to even -> 0).
+        if (exp == -25 && mant != 0)
+            return static_cast<Fp16Bits>(sign | 1u); // round up to min subnormal
+        return static_cast<Fp16Bits>(sign);
+    }
+
+    if (exp < -14) {
+        // Subnormal half: shift the implicit-1 mantissa right.
+        mant |= 0x800000u;
+        const int shift = -exp - 14 + 13; // bits to drop (14..24)
+        const std::uint32_t dropped = mant & ((1u << shift) - 1u);
+        const std::uint32_t half = 1u << (shift - 1);
+        std::uint32_t result = mant >> shift;
+        if (dropped > half || (dropped == half && (result & 1u)))
+            ++result;
+        return static_cast<Fp16Bits>(sign | result);
+    }
+
+    // Normal range: drop 13 mantissa bits with RNE.
+    std::uint32_t hexp = static_cast<std::uint32_t>(exp + 15);
+    std::uint32_t hmant = mant >> 13;
+    const std::uint32_t dropped = mant & 0x1fffu;
+    if (dropped > 0x1000u || (dropped == 0x1000u && (hmant & 1u))) {
+        ++hmant;
+        if (hmant == 0x400u) { // mantissa overflow -> bump exponent
+            hmant = 0;
+            ++hexp;
+            if (hexp >= 31)
+                return static_cast<Fp16Bits>(sign | 0x7c00u);
+        }
+    }
+    return static_cast<Fp16Bits>(sign | (hexp << 10) | hmant);
+}
+
+float
+fp16BitsToFloat(Fp16Bits bits)
+{
+    const std::uint32_t sign = static_cast<std::uint32_t>(bits & 0x8000u) << 16;
+    const std::uint32_t exp = (bits >> 10) & 0x1fu;
+    const std::uint32_t mant = bits & 0x3ffu;
+
+    if (exp == 31) { // inf / nan
+        return bitsFloat(sign | 0x7f800000u | (mant << 13));
+    }
+    if (exp == 0) {
+        if (mant == 0)
+            return bitsFloat(sign); // +/- 0
+        // Subnormal: normalise.
+        int e = -14;
+        std::uint32_t m = mant;
+        while ((m & 0x400u) == 0) {
+            m <<= 1;
+            --e;
+        }
+        m &= 0x3ffu;
+        const std::uint32_t fexp = static_cast<std::uint32_t>(e + 127);
+        return bitsFloat(sign | (fexp << 23) | (m << 13));
+    }
+    const std::uint32_t fexp = exp - 15 + 127;
+    return bitsFloat(sign | (fexp << 23) | (mant << 13));
+}
+
+Fp16::Fp16(float value) : bits_(floatToFp16Bits(value)) {}
+
+float
+Fp16::toFloat() const
+{
+    return fp16BitsToFloat(bits_);
+}
+
+bool
+Fp16::isInf() const
+{
+    return (bits_ & 0x7fffu) == 0x7c00u;
+}
+
+bool
+Fp16::isNan() const
+{
+    return (bits_ & 0x7c00u) == 0x7c00u && (bits_ & 0x3ffu) != 0;
+}
+
+Fp16
+fp16Add(Fp16 a, Fp16 b)
+{
+    // float holds every binary16 value exactly and a single float add of
+    // two binary16 values is exact (24-bit significand >= 11+11), so
+    // rounding once at the end implements a correctly rounded FP16 add.
+    return Fp16(a.toFloat() + b.toFloat());
+}
+
+Fp16
+fp16Mul(Fp16 a, Fp16 b)
+{
+    // The product of two 11-bit significands fits in 22 bits < 24, so the
+    // float product is exact and one final rounding is correct.
+    return Fp16(a.toFloat() * b.toFloat());
+}
+
+Fp16
+fp16Mac(Fp16 a, Fp16 b, Fp16 c)
+{
+    // Non-fused: round the product to FP16, then round the sum.
+    return fp16Add(fp16Mul(a, b), c);
+}
+
+Fp16
+fp16Mad(Fp16 a, Fp16 b, Fp16 c)
+{
+    return fp16Mac(a, b, c);
+}
+
+Fp16
+fp16Relu(Fp16 a)
+{
+    // Hardware ReLU is a 2-to-1 mux on the sign bit (Section III-C).
+    return a.signBit() ? Fp16() : a;
+}
+
+std::ostream &
+operator<<(std::ostream &os, Fp16 h)
+{
+    return os << h.toFloat();
+}
+
+} // namespace pimsim

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Software IEEE-754 binary16 ("half precision") arithmetic.
+ *
+ * The PIM execution unit in the paper (Section IV) computes with FP16
+ * multipliers and adders. We model each FPU lane as performing the
+ * operation in wider precision and rounding the result back to binary16
+ * with round-to-nearest-even, which matches a conventional non-fused
+ * FP16 datapath. Conversions are implemented in portable integer code
+ * (no reliance on compiler __fp16 support) and handle subnormals,
+ * infinities and NaNs.
+ */
+
+#ifndef PIMSIM_COMMON_FP16_H
+#define PIMSIM_COMMON_FP16_H
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "common/types.h"
+
+namespace pimsim {
+
+/**
+ * Value type wrapping an IEEE-754 binary16 bit pattern.
+ *
+ * Fp16 is a trivially copyable 2-byte value so vectors of Fp16 can be
+ * memcpy'd directly into the simulated DRAM data store.
+ */
+class Fp16
+{
+  public:
+    /** Zero-initialised (positive zero). */
+    constexpr Fp16() : bits_(0) {}
+
+    /** Construct from a raw bit pattern. */
+    static constexpr Fp16 fromBits(Fp16Bits bits)
+    {
+        Fp16 h;
+        h.bits_ = bits;
+        return h;
+    }
+
+    /** Convert from float with round-to-nearest-even. */
+    explicit Fp16(float value);
+
+    /** Widen to float (exact). */
+    float toFloat() const;
+
+    /** Raw bit pattern. */
+    constexpr Fp16Bits bits() const { return bits_; }
+
+    /** True for +/-Inf. */
+    bool isInf() const;
+    /** True for any NaN. */
+    bool isNan() const;
+    /** True for +/-0. */
+    bool isZero() const { return (bits_ & 0x7fff) == 0; }
+    /** Sign bit (1 == negative). */
+    constexpr bool signBit() const { return (bits_ >> 15) != 0; }
+
+    /** Bitwise equality (distinguishes -0 from +0; NaN == NaN iff same bits). */
+    constexpr bool operator==(const Fp16 &other) const
+    {
+        return bits_ == other.bits_;
+    }
+    constexpr bool operator!=(const Fp16 &other) const
+    {
+        return bits_ != other.bits_;
+    }
+
+  private:
+    Fp16Bits bits_;
+};
+
+static_assert(sizeof(Fp16) == 2, "Fp16 must be exactly two bytes");
+
+/** FP16 addition: round(a + b) with RNE. */
+Fp16 fp16Add(Fp16 a, Fp16 b);
+
+/** FP16 multiplication: round(a * b) with RNE. */
+Fp16 fp16Mul(Fp16 a, Fp16 b);
+
+/** FP16 multiply-accumulate: round(round(a * b) + c), non-fused. */
+Fp16 fp16Mac(Fp16 a, Fp16 b, Fp16 c);
+
+/** FP16 multiply-add: round(round(a * b) + c), non-fused (same datapath as MAC). */
+Fp16 fp16Mad(Fp16 a, Fp16 b, Fp16 c);
+
+/** ReLU: zero if the sign bit is set (note -0 and negative NaN flush to +0). */
+Fp16 fp16Relu(Fp16 a);
+
+/** Convert a float to binary16 bits with round-to-nearest-even. */
+Fp16Bits floatToFp16Bits(float value);
+
+/** Widen binary16 bits to float. */
+float fp16BitsToFloat(Fp16Bits bits);
+
+std::ostream &operator<<(std::ostream &os, Fp16 h);
+
+} // namespace pimsim
+
+#endif // PIMSIM_COMMON_FP16_H

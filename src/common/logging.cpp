@@ -1,0 +1,55 @@
+#include "common/logging.h"
+
+#include <cstdlib>
+#include <iostream>
+#include <stdexcept>
+
+namespace pimsim {
+
+namespace {
+bool quiet = false;
+} // namespace
+
+void
+setQuiet(bool q)
+{
+    quiet = q;
+}
+
+bool
+isQuiet()
+{
+    return quiet;
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "panic: " << msg << " @ " << file << ":" << line
+              << std::endl;
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "fatal: " << msg << " @ " << file << ":" << line
+              << std::endl;
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (!quiet)
+        std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (!quiet)
+        std::cout << "info: " << msg << std::endl;
+}
+
+} // namespace pimsim

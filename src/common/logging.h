@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Status and error reporting in the gem5 spirit.
+ *
+ * - panic():  a simulator bug; something that must never happen. Aborts.
+ * - fatal():  a user error (bad configuration, invalid arguments). Exits 1.
+ * - warn():   suspicious but survivable condition.
+ * - inform(): plain status output.
+ */
+
+#ifndef PIMSIM_COMMON_LOGGING_H
+#define PIMSIM_COMMON_LOGGING_H
+
+#include <sstream>
+#include <string>
+
+namespace pimsim {
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Globally silence warn()/inform() (used by benches to keep output clean). */
+void setQuiet(bool quiet);
+bool isQuiet();
+
+namespace detail {
+
+inline std::string
+formatMessage()
+{
+    return {};
+}
+
+template <typename T, typename... Rest>
+std::string
+formatMessage(const T &first, const Rest &...rest)
+{
+    std::ostringstream os;
+    os << first;
+    return os.str() + formatMessage(rest...);
+}
+
+} // namespace detail
+} // namespace pimsim
+
+#define PIMSIM_PANIC(...)                                                     \
+    ::pimsim::panicImpl(__FILE__, __LINE__,                                   \
+                        ::pimsim::detail::formatMessage(__VA_ARGS__))
+
+#define PIMSIM_FATAL(...)                                                     \
+    ::pimsim::fatalImpl(__FILE__, __LINE__,                                   \
+                        ::pimsim::detail::formatMessage(__VA_ARGS__))
+
+#define PIMSIM_WARN(...)                                                      \
+    ::pimsim::warnImpl(::pimsim::detail::formatMessage(__VA_ARGS__))
+
+#define PIMSIM_INFORM(...)                                                    \
+    ::pimsim::informImpl(::pimsim::detail::formatMessage(__VA_ARGS__))
+
+/** panic() unless the invariant holds. */
+#define PIMSIM_ASSERT(cond, ...)                                              \
+    do {                                                                      \
+        if (!(cond)) {                                                        \
+            PIMSIM_PANIC("assertion failed: " #cond " ",                      \
+                         ::pimsim::detail::formatMessage(__VA_ARGS__));       \
+        }                                                                     \
+    } while (0)
+
+#endif // PIMSIM_COMMON_LOGGING_H

@@ -1,0 +1,80 @@
+#include "common/rng.h"
+
+#include "common/logging.h"
+
+namespace pimsim {
+
+namespace {
+
+constexpr std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    SplitMix64 sm(seed);
+    for (auto &s : state_)
+        s = sm.next();
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::nextBelow(std::uint64_t bound)
+{
+    PIMSIM_ASSERT(bound != 0, "nextBelow(0)");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % bound);
+    std::uint64_t v;
+    do {
+        v = next();
+    } while (v >= limit);
+    return v % bound;
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+float
+Rng::nextFloat(float lo, float hi)
+{
+    return lo + static_cast<float>(nextDouble()) * (hi - lo);
+}
+
+Fp16
+Rng::nextFp16()
+{
+    return Fp16(nextFloat(-2.0f, 2.0f));
+}
+
+Fp16
+Rng::nextFp16AnyFinite()
+{
+    // Draw raw bit patterns, rejecting Inf/NaN (exponent field all ones).
+    for (;;) {
+        const auto bits = static_cast<Fp16Bits>(next() & 0xffffu);
+        if ((bits & 0x7c00u) != 0x7c00u)
+            return Fp16::fromBits(bits);
+    }
+}
+
+} // namespace pimsim

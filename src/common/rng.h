@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Deterministic random number generation.
+ *
+ * All randomness in the simulator and the workload generators flows from
+ * explicitly seeded generators so that every run is reproducible: same
+ * seed implies same cycles and same bytes.
+ */
+
+#ifndef PIMSIM_COMMON_RNG_H
+#define PIMSIM_COMMON_RNG_H
+
+#include <cstdint>
+
+#include "common/fp16.h"
+
+namespace pimsim {
+
+/** SplitMix64: used to expand a single seed into generator state. */
+class SplitMix64
+{
+  public:
+    explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+    constexpr std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+/** Xoshiro256** — fast, high-quality PRNG for bulk data generation. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed);
+
+    /** Next 64 random bits. */
+    std::uint64_t next();
+
+    /** Uniform in [0, bound). bound must be non-zero. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Uniform float in [lo, hi). */
+    float nextFloat(float lo, float hi);
+
+    /** Random finite FP16 value roughly uniform in [-2, 2) — the range
+     *  keeps long MAC chains numerically well-behaved in FP16. */
+    Fp16 nextFp16();
+
+    /** Random FP16 drawn from the full finite range including subnormals. */
+    Fp16 nextFp16AnyFinite();
+
+  private:
+    std::uint64_t state_[4];
+};
+
+} // namespace pimsim
+
+#endif // PIMSIM_COMMON_RNG_H

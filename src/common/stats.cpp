@@ -1,0 +1,75 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <ostream>
+
+namespace pimsim {
+
+void
+StatGroup::reset()
+{
+    for (auto &kv : counters_)
+        kv.second = 0;
+    for (auto &kv : scalars_)
+        kv.second = 0.0;
+}
+
+void
+StatGroup::merge(const StatGroup &other)
+{
+    for (const auto &kv : other.counters_)
+        counters_[kv.first] += kv.second;
+    for (const auto &kv : other.scalars_)
+        scalars_[kv.first] += kv.second;
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    const std::string prefix = name_.empty() ? "" : name_ + ".";
+    for (const auto &kv : counters_)
+        os << prefix << kv.first << " " << kv.second << "\n";
+    for (const auto &kv : scalars_)
+        os << prefix << kv.first << " " << kv.second << "\n";
+}
+
+Histogram::Histogram(std::uint64_t bucket_width, std::size_t num_buckets)
+    : bucketWidth_(bucket_width ? bucket_width : 1), buckets_(num_buckets, 0)
+{
+}
+
+void
+Histogram::sample(std::uint64_t value)
+{
+    const std::size_t idx = value / bucketWidth_;
+    if (idx < buckets_.size())
+        ++buckets_[idx];
+    else
+        ++overflow_;
+    ++count_;
+    sum_ += value;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+}
+
+double
+Histogram::mean() const
+{
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
+                  : 0.0;
+}
+
+void
+Histogram::dump(std::ostream &os) const
+{
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        if (buckets_[i]) {
+            os << "[" << i * bucketWidth_ << "," << (i + 1) * bucketWidth_
+               << ") " << buckets_[i] << "\n";
+        }
+    }
+    if (overflow_)
+        os << "[overflow) " << overflow_ << "\n";
+}
+
+} // namespace pimsim

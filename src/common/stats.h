@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Lightweight statistics collection.
+ *
+ * Every simulated object owns a StatGroup; stats are named counters or
+ * scalars that can be dumped in a stable order. Histograms support the
+ * latency distributions used by the benches.
+ */
+
+#ifndef PIMSIM_COMMON_STATS_H
+#define PIMSIM_COMMON_STATS_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pimsim {
+
+/** A named set of counters/scalars with hierarchical dotted names. */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name = {}) : name_(std::move(name)) {}
+
+    /** Add delta to a counter, creating it at zero on first use. */
+    void add(const std::string &stat, std::uint64_t delta = 1)
+    {
+        counters_[stat] += delta;
+    }
+
+    /** Set a floating-point scalar stat. */
+    void set(const std::string &stat, double value) { scalars_[stat] = value; }
+
+    /** Add delta to a floating-point scalar stat. */
+    void addScalar(const std::string &stat, double delta)
+    {
+        scalars_[stat] += delta;
+    }
+
+    /** Current value of a counter (0 if never touched). */
+    std::uint64_t counter(const std::string &stat) const
+    {
+        auto it = counters_.find(stat);
+        return it == counters_.end() ? 0 : it->second;
+    }
+
+    /** Current value of a scalar (0.0 if never touched). */
+    double scalar(const std::string &stat) const
+    {
+        auto it = scalars_.find(stat);
+        return it == scalars_.end() ? 0.0 : it->second;
+    }
+
+    /** Reset all counters and scalars to zero (names are kept). */
+    void reset();
+
+    /** Merge another group's stats into this one (sums). */
+    void merge(const StatGroup &other);
+
+    const std::string &name() const { return name_; }
+    const std::map<std::string, std::uint64_t> &counters() const
+    {
+        return counters_;
+    }
+    const std::map<std::string, double> &scalars() const { return scalars_; }
+
+    /** Print "group.stat value" lines in sorted order. */
+    void dump(std::ostream &os) const;
+
+  private:
+    std::string name_;
+    std::map<std::string, std::uint64_t> counters_;
+    std::map<std::string, double> scalars_;
+};
+
+/** Simple fixed-bucket histogram for latency distributions. */
+class Histogram
+{
+  public:
+    /** Buckets [0,width), [width,2*width), ...; overflow collects the rest. */
+    Histogram(std::uint64_t bucket_width, std::size_t num_buckets);
+
+    void sample(std::uint64_t value);
+
+    std::uint64_t count() const { return count_; }
+    double mean() const;
+    std::uint64_t min() const { return count_ ? min_ : 0; }
+    std::uint64_t max() const { return max_; }
+    const std::vector<std::uint64_t> &buckets() const { return buckets_; }
+    std::uint64_t overflow() const { return overflow_; }
+
+    void dump(std::ostream &os) const;
+
+  private:
+    std::uint64_t bucketWidth_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = ~std::uint64_t{0};
+    std::uint64_t max_ = 0;
+};
+
+} // namespace pimsim
+
+#endif // PIMSIM_COMMON_STATS_H

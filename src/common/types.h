@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Fundamental scalar types used throughout the simulator.
+ */
+
+#ifndef PIMSIM_COMMON_TYPES_H
+#define PIMSIM_COMMON_TYPES_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pimsim {
+
+/** Simulated time in memory-bus clock ticks (tCK units). */
+using Cycle = std::uint64_t;
+
+/** Physical byte address within the simulated memory space. */
+using Addr = std::uint64_t;
+
+/** Raw IEEE-754 binary16 bit pattern. */
+using Fp16Bits = std::uint16_t;
+
+/** Sentinel for "no cycle scheduled yet". */
+inline constexpr Cycle kNoCycle = ~Cycle{0};
+
+/** Bytes moved by one DRAM column command (256-bit burst). */
+inline constexpr std::size_t kBurstBytes = 32;
+
+/** FP16 lanes in one 256-bit burst / one SIMD operation. */
+inline constexpr std::size_t kSimdLanes = 16;
+
+} // namespace pimsim
+
+#endif // PIMSIM_COMMON_TYPES_H

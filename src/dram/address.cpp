@@ -1,0 +1,125 @@
+#include "dram/address.h"
+
+#include <ostream>
+
+#include "common/bits.h"
+#include "common/logging.h"
+
+namespace pimsim {
+
+std::ostream &
+operator<<(std::ostream &os, const DramCoord &coord)
+{
+    return os << "ch" << coord.channel << " bg" << coord.bankGroup << " ba"
+              << coord.bank << " row" << coord.row << " col" << coord.col;
+}
+
+AddressMapping::AddressMapping(const HbmGeometry &geom, unsigned num_channels,
+                               MappingScheme scheme)
+    : geom_(geom), numChannels_(num_channels), scheme_(scheme)
+{
+    PIMSIM_ASSERT(isPowerOfTwo(num_channels), "channels must be 2^n");
+    PIMSIM_ASSERT(isPowerOfTwo(geom.bankGroupsPerPch) &&
+                      isPowerOfTwo(geom.banksPerBankGroup) &&
+                      isPowerOfTwo(geom.rowsPerBank) &&
+                      isPowerOfTwo(geom.colsPerRow),
+                  "geometry fields must be powers of two");
+
+    const unsigned ch_bits = exactLog2(num_channels);
+    const unsigned bg_bits = exactLog2(geom.bankGroupsPerPch);
+    const unsigned ba_bits = exactLog2(geom.banksPerBankGroup);
+    const unsigned row_bits = exactLog2(geom.rowsPerBank);
+    const unsigned col_bits = exactLog2(geom.colsPerRow);
+
+    switch (scheme) {
+      case MappingScheme::ChBgColBaRo:
+        fields_ = {{Field::Channel, ch_bits},
+                   {Field::BankGroup, bg_bits},
+                   {Field::Col, col_bits},
+                   {Field::Bank, ba_bits},
+                   {Field::Row, row_bits}};
+        break;
+      case MappingScheme::ChColBgBaRo:
+        fields_ = {{Field::Channel, ch_bits},
+                   {Field::Col, col_bits},
+                   {Field::BankGroup, bg_bits},
+                   {Field::Bank, ba_bits},
+                   {Field::Row, row_bits}};
+        break;
+      case MappingScheme::RoColBgBaCh:
+        fields_ = {{Field::Row, row_bits},
+                   {Field::Col, col_bits},
+                   {Field::BankGroup, bg_bits},
+                   {Field::Bank, ba_bits},
+                   {Field::Channel, ch_bits}};
+        break;
+    }
+
+    capacity_ = geom_.bytesPerPch() * num_channels;
+}
+
+DramCoord
+AddressMapping::decode(Addr addr) const
+{
+    PIMSIM_ASSERT(addr < capacity_, "address ", addr, " beyond capacity ",
+                  capacity_);
+    DramCoord coord;
+    unsigned lo = exactLog2(kBurstBytes);
+    for (const auto &spec : fields_) {
+        const auto value =
+            static_cast<unsigned>(extractBits(addr, lo, spec.width));
+        switch (spec.field) {
+          case Field::Channel:
+            coord.channel = value;
+            break;
+          case Field::BankGroup:
+            coord.bankGroup = value;
+            break;
+          case Field::Bank:
+            coord.bank = value;
+            break;
+          case Field::Row:
+            coord.row = value;
+            break;
+          case Field::Col:
+            coord.col = value;
+            break;
+        }
+        lo += spec.width;
+    }
+    return coord;
+}
+
+Addr
+AddressMapping::encode(const DramCoord &coord) const
+{
+    Addr addr = 0;
+    unsigned lo = exactLog2(kBurstBytes);
+    for (const auto &spec : fields_) {
+        unsigned value = 0;
+        switch (spec.field) {
+          case Field::Channel:
+            value = coord.channel;
+            break;
+          case Field::BankGroup:
+            value = coord.bankGroup;
+            break;
+          case Field::Bank:
+            value = coord.bank;
+            break;
+          case Field::Row:
+            value = coord.row;
+            break;
+          case Field::Col:
+            value = coord.col;
+            break;
+        }
+        PIMSIM_ASSERT(value < (1u << spec.width), "coordinate field out of "
+                      "range: ", value, " width ", spec.width);
+        addr = insertBits(addr, lo, spec.width, value);
+        lo += spec.width;
+    }
+    return addr;
+}
+
+} // namespace pimsim

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Physical-address <-> DRAM-coordinate mapping.
+ *
+ * Section VIII ("Memory Interleaving and Data Layout") explains that the
+ * PIM architecture is largely agnostic to the host's physical address
+ * mapping because the host controls each channel independently and PIM
+ * accesses memory at the host's granularity. The software stack still has
+ * to *know* the mapping to place operands bank-aligned (Fig. 15), so the
+ * mapping is a first-class, invertible object here.
+ */
+
+#ifndef PIMSIM_DRAM_ADDRESS_H
+#define PIMSIM_DRAM_ADDRESS_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "common/types.h"
+#include "dram/geometry.h"
+
+namespace pimsim {
+
+/** Full coordinates of one 32-byte burst in the memory system. */
+struct DramCoord
+{
+    unsigned channel = 0; ///< global pseudo-channel index across stacks
+    unsigned bankGroup = 0;
+    unsigned bank = 0; ///< bank within bank group
+    unsigned row = 0;
+    unsigned col = 0;
+
+    bool operator==(const DramCoord &o) const = default;
+};
+
+std::ostream &operator<<(std::ostream &os, const DramCoord &coord);
+
+/** Address bit-field order, listed LSB-first above the 32 B offset. */
+enum class MappingScheme
+{
+    /** ch | bg | col | ba | row — fine channel interleave, bank-group
+     *  rotation inside a row for tCCD_S streaming (default). */
+    ChBgColBaRo,
+    /** ch | col | bg | ba | row — channel interleave then whole rows. */
+    ChColBgBaRo,
+    /** row | col | bg | ba | ch — channel bits on top; one channel owns a
+     *  contiguous region (used by tests to stress channel locality). */
+    RoColBgBaCh,
+};
+
+/**
+ * Invertible mapping between flat physical addresses and DRAM coordinates.
+ *
+ * The covered address space is numChannels * bytesPerPch bytes starting
+ * at physical address zero.
+ */
+class AddressMapping
+{
+  public:
+    AddressMapping(const HbmGeometry &geom, unsigned num_channels,
+                   MappingScheme scheme = MappingScheme::ChBgColBaRo);
+
+    /** Decompose a physical byte address (offset inside burst dropped). */
+    DramCoord decode(Addr addr) const;
+
+    /** Compose the physical byte address of a burst. */
+    Addr encode(const DramCoord &coord) const;
+
+    /** Total bytes covered by the mapping. */
+    Addr capacity() const { return capacity_; }
+
+    unsigned numChannels() const { return numChannels_; }
+    const HbmGeometry &geometry() const { return geom_; }
+    MappingScheme scheme() const { return scheme_; }
+
+  private:
+    enum class Field { Channel, BankGroup, Bank, Row, Col };
+
+    struct FieldSpec
+    {
+        Field field;
+        unsigned width; ///< bits
+    };
+
+    HbmGeometry geom_;
+    unsigned numChannels_;
+    MappingScheme scheme_;
+    std::vector<FieldSpec> fields_; ///< LSB-first, above the burst offset
+    Addr capacity_;
+};
+
+} // namespace pimsim
+
+#endif // PIMSIM_DRAM_ADDRESS_H

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Per-bank DRAM state machine and timing bookkeeping.
+ */
+
+#ifndef PIMSIM_DRAM_BANK_H
+#define PIMSIM_DRAM_BANK_H
+
+#include "common/types.h"
+
+namespace pimsim {
+
+/** Row-buffer state of one bank. */
+enum class BankState
+{
+    Idle,   ///< precharged, no open row
+    Active, ///< a row is open in the row buffer
+};
+
+/**
+ * Timing state of one bank.
+ *
+ * Each nextX member is the earliest cycle at which command X may be
+ * issued to this bank (Ramulator-style forward timestamps).
+ */
+struct Bank
+{
+    BankState state = BankState::Idle;
+    unsigned openRow = 0;
+
+    Cycle nextAct = 0;
+    Cycle nextPre = 0;
+    Cycle nextRd = 0;
+    Cycle nextWr = 0;
+
+    /** Earliest cycle this bank could accept a fresh ACT when idle. */
+    bool rowOpen(unsigned row) const
+    {
+        return state == BankState::Active && openRow == row;
+    }
+};
+
+} // namespace pimsim
+
+#endif // PIMSIM_DRAM_BANK_H

@@ -1,0 +1,39 @@
+#include "dram/command.h"
+
+#include <ostream>
+
+namespace pimsim {
+
+const char *
+commandTypeName(CommandType type)
+{
+    switch (type) {
+      case CommandType::Act:
+        return "ACT";
+      case CommandType::Pre:
+        return "PRE";
+      case CommandType::PreA:
+        return "PREA";
+      case CommandType::Rd:
+        return "RD";
+      case CommandType::Wr:
+        return "WR";
+      case CommandType::Ref:
+        return "REF";
+    }
+    return "???";
+}
+
+std::ostream &
+operator<<(std::ostream &os, const Command &cmd)
+{
+    os << commandTypeName(cmd.type) << " bg" << cmd.bankGroup << " ba"
+       << cmd.bank;
+    if (cmd.type == CommandType::Act)
+        os << " row" << cmd.row;
+    if (cmd.type == CommandType::Rd || cmd.type == CommandType::Wr)
+        os << " col" << cmd.col;
+    return os;
+}
+
+} // namespace pimsim

@@ -1,0 +1,96 @@
+#include "dram/datastore.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "dram/ecc.h"
+
+namespace pimsim {
+
+DataStore::DataStore(const HbmGeometry &geom) : geom_(geom) {}
+
+Burst
+DataStore::read(unsigned bank, unsigned row, unsigned col) const
+{
+    PIMSIM_ASSERT(bank < geom_.banksPerPch() && row < geom_.rowsPerBank &&
+                      col < geom_.colsPerRow,
+                  "read out of range: bank ", bank, " row ", row, " col ",
+                  col);
+    Burst burst{};
+    auto it = rows_.find(key(bank, row));
+    if (it == rows_.end())
+        return burst;
+    std::memcpy(burst.data(), it->second.data() + col * kBurstBytes,
+                kBurstBytes);
+
+    if (geom_.onDieEcc) {
+        const auto eit = ecc_.find(key(bank, row));
+        if (eit != ecc_.end()) {
+            EccBytes check;
+            std::memcpy(check.data(), eit->second.data() + col * 4, 4);
+            switch (eccDecodeBurst(burst, check)) {
+              case EccStatus::Ok:
+                break;
+              case EccStatus::Corrected:
+                ++eccCorrected_;
+                break;
+              case EccStatus::Uncorrectable:
+                ++eccUncorrectable_;
+                PIMSIM_WARN("uncorrectable ECC error at bank ", bank,
+                            " row ", row, " col ", col);
+                break;
+            }
+        }
+    }
+    return burst;
+}
+
+void
+DataStore::write(unsigned bank, unsigned row, unsigned col,
+                 const Burst &data)
+{
+    PIMSIM_ASSERT(bank < geom_.banksPerPch() && row < geom_.rowsPerBank &&
+                      col < geom_.colsPerRow,
+                  "write out of range: bank ", bank, " row ", row, " col ",
+                  col);
+    auto &storage = rows_[key(bank, row)];
+    if (storage.empty())
+        storage.assign(geom_.bytesPerRow(), 0);
+    std::memcpy(storage.data() + col * kBurstBytes, data.data(),
+                kBurstBytes);
+
+    if (geom_.onDieEcc) {
+        auto &check_row = ecc_[key(bank, row)];
+        if (check_row.empty()) {
+            // Check bytes for an all-zero burst are non-zero only in the
+            // parity sense; initialise every column's check correctly.
+            check_row.assign(geom_.colsPerRow * 4, 0);
+            const EccBytes zero_check = eccEncodeBurst(Burst{});
+            for (unsigned c = 0; c < geom_.colsPerRow; ++c)
+                std::memcpy(check_row.data() + c * 4, zero_check.data(),
+                            4);
+        }
+        const EccBytes check = eccEncodeBurst(data);
+        std::memcpy(check_row.data() + col * 4, check.data(), 4);
+    }
+}
+
+std::size_t
+DataStore::allocatedBytes() const
+{
+    return rows_.size() * geom_.bytesPerRow();
+}
+
+void
+DataStore::injectBitFlip(unsigned bank, unsigned row, unsigned col,
+                         unsigned bit)
+{
+    PIMSIM_ASSERT(bit < kBurstBytes * 8, "bit index out of range");
+    auto &storage = rows_[key(bank, row)];
+    if (storage.empty())
+        storage.assign(geom_.bytesPerRow(), 0);
+    storage[col * kBurstBytes + bit / 8] ^=
+        static_cast<std::uint8_t>(1u << (bit % 8));
+}
+
+} // namespace pimsim

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Functional storage for DRAM contents.
+ *
+ * The simulator is functionally exact: every RD/WR moves real bytes and
+ * every PIM instruction computes on real FP16 values, so end-to-end tests
+ * can compare simulated memory against golden references bit-for-bit.
+ * Rows are allocated lazily (zero-filled) so multi-gigabyte address
+ * spaces cost only what a workload touches.
+ */
+
+#ifndef PIMSIM_DRAM_DATASTORE_H
+#define PIMSIM_DRAM_DATASTORE_H
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "dram/geometry.h"
+
+namespace pimsim {
+
+/** One 32-byte burst of data. */
+using Burst = std::array<std::uint8_t, kBurstBytes>;
+
+/**
+ * Byte storage for all banks of one pseudo channel.
+ *
+ * With on-die ECC enabled (HbmGeometry::onDieEcc, Section VIII), every
+ * write stores SEC-DED check bytes alongside the data and every read —
+ * host or PIM bank-operand — corrects single-bit faults on the fly and
+ * counts uncorrectable ones. Faults are injected with injectBitFlip().
+ */
+class DataStore
+{
+  public:
+    explicit DataStore(const HbmGeometry &geom);
+
+    /** Read one burst from (flat bank, row, col). Unwritten rows read 0. */
+    Burst read(unsigned bank, unsigned row, unsigned col) const;
+
+    /** Write one burst to (flat bank, row, col). */
+    void write(unsigned bank, unsigned row, unsigned col, const Burst &data);
+
+    /** Bytes currently allocated (for tests / footprint stats). */
+    std::size_t allocatedBytes() const;
+
+    /** Flip one stored data bit without updating ECC (fault injection). */
+    void injectBitFlip(unsigned bank, unsigned row, unsigned col,
+                       unsigned bit);
+
+    /** Single-bit errors corrected by on-die ECC so far. */
+    std::uint64_t eccCorrected() const { return eccCorrected_; }
+    /** Double-bit errors detected (data returned as-is). */
+    std::uint64_t eccUncorrectable() const { return eccUncorrectable_; }
+
+  private:
+    using RowKey = std::uint64_t;
+
+    RowKey key(unsigned bank, unsigned row) const
+    {
+        return (static_cast<std::uint64_t>(bank) << 32) | row;
+    }
+
+    HbmGeometry geom_;
+    std::unordered_map<RowKey, std::vector<std::uint8_t>> rows_;
+    /** Per-row check bytes, 4 per burst (allocated with the row). */
+    std::unordered_map<RowKey, std::vector<std::uint8_t>> ecc_;
+    mutable std::uint64_t eccCorrected_ = 0;
+    mutable std::uint64_t eccUncorrectable_ = 0;
+};
+
+} // namespace pimsim
+
+#endif // PIMSIM_DRAM_DATASTORE_H

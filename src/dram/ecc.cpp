@@ -1,0 +1,138 @@
+#include "dram/ecc.h"
+
+#include "common/bits.h"
+
+namespace pimsim {
+
+namespace {
+
+/**
+ * Codeword layout for extended Hamming (72,64): positions 1..71 hold
+ * the 7 check bits at power-of-two positions and the 64 data bits in
+ * between; one overall parity bit extends SEC to SEC-DED.
+ */
+struct EccTables
+{
+    // position in codeword (1-based) of each data bit
+    unsigned dataPos[64];
+    // data bit index for each codeword position (or -1)
+    int posData[73];
+
+    EccTables()
+    {
+        unsigned data_bit = 0;
+        for (unsigned pos = 1; pos <= 72 && data_bit < 64; ++pos) {
+            posData[pos] = -1;
+            if (isPowerOfTwo(pos))
+                continue;
+            dataPos[data_bit] = pos;
+            posData[pos] = static_cast<int>(data_bit);
+            ++data_bit;
+        }
+    }
+};
+
+const EccTables &
+tables()
+{
+    static const EccTables t;
+    return t;
+}
+
+/** 7-bit Hamming syndrome of the data bits in codeword space. */
+std::uint8_t
+dataSyndrome(std::uint64_t data)
+{
+    const EccTables &t = tables();
+    unsigned syndrome = 0;
+    for (unsigned bit = 0; bit < 64; ++bit) {
+        if ((data >> bit) & 1)
+            syndrome ^= t.dataPos[bit];
+    }
+    return static_cast<std::uint8_t>(syndrome & 0x7f);
+}
+
+unsigned
+popcount64(std::uint64_t v)
+{
+    return static_cast<unsigned>(__builtin_popcountll(v));
+}
+
+} // namespace
+
+std::uint8_t
+eccEncodeWord(std::uint64_t data)
+{
+    // Check bits chosen so the codeword syndrome is zero; the 8th bit
+    // is overall parity over data + check bits.
+    const std::uint8_t check = dataSyndrome(data);
+    const unsigned parity =
+        (popcount64(data) + popcount64(check & 0x7f)) & 1;
+    return static_cast<std::uint8_t>(check | (parity << 7));
+}
+
+EccStatus
+eccDecodeWord(std::uint64_t &data, std::uint8_t check)
+{
+    const std::uint8_t stored_syndrome = check & 0x7f;
+    const unsigned stored_parity = (check >> 7) & 1;
+
+    const std::uint8_t syndrome =
+        static_cast<std::uint8_t>(dataSyndrome(data) ^ stored_syndrome);
+    const unsigned parity =
+        (popcount64(data) + popcount64(stored_syndrome)) & 1;
+    const bool parity_error = parity != stored_parity;
+
+    if (syndrome == 0)
+        return parity_error ? EccStatus::Corrected /* parity bit flip */
+                            : EccStatus::Ok;
+
+    if (!parity_error) {
+        // Non-zero syndrome with even overall parity: two bits flipped.
+        return EccStatus::Uncorrectable;
+    }
+
+    // Single-bit error: the syndrome names the codeword position.
+    const EccTables &t = tables();
+    if (syndrome <= 72 && t.posData[syndrome] >= 0) {
+        data ^= std::uint64_t{1} << t.posData[syndrome];
+        return EccStatus::Corrected;
+    }
+    // The flipped bit was one of the stored check bits; data is intact.
+    if (isPowerOfTwo(syndrome))
+        return EccStatus::Corrected;
+    return EccStatus::Uncorrectable;
+}
+
+EccBytes
+eccEncodeBurst(const Burst &data)
+{
+    EccBytes check{};
+    for (unsigned w = 0; w < 4; ++w) {
+        std::uint64_t word = 0;
+        for (unsigned b = 0; b < 8; ++b)
+            word |= std::uint64_t{data[8 * w + b]} << (8 * b);
+        check[w] = eccEncodeWord(word);
+    }
+    return check;
+}
+
+EccStatus
+eccDecodeBurst(Burst &data, const EccBytes &check)
+{
+    EccStatus worst = EccStatus::Ok;
+    for (unsigned w = 0; w < 4; ++w) {
+        std::uint64_t word = 0;
+        for (unsigned b = 0; b < 8; ++b)
+            word |= std::uint64_t{data[8 * w + b]} << (8 * b);
+        const EccStatus status = eccDecodeWord(word, check[w]);
+        for (unsigned b = 0; b < 8; ++b)
+            data[8 * w + b] =
+                static_cast<std::uint8_t>((word >> (8 * b)) & 0xff);
+        if (static_cast<int>(status) > static_cast<int>(worst))
+            worst = status;
+    }
+    return worst;
+}
+
+} // namespace pimsim

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * On-die ECC (Section VIII: "DRAM began to have on-die ECC including
+ * HBM3. Thus, PIM may leverage the on-die ECC engine to generate and
+ * check the ECC parity bits even in PIM mode.").
+ *
+ * A SEC-DED (72,64) extended-Hamming code per 64-bit word: each 32-byte
+ * burst carries four 8-bit check fields. Single-bit errors are corrected
+ * transparently on any read — host reads and PIM bank-operand fetches
+ * alike — and double-bit errors are detected and counted. Fault
+ * injection lets tests exercise both paths.
+ */
+
+#ifndef PIMSIM_DRAM_ECC_H
+#define PIMSIM_DRAM_ECC_H
+
+#include <array>
+#include <cstdint>
+
+#include "dram/datastore.h"
+
+namespace pimsim {
+
+/** Check bytes for one 32-byte burst (one per 64-bit word). */
+using EccBytes = std::array<std::uint8_t, 4>;
+
+/** Result of checking one word or burst. */
+enum class EccStatus
+{
+    Ok,            ///< no error
+    Corrected,     ///< single-bit error corrected
+    Uncorrectable, ///< double-bit error detected
+};
+
+/** Compute the (72,64) check byte for one 64-bit word. */
+std::uint8_t eccEncodeWord(std::uint64_t data);
+
+/**
+ * Check and correct one 64-bit word in place.
+ * @return Ok, Corrected (data fixed), or Uncorrectable.
+ */
+EccStatus eccDecodeWord(std::uint64_t &data, std::uint8_t check);
+
+/** Compute check bytes for a whole burst. */
+EccBytes eccEncodeBurst(const Burst &data);
+
+/**
+ * Check and correct a burst in place.
+ * @return the worst status across the four words.
+ */
+EccStatus eccDecodeBurst(Burst &data, const EccBytes &check);
+
+} // namespace pimsim
+
+#endif // PIMSIM_DRAM_ECC_H

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Physical organisation of an HBM2 stack (Section II-B, Fig. 2).
+ *
+ * A stack exposes 16 pseudo channels (pCHs). Each pCH has 4 bank groups
+ * of 4 banks (16 banks). A column command moves one 256-bit burst
+ * (32 bytes). PIM execution units sit at the bank I/O boundary, one unit
+ * per even/odd bank pair (8 units per pCH, Table V).
+ */
+
+#ifndef PIMSIM_DRAM_GEOMETRY_H
+#define PIMSIM_DRAM_GEOMETRY_H
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace pimsim {
+
+/** Static geometry of one HBM stack; all counts are powers of two. */
+struct HbmGeometry
+{
+    /** Pseudo channels per stack. */
+    unsigned pchPerStack = 16;
+    /** Bank groups per pseudo channel. */
+    unsigned bankGroupsPerPch = 4;
+    /** Banks per bank group. */
+    unsigned banksPerBankGroup = 4;
+    /** Rows per bank. */
+    unsigned rowsPerBank = 16384;
+    /** Column commands per row (row buffer = columns * 32 B = 1 KiB). */
+    unsigned colsPerRow = 32;
+    /** On-die SEC-DED ECC per burst (Section VIII; HBM3 generation). */
+    bool onDieEcc = false;
+
+    unsigned banksPerPch() const
+    {
+        return bankGroupsPerPch * banksPerBankGroup;
+    }
+
+    std::uint64_t bytesPerRow() const
+    {
+        return std::uint64_t{colsPerRow} * kBurstBytes;
+    }
+
+    std::uint64_t bytesPerBank() const
+    {
+        return bytesPerRow() * rowsPerBank;
+    }
+
+    std::uint64_t bytesPerPch() const
+    {
+        return bytesPerBank() * banksPerPch();
+    }
+
+    std::uint64_t bytesPerStack() const
+    {
+        return bytesPerPch() * pchPerStack;
+    }
+};
+
+} // namespace pimsim
+
+#endif // PIMSIM_DRAM_GEOMETRY_H

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * HBM2 timing parameters (JEDEC JESD235-style), in memory-bus clock ticks.
+ *
+ * The paper's PIM-HBM keeps DRAM timing parameters "same as HBM2"
+ * (Table V); the bus runs at 1.0-1.2 GHz while the DRAM core and PIM unit
+ * run at bus/4 (250-300 MHz). tCCD_L = 4 tCK is therefore exactly one
+ * PIM-unit cycle, which is what makes the lock-step "one column command =
+ * one PIM instruction" execution model work (Section III-B).
+ */
+
+#ifndef PIMSIM_DRAM_TIMING_H
+#define PIMSIM_DRAM_TIMING_H
+
+#include "common/types.h"
+
+namespace pimsim {
+
+/** All values in bus clock cycles (tCK) unless noted. */
+struct HbmTiming
+{
+    /** Bus clock period in nanoseconds (1.0 GHz default; 1.2 GHz option). */
+    double tCKns = 1.0;
+
+    // Row commands.
+    unsigned tRCDRD = 14; ///< ACT to RD
+    unsigned tRCDWR = 10; ///< ACT to WR
+    unsigned tRP = 14;    ///< PRE to ACT
+    unsigned tRAS = 33;   ///< ACT to PRE
+    unsigned tRC = 47;    ///< ACT to ACT, same bank
+    unsigned tRRDS = 4;   ///< ACT to ACT, different bank group
+    unsigned tRRDL = 6;   ///< ACT to ACT, same bank group
+    unsigned tFAW = 30;   ///< four-activate window
+
+    // Column commands.
+    unsigned tCL = 14;   ///< RD to data
+    unsigned tCWL = 7;   ///< WR to data
+    unsigned tBL = 2;    ///< bus cycles per burst (4 DDR beats = 2 tCK)
+    unsigned tCCDS = 2;  ///< column to column, different bank group
+    unsigned tCCDL = 4;  ///< column to column, same bank group
+    unsigned tRTP = 5;   ///< RD to PRE
+    unsigned tWR = 16;   ///< end of write data to PRE
+    unsigned tWTRS = 8;  ///< write-to-read turnaround, different bank group
+    unsigned tWTRL = 9;  ///< write-to-read turnaround, same bank group
+    unsigned tRTW = 18;  ///< read-to-write turnaround (tCL + tBL - tCWL + 1)
+
+    // Refresh.
+    unsigned tRFC = 350;    ///< refresh cycle time
+    unsigned tREFI = 3900;  ///< average refresh interval
+
+    /** Bus frequency in GHz. */
+    double busGHz() const { return 1.0 / tCKns; }
+
+    /** DRAM-core / PIM-unit frequency in GHz (bus / 4). */
+    double coreGHz() const { return busGHz() / 4.0; }
+
+    /** Peak off-chip bandwidth of one pCH in GB/s: 64 bits DDR-equivalent.
+     *  An HBM2 pCH moves 32 B per tCCD_S (2 tCK): 16 GB/s at 1 GHz. */
+    double pchIoBandwidthGBs() const
+    {
+        return static_cast<double>(kBurstBytes) / (tCCDS * tCKns);
+    }
+
+    /** Per-bank on-chip bandwidth in AB mode (one burst per tCCD_L). */
+    double bankAbBandwidthGBs() const
+    {
+        return static_cast<double>(kBurstBytes) / (tCCDL * tCKns);
+    }
+
+    /** HBM2 at 1.2 GHz bus (2.4 Gbps pins), the paper's shipping config. */
+    static HbmTiming at12GHz()
+    {
+        HbmTiming t;
+        t.tCKns = 1.0 / 1.2;
+        return t;
+    }
+};
+
+} // namespace pimsim
+
+#endif // PIMSIM_DRAM_TIMING_H

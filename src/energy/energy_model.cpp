@@ -1,0 +1,210 @@
+#include "energy/energy_model.h"
+
+#include <cmath>
+#include <ostream>
+
+#include "common/logging.h"
+
+namespace pimsim {
+
+EnergyBreakdown &
+EnergyBreakdown::operator+=(const EnergyBreakdown &o)
+{
+    background += o.background;
+    cell += o.cell;
+    iosa += o.iosa;
+    globalBus += o.globalBus;
+    phy += o.phy;
+    pimUnit += o.pimUnit;
+    activation += o.activation;
+    other += o.other;
+    return *this;
+}
+
+EnergyBreakdown
+EnergyBreakdown::operator*(double f) const
+{
+    EnergyBreakdown e = *this;
+    e.background *= f;
+    e.cell *= f;
+    e.iosa *= f;
+    e.globalBus *= f;
+    e.phy *= f;
+    e.pimUnit *= f;
+    e.activation *= f;
+    e.other *= f;
+    return e;
+}
+
+std::ostream &
+operator<<(std::ostream &os, const EnergyBreakdown &e)
+{
+    return os << "bg=" << e.background << " cell=" << e.cell
+              << " iosa=" << e.iosa << " bus=" << e.globalBus
+              << " phy=" << e.phy << " pim=" << e.pimUnit
+              << " act=" << e.activation << " other=" << e.other
+              << " total=" << e.total();
+}
+
+EnergyBreakdown
+EnergyModel::channelEnergy(const ChannelActivity &a) const
+{
+    EnergyBreakdown e;
+    e.background = params_.backgroundMwPerPch * a.elapsedNs; // mW*ns = pJ
+
+    // External column bursts exercise the full path.
+    const double ext = static_cast<double>(a.rdBursts + a.wrBursts);
+    e.cell += ext * params_.cellPj;
+    e.iosa += ext * params_.iosaPj;
+    e.globalBus += ext * params_.globalBusPj;
+    e.phy += ext * params_.phyPj;
+    e.other += ext * params_.otherPj;
+
+    // PIM bank accesses stop at the bank I/O boundary: cell + IOSA only.
+    const double pim_bank =
+        static_cast<double>(a.pimBankReads + a.pimBankWrites);
+    e.cell += pim_bank * params_.cellPj;
+    e.iosa += pim_bank * params_.iosaPj;
+
+    // PIM execution and the residual buffer-die toggle per trigger.
+    e.pimUnit += static_cast<double>(a.pimOps) * params_.pimOpPj;
+    if (!params_.gateBufferIo) {
+        e.phy += static_cast<double>(a.pimTriggers) *
+                 params_.bufferTogglePj;
+    }
+
+    e.activation += static_cast<double>(a.acts) * params_.actPj;
+    return e;
+}
+
+double
+EnergyModel::averagePowerMw(const ChannelActivity &a) const
+{
+    if (a.elapsedNs <= 0.0)
+        return 0.0;
+    return channelEnergy(a).total() / a.elapsedNs; // pJ / ns = mW
+}
+
+// ---------------------------------------------------------------------
+// Table I.
+// ---------------------------------------------------------------------
+
+const char *
+macFormatName(MacFormat format)
+{
+    switch (format) {
+      case MacFormat::Int16Acc48:
+        return "INT16 (w/ 48-bit Acc.)";
+      case MacFormat::Int8Acc48:
+        return "INT8 (w/ 48-bit Acc.)";
+      case MacFormat::Int8Acc32:
+        return "INT8 (w/ 32-bit Acc.)";
+      case MacFormat::Fp16:
+        return "FP16";
+      case MacFormat::Bf16:
+        return "BFLOAT16";
+      case MacFormat::Fp32:
+        return "FP32";
+    }
+    return "???";
+}
+
+double
+macRelativeArea(MacFormat format)
+{
+    // Measured silicon values, Table I.
+    switch (format) {
+      case MacFormat::Int16Acc48:
+        return 1.0;
+      case MacFormat::Int8Acc48:
+        return 0.45;
+      case MacFormat::Int8Acc32:
+        return 0.35;
+      case MacFormat::Fp16:
+        return 1.32;
+      case MacFormat::Bf16:
+        return 1.15;
+      case MacFormat::Fp32:
+        return 3.96;
+    }
+    PIMSIM_PANIC("bad format");
+}
+
+double
+macRelativeEnergy(MacFormat format)
+{
+    switch (format) {
+      case MacFormat::Int16Acc48:
+        return 1.0;
+      case MacFormat::Int8Acc48:
+        return 0.81;
+      case MacFormat::Int8Acc32:
+        return 0.77;
+      case MacFormat::Fp16:
+        return 1.21;
+      case MacFormat::Bf16:
+        return 1.04;
+      case MacFormat::Fp32:
+        return 1.34;
+    }
+    PIMSIM_PANIC("bad format");
+}
+
+std::pair<double, double>
+macModelEstimate(MacFormat format)
+{
+    // Structural parameters: significand (multiplier input) width,
+    // accumulator/adder width, exponent width.
+    double sig = 0;
+    double acc = 0;
+    double exp = 0;
+    switch (format) {
+      case MacFormat::Int16Acc48:
+        sig = 16;
+        acc = 48;
+        break;
+      case MacFormat::Int8Acc48:
+        sig = 8;
+        acc = 48;
+        break;
+      case MacFormat::Int8Acc32:
+        sig = 8;
+        acc = 32;
+        break;
+      case MacFormat::Fp16:
+        sig = 11;
+        acc = 22;
+        exp = 5;
+        break;
+      case MacFormat::Bf16:
+        sig = 8;
+        acc = 16;
+        exp = 8;
+        break;
+      case MacFormat::Fp32:
+        sig = 24;
+        acc = 48;
+        exp = 8;
+        break;
+    }
+
+    // Area: array multiplier ~ sig^2; accumulator/adder ~ width; FP
+    // formats add alignment/normalisation shifters (~ sig * log2(sig))
+    // and exponent logic. Coefficients fitted to the INT rows.
+    const double fp_shift =
+        exp > 0 ? 4.73 * sig * std::log2(sig) + 24.1 * exp : 0.0;
+    const double area = sig * sig + 1.94 * acc + fp_shift;
+    const double area_ref = 16.0 * 16.0 + 1.94 * 48.0;
+
+    // Energy: fixed clocking/register overhead + datapath terms
+    // (coefficients fitted to the three INT rows, which they reproduce
+    // exactly), plus exponent/normalisation switching for FP.
+    const double fp_energy = exp > 0 ? 0.017 * sig + 0.026 * exp : 0.0;
+    const double energy =
+        0.50 + sig * 0.02375 + acc * 0.0025 + fp_energy;
+    const double energy_ref = 0.50 + 16 * 0.02375 + 48 * 0.0025;
+
+    return {area / area_ref, energy / energy_ref};
+}
+
+} // namespace pimsim

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Event-based DRAM + PIM energy model (Section VII-C).
+ *
+ * Per-event energies are calibrated so the component breakdown of a
+ * back-to-back RD stream matches Fig. 11's proportions:
+ *
+ *  - HBM streaming reads: background ~38%, cell ~5%, IOSA/decoders ~7%,
+ *    internal global I/O bus ~25%, I/O PHY ~20%, other ~5%.
+ *  - PIM-HBM in AB-PIM mode activates 8 banks per tCCD_L (4x on-chip
+ *    bandwidth): cell+IOSA scale 4x, the global bus and most of the PHY
+ *    stop toggling, PIM FPUs add their own energy. Net: ~5.4% more
+ *    power than HBM (Fig. 11), and gating the residual buffer-die I/O
+ *    toggle would drop ~10% below HBM (Section VII-C).
+ */
+
+#ifndef PIMSIM_ENERGY_ENERGY_MODEL_H
+#define PIMSIM_ENERGY_ENERGY_MODEL_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "dram/timing.h"
+
+namespace pimsim {
+
+/** Energy by component, in picojoules. */
+struct EnergyBreakdown
+{
+    double background = 0.0; ///< standby / peripheral
+    double cell = 0.0;       ///< DRAM cell array access
+    double iosa = 0.0;       ///< I/O sense amps + decoders
+    double globalBus = 0.0;  ///< internal global I/O bus
+    double phy = 0.0;        ///< buffer-die PHY / external I/O
+    double pimUnit = 0.0;    ///< PIM execution units
+    double activation = 0.0; ///< ACT/PRE row energy
+    double other = 0.0;
+
+    double total() const
+    {
+        return background + cell + iosa + globalBus + phy + pimUnit +
+               activation + other;
+    }
+
+    EnergyBreakdown &operator+=(const EnergyBreakdown &o);
+    EnergyBreakdown operator*(double f) const;
+};
+
+std::ostream &operator<<(std::ostream &os, const EnergyBreakdown &e);
+
+/** Event counts for one pseudo channel over an interval. */
+struct ChannelActivity
+{
+    std::uint64_t acts = 0;        ///< per-bank activations
+    std::uint64_t rdBursts = 0;    ///< bursts leaving the die
+    std::uint64_t wrBursts = 0;    ///< bursts entering the die
+    std::uint64_t pimTriggers = 0; ///< AB-PIM column commands
+    std::uint64_t pimBankReads = 0;
+    std::uint64_t pimBankWrites = 0;
+    std::uint64_t pimOps = 0; ///< executed arithmetic/move instructions
+    double elapsedNs = 0.0;
+};
+
+/** Per-event energy constants (pJ) and background power (mW per pCH). */
+struct EnergyParams
+{
+    double backgroundMwPerPch = 228.0;
+
+    // Per 32-byte column burst through the full external path.
+    double cellPj = 50.0;
+    double iosaPj = 70.0;
+    double globalBusPj = 250.0;
+    double phyPj = 200.0;
+    double otherPj = 50.0;
+
+    // Row energy per bank activation (ACT+PRE pair).
+    double actPj = 900.0;
+
+    // PIM-side events.
+    double pimOpPj = 25.0;          ///< one 16-lane FP16 op
+    double bufferTogglePj = 185.0;  ///< residual buffer-die I/O per trigger
+    bool gateBufferIo = false;      ///< the ~10%-saving option (VII-C)
+
+    /** Units active per trigger (paper config: 8 per pCH). */
+    unsigned pimUnitsPerPch = 8;
+};
+
+/** Computes energy and average power from channel activity. */
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(const EnergyParams &params = {})
+        : params_(params)
+    {
+    }
+
+    /** Energy of one channel's activity over its interval. */
+    EnergyBreakdown channelEnergy(const ChannelActivity &activity) const;
+
+    /** Average power in milliwatts for an activity interval. */
+    double averagePowerMw(const ChannelActivity &activity) const;
+
+    const EnergyParams &params() const { return params_; }
+    EnergyParams &params() { return params_; }
+
+  private:
+    EnergyParams params_;
+};
+
+// ---------------------------------------------------------------------
+// Table I: MAC unit area and energy in a 20 nm DRAM process.
+// ---------------------------------------------------------------------
+
+/** Number formats compared in Table I. */
+enum class MacFormat
+{
+    Int16Acc48,
+    Int8Acc48,
+    Int8Acc32,
+    Fp16,
+    Bf16,
+    Fp32,
+};
+
+const char *macFormatName(MacFormat format);
+
+/** Relative area of a MAC unit (INT16 w/ 48-bit accumulator = 1). */
+double macRelativeArea(MacFormat format);
+/** Relative energy/op of a MAC unit (INT16 w/ 48-bit accumulator = 1). */
+double macRelativeEnergy(MacFormat format);
+
+/**
+ * Structural estimate behind Table I: multiplier area scales with the
+ * square of the significand width, the adder/accumulator linearly with
+ * accumulator width, plus exponent-handling overhead for FP formats.
+ * Returns (area, energy) normalised to INT16. The published constants
+ * (macRelativeArea/Energy) are the measured silicon values; the
+ * estimate is checked against them for ordering and rough magnitude.
+ */
+std::pair<double, double> macModelEstimate(MacFormat format);
+
+} // namespace pimsim
+
+#endif // PIMSIM_ENERGY_ENERGY_MODEL_H

@@ -1,0 +1,48 @@
+#include "energy/probe.h"
+
+namespace pimsim {
+
+ActivityProbe::ActivityProbe(PimSystem &system) : system_(system)
+{
+    snapshot();
+}
+
+ActivityProbe::Counters
+ActivityProbe::read() const
+{
+    Counters c;
+    c.acts = system_.totalChannelStat("act");
+    c.rd = system_.totalChannelStat("rd");
+    c.wr = system_.totalChannelStat("wr");
+    c.triggers = system_.totalPimStat("pim.trigger");
+    c.bankReads = system_.totalPimStat("pim.bankRead");
+    c.bankWrites = system_.totalPimStat("pim.bankWrite");
+    c.ops = system_.totalPimStat("pim.opExec");
+    return c;
+}
+
+void
+ActivityProbe::snapshot()
+{
+    base_ = read();
+    baseCycle_ = system_.now();
+}
+
+ChannelActivity
+ActivityProbe::delta() const
+{
+    const Counters now = read();
+    ChannelActivity a;
+    a.acts = now.acts - base_.acts;
+    a.rdBursts = now.rd - base_.rd;
+    a.wrBursts = now.wr - base_.wr;
+    a.pimTriggers = now.triggers - base_.triggers;
+    a.pimBankReads = now.bankReads - base_.bankReads;
+    a.pimBankWrites = now.bankWrites - base_.bankWrites;
+    a.pimOps = now.ops - base_.ops;
+    a.elapsedNs = static_cast<double>(system_.now() - baseCycle_) *
+                  system_.nsPerCycle() * system_.numChannels();
+    return a;
+}
+
+} // namespace pimsim

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Activity probe: turns simulator statistics into energy-model inputs.
+ *
+ * Snapshot the system before a phase, run it, and diff() returns the
+ * aggregated event counts of the interval. For aggregated activity,
+ * elapsedNs is the wall interval multiplied by the channel count, so
+ * the background term integrates per-pCH standby power correctly.
+ */
+
+#ifndef PIMSIM_ENERGY_PROBE_H
+#define PIMSIM_ENERGY_PROBE_H
+
+#include <vector>
+
+#include "energy/energy_model.h"
+#include "sim/system.h"
+
+namespace pimsim {
+
+/** Collects activity deltas from a PimSystem. */
+class ActivityProbe
+{
+  public:
+    explicit ActivityProbe(PimSystem &system);
+
+    /** Re-baseline at the current simulation point. */
+    void snapshot();
+
+    /** Aggregated activity across all channels since the snapshot. */
+    ChannelActivity delta() const;
+
+  private:
+    struct Counters
+    {
+        std::uint64_t acts = 0;
+        std::uint64_t rd = 0;
+        std::uint64_t wr = 0;
+        std::uint64_t triggers = 0;
+        std::uint64_t bankReads = 0;
+        std::uint64_t bankWrites = 0;
+        std::uint64_t ops = 0;
+    };
+
+    Counters read() const;
+
+    PimSystem &system_;
+    Counters base_;
+    Cycle baseCycle_ = 0;
+};
+
+} // namespace pimsim
+
+#endif // PIMSIM_ENERGY_PROBE_H

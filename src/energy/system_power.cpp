@@ -1,0 +1,94 @@
+#include "energy/system_power.h"
+
+#include <algorithm>
+
+namespace pimsim {
+
+double
+SystemPowerModel::hostPhaseMemoryW(double bytes, double ns) const
+{
+    if (ns <= 0.0)
+        return 0.0;
+    ChannelActivity a;
+    const double bursts = bytes / kBurstBytes;
+    a.rdBursts = static_cast<std::uint64_t>(bursts * 0.8);
+    a.wrBursts = static_cast<std::uint64_t>(bursts * 0.2);
+    // Streaming opens a fresh row every colsPerRow bursts per bank.
+    a.acts = static_cast<std::uint64_t>(bursts / 32.0);
+    a.elapsedNs = ns * channels_;
+    return memory_.channelEnergy(a).total() / ns * 1e-3; // pJ/ns -> W
+}
+
+SystemEnergy
+SystemPowerModel::appEnergy(const AppRunResult &run, bool pim_path) const
+{
+    SystemEnergy e;
+    e.ns = run.ns;
+
+    // ---- Host package ----
+    // Host-kernel time: compute-heavy phases burn computeW; memory-bound
+    // phases burn memBoundW. We weight by how much DRAM traffic the host
+    // portion moved (traffic-heavy => memory-bound).
+    const double host_ns = run.hostNs;
+    // A host phase sustaining more than ~half of peak bandwidth
+    // (~600 B/ns for the 4-stack system) counts as fully memory-bound.
+    const double mem_bound_frac =
+        host_ns > 0
+            ? std::clamp(run.hostDramBytes / (host_ns * 600.0 + 1.0), 0.0,
+                         1.0)
+            : 0.0;
+    const double host_kernel_w = host_ns > 0
+                                     ? mem_bound_frac * host_.memBoundW +
+                                           (1 - mem_bound_frac) *
+                                               host_.computeW
+                                     : 0.0;
+    e.hostJ += host_ns * host_kernel_w * 1e-9;
+
+    // PIM-kernel time: the host merely drives command streams.
+    e.hostJ += run.pimNs * (pim_path ? host_.pimDriveW : 0.0) * 1e-9;
+
+    // Launch gaps: the host runs framework dispatch code.
+    e.hostJ += run.launchNs * host_.frameworkW * 1e-9;
+
+    // ---- Memory subsystem ----
+    ChannelActivity a;
+    const double host_bursts = run.hostDramBytes / kBurstBytes;
+    a.rdBursts = static_cast<std::uint64_t>(host_bursts * 0.8);
+    a.wrBursts = static_cast<std::uint64_t>(host_bursts * 0.2);
+    a.acts = static_cast<std::uint64_t>(host_bursts / 32.0) + run.acts;
+    a.pimTriggers = run.pimTriggers;
+    a.pimBankReads = run.pimBankAccesses;
+    a.pimOps = run.pimOps;
+    a.elapsedNs = run.ns * channels_;
+    e.memoryJ = memory_.channelEnergy(a).total() * 1e-12;
+    return e;
+}
+
+PowerTrace
+SystemPowerModel::tracePhases(
+    const std::vector<std::pair<double, double>> &phases, double sample_ns)
+{
+    PowerTrace trace;
+    trace.sampleNs = sample_ns;
+    double carry_ns = 0.0;
+    double carry_j = 0.0;
+    for (const auto &[dur, watts] : phases) {
+        double remaining = dur;
+        while (remaining > 0.0) {
+            const double take = std::min(remaining, sample_ns - carry_ns);
+            carry_j += take * watts * 1e-9;
+            carry_ns += take;
+            remaining -= take;
+            if (carry_ns >= sample_ns - 1e-9) {
+                trace.watts.push_back(carry_j / (sample_ns * 1e-9));
+                carry_ns = 0.0;
+                carry_j = 0.0;
+            }
+        }
+    }
+    if (carry_ns > 1e-9)
+        trace.watts.push_back(carry_j / (carry_ns * 1e-9));
+    return trace;
+}
+
+} // namespace pimsim

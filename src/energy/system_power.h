@@ -1,0 +1,94 @@
+/**
+ * @file
+ * System-level power/energy composition (Figs. 12 and 13).
+ *
+ * Combines the host's phase powers (compute-busy, memory-bound-stalled,
+ * PIM-command-driving, idle) with the memory subsystem's event energy to
+ * produce workload energies and power-over-time traces.
+ */
+
+#ifndef PIMSIM_ENERGY_SYSTEM_POWER_H
+#define PIMSIM_ENERGY_SYSTEM_POWER_H
+
+#include <string>
+#include <vector>
+
+#include "energy/energy_model.h"
+#include "stack/app_runner.h"
+
+namespace pimsim {
+
+/** Host package power by phase, in watts. */
+struct HostPowerParams
+{
+    double idleW = 42.0;
+    double computeW = 135.0; ///< compute-bound kernels
+    /** Stalled on memory (unoptimised host kernels spend most cycles
+     *  waiting; package power drops well below the compute level). */
+    double memBoundW = 70.0;
+    /** Driving PIM command streams: every thread group busily issuing
+     *  memory requests at maximum rate (Section V-B). */
+    double pimDriveW = 105.0;
+    /** Framework dispatch between kernels (launch overhead windows). */
+    double frameworkW = 90.0;
+};
+
+/** One workload's system energy. */
+struct SystemEnergy
+{
+    double ns = 0.0;
+    double hostJ = 0.0;
+    double memoryJ = 0.0;
+
+    double totalJ() const { return hostJ + memoryJ; }
+    double avgPowerW() const { return ns > 0 ? totalJ() / ns * 1e9 : 0.0; }
+};
+
+/** A sampled power-over-time trace (Fig. 13). */
+struct PowerTrace
+{
+    double sampleNs = 0.0;
+    std::vector<double> watts;
+};
+
+/** Composes system energy from run results. */
+class SystemPowerModel
+{
+  public:
+    SystemPowerModel(const EnergyModel &memory, const HostPowerParams &host,
+                     unsigned channels)
+        : memory_(memory), host_(host), channels_(channels)
+    {
+    }
+
+    /**
+     * Energy of one end-to-end run. `pim_path` selects host phase powers
+     * (PIM kernels put the host in the lightweight command-driving
+     * state; host kernels run compute- or memory-bound).
+     */
+    SystemEnergy appEnergy(const AppRunResult &run, bool pim_path) const;
+
+    /**
+     * Build a power-over-time trace for a run with the given phase
+     * schedule: a list of (duration ns, watts) segments sampled at
+     * `sample_ns`.
+     */
+    static PowerTrace
+    tracePhases(const std::vector<std::pair<double, double>> &phases,
+                double sample_ns);
+
+    /** Average memory power during a host-kernel phase, in watts. */
+    double hostPhaseMemoryW(double bytes, double ns) const;
+
+    const HostPowerParams &hostParams() const { return host_; }
+    const EnergyModel &memoryModel() const { return memory_; }
+
+  private:
+    EnergyModel memory_;
+    HostPowerParams host_;
+    unsigned channels_;
+};
+
+} // namespace pimsim
+
+#endif // PIMSIM_ENERGY_SYSTEM_POWER_H

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Host-processor model parameters.
+ *
+ * The paper integrates PIM-HBM with an *unmodified* commercial processor
+ * (60 compute units at 1.725 GHz) and drives PIM purely through memory
+ * requests. We model the host at the fidelity that determines the
+ * paper's results: load-issue throughput, thread-level parallelism
+ * available per kernel, LLC behaviour, fence/barrier stalls, and
+ * kernel-launch overhead. Rationale for each default is recorded in
+ * EXPERIMENTS.md.
+ */
+
+#ifndef PIMSIM_HOST_HOST_CONFIG_H
+#define PIMSIM_HOST_HOST_CONFIG_H
+
+#include "mem/llc.h"
+
+namespace pimsim {
+
+/** Host processor and software-stack cost model. */
+struct HostConfig
+{
+    /** Compute units (Section VI: 60 CUs at 1.725 GHz). */
+    unsigned computeUnits = 60;
+    double coreGHz = 1.725;
+
+    /** Threads per wavefront (work items scheduled together). */
+    unsigned waveSize = 64;
+
+    /** Peak FP16 FLOPs per cycle per CU for compute-bound kernels. */
+    double flopsPerCyclePerCu = 128.0;
+    /** Achieved fraction of peak FLOPs for tuned dense kernels. */
+    double computeEfficiency = 0.6;
+    /** Achieved fraction of peak FLOPs for batch-1 convolutions (small
+     *  GEMMs occupy the CUs poorly). */
+    double convEfficiency = 0.15;
+
+    /**
+     * Scalar-load issue rate (loads per cycle per CU) for unoptimised,
+     * latency-bound kernels such as the stock GEMV (Section VII-B: "GEMV
+     * provided by the software stack ... is not optimized").
+     */
+    double scalarLoadsPerCyclePerCu = 1.2;
+
+    /** Outstanding 32 B requests per channel for streaming kernels. */
+    unsigned streamingOutstanding = 64;
+
+    /** Kernel-launch overhead in nanoseconds (limits GNMT, Fig. 10). */
+    double kernelLaunchNs = 4500.0;
+
+    /** Cost of one fence/barrier beyond draining in-flight requests. */
+    double fenceNs = 25.0;
+
+    LlcConfig llc;
+
+    double peakFlops() const
+    {
+        return computeUnits * coreGHz * 1e9 * flopsPerCyclePerCu;
+    }
+};
+
+} // namespace pimsim
+
+#endif // PIMSIM_HOST_HOST_CONFIG_H

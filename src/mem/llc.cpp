@@ -1,0 +1,82 @@
+#include "mem/llc.h"
+
+#include "common/bits.h"
+#include "common/logging.h"
+
+namespace pimsim {
+
+Llc::Llc(const LlcConfig &config)
+    : config_(config),
+      numSets_(static_cast<unsigned>(config.capacityBytes /
+                                     (config.ways * config.lineBytes))),
+      lines_(static_cast<std::size_t>(numSets_) * config.ways),
+      stats_("llc")
+{
+    PIMSIM_ASSERT(isPowerOfTwo(numSets_), "LLC sets must be a power of two");
+    PIMSIM_ASSERT(isPowerOfTwo(config.lineBytes), "LLC line size");
+}
+
+LlcResult
+Llc::access(Addr addr, bool is_write)
+{
+    const Addr line_addr = addr / config_.lineBytes;
+    const unsigned set = static_cast<unsigned>(line_addr % numSets_);
+    const Addr tag = line_addr / numSets_;
+    Line *set_base = &lines_[static_cast<std::size_t>(set) * config_.ways];
+
+    ++useCounter_;
+    LlcResult result;
+
+    // Hit?
+    for (unsigned w = 0; w < config_.ways; ++w) {
+        Line &line = set_base[w];
+        if (line.valid && line.tag == tag) {
+            line.lastUse = useCounter_;
+            line.dirty = line.dirty || is_write;
+            ++hits_;
+            result.hit = true;
+            return result;
+        }
+    }
+
+    // Miss: find a victim (invalid first, else LRU).
+    ++misses_;
+    Line *victim = set_base;
+    for (unsigned w = 0; w < config_.ways; ++w) {
+        Line &line = set_base[w];
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+        if (line.lastUse < victim->lastUse)
+            victim = &line;
+    }
+    if (victim->valid && victim->dirty) {
+        const Addr victim_line = victim->tag * numSets_ + set;
+        result.writeback = victim_line * config_.lineBytes;
+        stats_.add("writebacks");
+    }
+    victim->valid = true;
+    victim->dirty = is_write;
+    victim->tag = tag;
+    victim->lastUse = useCounter_;
+    return result;
+}
+
+void
+Llc::flush()
+{
+    for (auto &line : lines_)
+        line = Line{};
+}
+
+double
+Llc::missRate() const
+{
+    const auto total = hits_ + misses_;
+    return total == 0 ? 0.0
+                      : static_cast<double>(misses_) /
+                            static_cast<double>(total);
+}
+
+} // namespace pimsim

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Memory requests as seen by a per-pCH memory controller.
+ *
+ * Host LD/ST instructions become Read/Write requests. The PIM device
+ * driver additionally issues explicit row-management requests (Activate/
+ * Precharge) to drive the paper's ACT+PRE mode-transition sequences
+ * (Fig. 3); the commands that reach the DRAM device are still plain
+ * JEDEC commands.
+ */
+
+#ifndef PIMSIM_MEM_REQUEST_H
+#define PIMSIM_MEM_REQUEST_H
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "dram/address.h"
+#include "dram/datastore.h"
+
+namespace pimsim {
+
+/** Request types a controller accepts. */
+enum class RequestType : std::uint8_t
+{
+    Read,         ///< one 32 B burst read
+    Write,        ///< one 32 B burst write
+    Activate,     ///< open a specific row (driver-initiated)
+    Precharge,    ///< close the addressed bank's row
+    PrechargeAll, ///< close every row in the pCH
+};
+
+/** One request to a single pseudo channel. */
+struct MemRequest
+{
+    RequestType type = RequestType::Read;
+    /** Coordinates within the pCH (channel field is redundant here). */
+    DramCoord coord;
+    /** Payload for writes. */
+    Burst data{};
+    /** Issue-order token assigned by the enqueuer. */
+    std::uint64_t id = 0;
+    /**
+     * In-order (PIM) request: may not be reordered with respect to other
+     * ordered requests beyond the controller's ordered window.
+     */
+    bool ordered = false;
+};
+
+/** A completed request, reported back to the issuer. */
+struct MemResponse
+{
+    std::uint64_t id = 0;
+    RequestType type = RequestType::Read;
+    /** Read payload (or intercepted-register read payload). */
+    Burst data{};
+    /** Cycle at which data was valid / the write was accepted. */
+    Cycle completion = 0;
+};
+
+} // namespace pimsim
+
+#endif // PIMSIM_MEM_REQUEST_H

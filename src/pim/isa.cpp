@@ -1,0 +1,357 @@
+#include "pim/isa.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "common/bits.h"
+#include "common/logging.h"
+
+namespace pimsim {
+
+const char *
+pimOpcodeName(PimOpcode op)
+{
+    switch (op) {
+      case PimOpcode::Nop:
+        return "NOP";
+      case PimOpcode::Jump:
+        return "JUMP";
+      case PimOpcode::Exit:
+        return "EXIT";
+      case PimOpcode::Mov:
+        return "MOV";
+      case PimOpcode::Fill:
+        return "FILL";
+      case PimOpcode::Add:
+        return "ADD";
+      case PimOpcode::Mul:
+        return "MUL";
+      case PimOpcode::Mac:
+        return "MAC";
+      case PimOpcode::Mad:
+        return "MAD";
+    }
+    return "???";
+}
+
+const char *
+operandSpaceName(OperandSpace space)
+{
+    switch (space) {
+      case OperandSpace::GrfA:
+        return "GRF_A";
+      case OperandSpace::GrfB:
+        return "GRF_B";
+      case OperandSpace::EvenBank:
+        return "EVEN_BANK";
+      case OperandSpace::OddBank:
+        return "ODD_BANK";
+      case OperandSpace::SrfM:
+        return "SRF_M";
+      case OperandSpace::SrfA:
+        return "SRF_A";
+    }
+    return "???";
+}
+
+std::uint32_t
+PimInst::encode() const
+{
+    std::uint64_t w = 0;
+    w = insertBits(w, 28, 4, static_cast<unsigned>(opcode));
+    if (isControlOpcode(opcode)) {
+        w = insertBits(w, 16, 11, imm0);
+        w = insertBits(w, 0, 16, imm1);
+    } else {
+        w = insertBits(w, 25, 3, static_cast<unsigned>(dst));
+        w = insertBits(w, 22, 3, static_cast<unsigned>(src0));
+        w = insertBits(w, 19, 3, static_cast<unsigned>(src1));
+        w = insertBits(w, 16, 3, static_cast<unsigned>(src2));
+        w = insertBits(w, 15, 1, aam ? 1 : 0);
+        w = insertBits(w, 14, 1, relu ? 1 : 0);
+        w = insertBits(w, 8, 4, dstIdx);
+        w = insertBits(w, 4, 4, src0Idx);
+        w = insertBits(w, 0, 4, src1Idx);
+    }
+    return static_cast<std::uint32_t>(w);
+}
+
+PimInst
+PimInst::decode(std::uint32_t word)
+{
+    PimInst inst;
+    inst.opcode = static_cast<PimOpcode>(extractBits(word, 28, 4));
+    if (isControlOpcode(inst.opcode)) {
+        inst.imm0 = static_cast<unsigned>(extractBits(word, 16, 11));
+        inst.imm1 = static_cast<unsigned>(extractBits(word, 0, 16));
+    } else {
+        inst.dst = static_cast<OperandSpace>(extractBits(word, 25, 3));
+        inst.src0 = static_cast<OperandSpace>(extractBits(word, 22, 3));
+        inst.src1 = static_cast<OperandSpace>(extractBits(word, 19, 3));
+        inst.src2 = static_cast<OperandSpace>(extractBits(word, 16, 3));
+        inst.aam = extractBits(word, 15, 1) != 0;
+        inst.relu = extractBits(word, 14, 1) != 0;
+        inst.dstIdx = static_cast<unsigned>(extractBits(word, 8, 4));
+        inst.src0Idx = static_cast<unsigned>(extractBits(word, 4, 4));
+        inst.src1Idx = static_cast<unsigned>(extractBits(word, 0, 4));
+    }
+    return inst;
+}
+
+bool
+PimInst::operator==(const PimInst &other) const
+{
+    return encode() == other.encode();
+}
+
+std::string
+PimInst::disassemble() const
+{
+    std::ostringstream os;
+    os << pimOpcodeName(opcode);
+    if (opcode == PimOpcode::Jump) {
+        os << " -" << imm0 << ", x" << imm1;
+    } else if (opcode == PimOpcode::Nop) {
+        os << " x" << imm0;
+    } else if (!isControlOpcode(opcode)) {
+        os << (relu ? "(ReLU)" : "") << " " << operandSpaceName(dst) << "["
+           << dstIdx << "], " << operandSpaceName(src0) << "[" << src0Idx
+           << "]";
+        if (!isDataOpcode(opcode)) {
+            os << ", " << operandSpaceName(src1) << "[" << src1Idx << "]";
+            if (opcode == PimOpcode::Mad)
+                os << ", SRF_A[" << src1Idx << "]";
+        }
+        if (aam)
+            os << " (AAM)";
+    }
+    return os.str();
+}
+
+std::ostream &
+operator<<(std::ostream &os, const PimInst &inst)
+{
+    return os << inst.disassemble();
+}
+
+PimInst
+PimInst::nop(unsigned count)
+{
+    PimInst i;
+    i.opcode = PimOpcode::Nop;
+    i.imm0 = count;
+    return i;
+}
+
+PimInst
+PimInst::jump(unsigned back, unsigned iterations)
+{
+    PimInst i;
+    i.opcode = PimOpcode::Jump;
+    i.imm0 = back;
+    i.imm1 = iterations;
+    return i;
+}
+
+PimInst
+PimInst::exit()
+{
+    PimInst i;
+    i.opcode = PimOpcode::Exit;
+    return i;
+}
+
+PimInst
+PimInst::mov(OperandSpace dst, unsigned dst_idx, OperandSpace src,
+             unsigned src_idx, bool relu, bool aam)
+{
+    PimInst i;
+    i.opcode = PimOpcode::Mov;
+    i.dst = dst;
+    i.dstIdx = dst_idx;
+    i.src0 = src;
+    i.src0Idx = src_idx;
+    i.relu = relu;
+    i.aam = aam;
+    return i;
+}
+
+PimInst
+PimInst::fill(OperandSpace dst, unsigned dst_idx, OperandSpace src,
+              unsigned src_idx, bool aam)
+{
+    PimInst i = mov(dst, dst_idx, src, src_idx, false, aam);
+    i.opcode = PimOpcode::Fill;
+    return i;
+}
+
+namespace {
+
+PimInst
+makeAlu(PimOpcode op, OperandSpace dst, unsigned dst_idx, OperandSpace src0,
+        unsigned s0, OperandSpace src1, unsigned s1, bool aam)
+{
+    PimInst i;
+    i.opcode = op;
+    i.dst = dst;
+    i.dstIdx = dst_idx;
+    i.src0 = src0;
+    i.src0Idx = s0;
+    i.src1 = src1;
+    i.src1Idx = s1;
+    i.aam = aam;
+    // SRC2 is implied: the accumulator for MAC, SRF_A for MAD.
+    i.src2 = op == PimOpcode::Mad ? OperandSpace::SrfA : dst;
+    return i;
+}
+
+} // namespace
+
+PimInst
+PimInst::add(OperandSpace dst, unsigned dst_idx, OperandSpace src0,
+             unsigned s0, OperandSpace src1, unsigned s1, bool aam)
+{
+    return makeAlu(PimOpcode::Add, dst, dst_idx, src0, s0, src1, s1, aam);
+}
+
+PimInst
+PimInst::mul(OperandSpace dst, unsigned dst_idx, OperandSpace src0,
+             unsigned s0, OperandSpace src1, unsigned s1, bool aam)
+{
+    return makeAlu(PimOpcode::Mul, dst, dst_idx, src0, s0, src1, s1, aam);
+}
+
+PimInst
+PimInst::mac(OperandSpace dst, unsigned dst_idx, OperandSpace src0,
+             unsigned s0, OperandSpace src1, unsigned s1, bool aam)
+{
+    return makeAlu(PimOpcode::Mac, dst, dst_idx, src0, s0, src1, s1, aam);
+}
+
+PimInst
+PimInst::mad(OperandSpace dst, unsigned dst_idx, OperandSpace src0,
+             unsigned s0, OperandSpace src1, unsigned s1, bool aam)
+{
+    return makeAlu(PimOpcode::Mad, dst, dst_idx, src0, s0, src1, s1, aam);
+}
+
+namespace {
+
+const OperandSpace kAllSpaces[] = {
+    OperandSpace::GrfA,     OperandSpace::GrfB, OperandSpace::EvenBank,
+    OperandSpace::OddBank,  OperandSpace::SrfM, OperandSpace::SrfA,
+};
+
+bool
+src0Allowed(PimOpcode op, OperandSpace s)
+{
+    switch (op) {
+      case PimOpcode::Add:
+        return isGrfSpace(s) || isBankSpace(s) || s == OperandSpace::SrfA;
+      case PimOpcode::Mul:
+      case PimOpcode::Mac:
+      case PimOpcode::Mad:
+        return isGrfSpace(s) || isBankSpace(s);
+      default:
+        return false;
+    }
+}
+
+bool
+src1Allowed(PimOpcode op, OperandSpace s)
+{
+    switch (op) {
+      case PimOpcode::Add:
+        return isGrfSpace(s) || isBankSpace(s) || s == OperandSpace::SrfA;
+      case PimOpcode::Mul:
+      case PimOpcode::Mac:
+      case PimOpcode::Mad:
+        return isGrfSpace(s) || isBankSpace(s) || s == OperandSpace::SrfM;
+      default:
+        return false;
+    }
+}
+
+bool
+dstAllowed(PimOpcode op, OperandSpace s)
+{
+    switch (op) {
+      case PimOpcode::Add:
+      case PimOpcode::Mul:
+      case PimOpcode::Mad:
+        return isGrfSpace(s);
+      case PimOpcode::Mac:
+        // MAC accumulates into GRF_B (Table II: DST = GRF_B; the SRC2
+        // field aliases the destination register).
+        return s == OperandSpace::GrfB;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+bool
+isLegalCompute(PimOpcode op, OperandSpace src0, OperandSpace src1,
+               OperandSpace dst)
+{
+    if (!isArithmeticOpcode(op))
+        return false;
+    if (!src0Allowed(op, src0) || !src1Allowed(op, src1) ||
+        !dstAllowed(op, dst)) {
+        return false;
+    }
+    // One bank access per trigger: SRC0 and SRC1 cannot both be banks.
+    if (isBankSpace(src0) && isBankSpace(src1))
+        return false;
+    // The SRF is single-ported: it cannot feed both sources.
+    if (isSrfSpace(src0) && isSrfSpace(src1))
+        return false;
+    // Three-operand ops cannot read the same GRF half for both sources
+    // (read-port conflict with the third operand).
+    if ((op == PimOpcode::Mac || op == PimOpcode::Mad) && isGrfSpace(src0) &&
+        src0 == src1) {
+        return false;
+    }
+    return true;
+}
+
+bool
+isLegalMove(OperandSpace src, OperandSpace dst)
+{
+    // Data movement among GRF, SRF and BANK (Section III-C): any of the
+    // six spaces can source a move; the destination is a GRF half or a
+    // bank. SRF is loaded via FILL from a bank/GRF through the same path.
+    (void)src;
+    return isGrfSpace(dst) || isBankSpace(dst);
+}
+
+std::vector<std::array<OperandSpace, 3>>
+enumerateCompute(PimOpcode op)
+{
+    std::vector<std::array<OperandSpace, 3>> result;
+    for (OperandSpace s0 : kAllSpaces)
+        for (OperandSpace s1 : kAllSpaces)
+            for (OperandSpace d : kAllSpaces)
+                if (isLegalCompute(op, s0, s1, d))
+                    result.push_back({s0, s1, d});
+    return result;
+}
+
+unsigned
+countCombinations(PimOpcode op)
+{
+    if (isArithmeticOpcode(op))
+        return static_cast<unsigned>(enumerateCompute(op).size());
+    if (op == PimOpcode::Mov || op == PimOpcode::Fill) {
+        unsigned count = 0;
+        for (OperandSpace s : kAllSpaces)
+            for (OperandSpace d : kAllSpaces)
+                if (isLegalMove(s, d))
+                    ++count;
+        return count;
+    }
+    return 0;
+}
+
+} // namespace pimsim

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * The PIM instruction set architecture (Sections III-C and IV, Table III).
+ *
+ * 32-bit RISC-style instructions in three formats:
+ *  - Control: NOP, JUMP, EXIT            (IMM0 / IMM1 fields)
+ *  - Data:    MOV, FILL                  (operand spaces + ReLU flag)
+ *  - ALU:     ADD, MUL, MAC, MAD         (operand spaces + AAM flag)
+ *
+ * Field layout used here (LSB-first register indices; functionally
+ * equivalent to the paper's Table III layout):
+ *
+ *   [31:28] opcode
+ *   [27:25] dst space     [24:22] src0 space
+ *   [21:19] src1 space    [18:16] src2 space
+ *   [15]    A (address-aligned mode)      [14] R (ReLU on MOV)
+ *   [11:8]  dst index     [7:4] src0 index   [3:0] src1 index
+ *
+ * Control format instead carries  [26:16] imm0  and  [15:0] imm1.
+ */
+
+#ifndef PIMSIM_PIM_ISA_H
+#define PIMSIM_PIM_ISA_H
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pimsim {
+
+/** The nine PIM instructions (Table III). */
+enum class PimOpcode : std::uint8_t
+{
+    Nop = 0,  ///< control: idle for IMM0 triggers (multi-cycle NOP)
+    Jump = 1, ///< control: zero-cycle loop back IMM0 slots, IMM1 iterations
+    Exit = 2, ///< control: end of microkernel
+    Mov = 3,  ///< data movement (optionally fused ReLU via the R bit)
+    Fill = 4, ///< data movement into registers (bank -> GRF/SRF)
+    Add = 8,  ///< FP16 SIMD add
+    Mul = 9,  ///< FP16 SIMD multiply
+    Mac = 10, ///< FP16 SIMD multiply-accumulate (DST == SRC2)
+    Mad = 11, ///< FP16 SIMD multiply-add (SRC2 from SRF_A)
+};
+
+/** Operand source/destination spaces. */
+enum class OperandSpace : std::uint8_t
+{
+    GrfA = 0,     ///< general register file, even-bank half (8 x 256 b)
+    GrfB = 1,     ///< general register file, odd-bank half (8 x 256 b)
+    EvenBank = 2, ///< row buffer of the even bank of the pair
+    OddBank = 3,  ///< row buffer of the odd bank of the pair
+    SrfM = 4,     ///< scalar register file, multiplicands (8 x 16 b)
+    SrfA = 5,     ///< scalar register file, addends (8 x 16 b)
+};
+
+const char *pimOpcodeName(PimOpcode op);
+const char *operandSpaceName(OperandSpace space);
+
+inline bool
+isBankSpace(OperandSpace s)
+{
+    return s == OperandSpace::EvenBank || s == OperandSpace::OddBank;
+}
+
+inline bool
+isGrfSpace(OperandSpace s)
+{
+    return s == OperandSpace::GrfA || s == OperandSpace::GrfB;
+}
+
+inline bool
+isSrfSpace(OperandSpace s)
+{
+    return s == OperandSpace::SrfM || s == OperandSpace::SrfA;
+}
+
+inline bool
+isControlOpcode(PimOpcode op)
+{
+    return op == PimOpcode::Nop || op == PimOpcode::Jump ||
+           op == PimOpcode::Exit;
+}
+
+inline bool
+isArithmeticOpcode(PimOpcode op)
+{
+    return op == PimOpcode::Add || op == PimOpcode::Mul ||
+           op == PimOpcode::Mac || op == PimOpcode::Mad;
+}
+
+inline bool
+isDataOpcode(PimOpcode op)
+{
+    return op == PimOpcode::Mov || op == PimOpcode::Fill;
+}
+
+/** One decoded PIM instruction. */
+struct PimInst
+{
+    PimOpcode opcode = PimOpcode::Nop;
+
+    // Data/ALU formats.
+    OperandSpace dst = OperandSpace::GrfA;
+    OperandSpace src0 = OperandSpace::GrfA;
+    OperandSpace src1 = OperandSpace::GrfA;
+    OperandSpace src2 = OperandSpace::GrfA;
+    unsigned dstIdx = 0;
+    unsigned src0Idx = 0;
+    unsigned src1Idx = 0;
+    bool aam = false;  ///< 'A': take register indices from the DRAM address
+    bool relu = false; ///< 'R': MOV applies ReLU during the move
+
+    // Control format.
+    unsigned imm0 = 0; ///< JUMP: slots to jump back; NOP: trigger count
+    unsigned imm1 = 0; ///< JUMP: iteration count
+
+    /** Encode to the 32-bit machine format. */
+    std::uint32_t encode() const;
+
+    /** Decode from the 32-bit machine format. */
+    static PimInst decode(std::uint32_t word);
+
+    /** Human-readable disassembly. */
+    std::string disassemble() const;
+
+    bool operator==(const PimInst &other) const;
+
+    // Convenience constructors for microkernel authoring.
+    static PimInst nop(unsigned count = 1);
+    static PimInst jump(unsigned back, unsigned iterations);
+    static PimInst exit();
+    static PimInst mov(OperandSpace dst, unsigned dst_idx, OperandSpace src,
+                       unsigned src_idx, bool relu = false, bool aam = false);
+    static PimInst fill(OperandSpace dst, unsigned dst_idx, OperandSpace src,
+                        unsigned src_idx, bool aam = false);
+    static PimInst add(OperandSpace dst, unsigned dst_idx, OperandSpace src0,
+                       unsigned s0, OperandSpace src1, unsigned s1,
+                       bool aam = false);
+    static PimInst mul(OperandSpace dst, unsigned dst_idx, OperandSpace src0,
+                       unsigned s0, OperandSpace src1, unsigned s1,
+                       bool aam = false);
+    static PimInst mac(OperandSpace dst, unsigned dst_idx, OperandSpace src0,
+                       unsigned s0, OperandSpace src1, unsigned s1,
+                       bool aam = false);
+    static PimInst mad(OperandSpace dst, unsigned dst_idx, OperandSpace src0,
+                       unsigned s0, OperandSpace src1, unsigned s1,
+                       bool aam = false);
+};
+
+std::ostream &operator<<(std::ostream &os, const PimInst &inst);
+
+/**
+ * Operand-combination legality (Table II).
+ *
+ * The rules below reproduce the paper's counts exactly
+ * (MUL 32, ADD 40, MAC 14, MAD 28 -> 114 compute; MOV 24 data movements):
+ *  - SRC0 and SRC1 may never both be bank spaces (one bank access per
+ *    trigger; the 2BA DSE variant relaxes this).
+ *  - The single-ported SRF cannot feed both sources of an ADD.
+ *  - Three-operand ops (MAC, MAD) cannot read the same GRF half for both
+ *    sources (read-port conflict with the third operand).
+ *  - MAC accumulates into GRF_B (DST == SRC2).
+ *  - MAD draws SRC2 from SRF_A (same index as SRC1).
+ *  - MOV moves from any of the six spaces into GRF or bank.
+ */
+bool isLegalCompute(PimOpcode op, OperandSpace src0, OperandSpace src1,
+                    OperandSpace dst);
+
+/** Legality of a MOV/FILL source/destination pair. */
+bool isLegalMove(OperandSpace src, OperandSpace dst);
+
+/** Count of legal operand combinations for one opcode (Table II rows). */
+unsigned countCombinations(PimOpcode op);
+
+/** All legal (src0, src1, dst) triples for a compute opcode. */
+std::vector<std::array<OperandSpace, 3>> enumerateCompute(PimOpcode op);
+
+} // namespace pimsim
+
+#endif // PIMSIM_PIM_ISA_H

@@ -1,0 +1,293 @@
+#include "pim/pim_unit.h"
+
+#include "common/bf16.h"
+#include "common/logging.h"
+
+namespace pimsim {
+
+
+namespace {
+
+/**
+ * One SIMD lane operation in the configured number format. Lanes are
+ * carried as raw 16-bit patterns (Fp16 wrappers); in BF16 mode the same
+ * bits are interpreted as bfloat16 (Table I's alternative datapath).
+ */
+Fp16
+laneAdd(PimNumberFormat fmt, Fp16 a, Fp16 b)
+{
+    if (fmt == PimNumberFormat::Fp16)
+        return fp16Add(a, b);
+    return Fp16::fromBits(
+        bf16Add(Bf16::fromBits(a.bits()), Bf16::fromBits(b.bits())).bits());
+}
+
+Fp16
+laneMul(PimNumberFormat fmt, Fp16 a, Fp16 b)
+{
+    if (fmt == PimNumberFormat::Fp16)
+        return fp16Mul(a, b);
+    return Fp16::fromBits(
+        bf16Mul(Bf16::fromBits(a.bits()), Bf16::fromBits(b.bits())).bits());
+}
+
+Fp16
+laneMac(PimNumberFormat fmt, Fp16 a, Fp16 b, Fp16 c)
+{
+    if (fmt == PimNumberFormat::Fp16)
+        return fp16Mac(a, b, c);
+    return Fp16::fromBits(bf16Mac(Bf16::fromBits(a.bits()),
+                                  Bf16::fromBits(b.bits()),
+                                  Bf16::fromBits(c.bits()))
+                              .bits());
+}
+
+} // namespace
+
+PimUnit::PimUnit(const PimConfig &config, unsigned index, PseudoChannel &pch,
+                 StatGroup *stats)
+    : config_(config), evenBank_(2 * index), oddBank_(2 * index + 1),
+      pch_(pch), regs_(config), stats_(stats),
+      jumpRemaining_(config.crfEntries, -1)
+{
+    PIMSIM_ASSERT(oddBank_ < pch.geometry().banksPerPch(),
+                  "PIM unit index out of range: ", index);
+}
+
+void
+PimUnit::resetProgram()
+{
+    ppc_ = 0;
+    halted_ = false;
+    nopConsumed_ = 0;
+    executed_ = 0;
+    std::fill(jumpRemaining_.begin(), jumpRemaining_.end(), -1);
+}
+
+void
+PimUnit::resolveControl()
+{
+    // JUMP and EXIT are pre-decoded at the fetch stage and consume no
+    // trigger. A JUMP with iteration count N makes its loop body run N
+    // times in total (the backward branch is taken N-1 times).
+    for (;;) {
+        if (halted_ || ppc_ >= regs_.crfEntries()) {
+            halted_ = true;
+            return;
+        }
+        const PimInst inst = PimInst::decode(regs_.crf(ppc_));
+        if (inst.opcode == PimOpcode::Exit) {
+            halted_ = true;
+            return;
+        }
+        if (inst.opcode != PimOpcode::Jump)
+            return;
+        int &remaining = jumpRemaining_[ppc_];
+        if (remaining < 0)
+            remaining = static_cast<int>(inst.imm1) - 1;
+        if (remaining > 0) {
+            --remaining;
+            PIMSIM_ASSERT(inst.imm0 <= ppc_, "JUMP beyond CRF start");
+            ppc_ -= inst.imm0;
+        } else {
+            remaining = -1;
+            ++ppc_;
+        }
+    }
+}
+
+unsigned
+PimUnit::effectiveIndex(const PimInst &inst, unsigned encoded,
+                        OperandSpace space, unsigned col) const
+{
+    if (!inst.aam)
+        return encoded;
+    // Address-aligned mode (Section IV-C): register indices come from the
+    // low bits of the DRAM column address, so consecutive column commands
+    // walk the register file regardless of reorder.
+    if (isSrfSpace(space))
+        return col % config_.srfPerFile;
+    return col % config_.grfPerHalf;
+}
+
+LaneVector
+PimUnit::fetchOperand(OperandSpace space, unsigned index, CommandType type,
+                      unsigned col, const Burst *bus_data, bool is_src1)
+{
+    switch (space) {
+      case OperandSpace::GrfA:
+        return regs_.grf(0, index);
+      case OperandSpace::GrfB:
+        return regs_.grf(1, index);
+      case OperandSpace::SrfM:
+        return broadcast(regs_.srf(0, index));
+      case OperandSpace::SrfA:
+        return broadcast(regs_.srf(1, index));
+      case OperandSpace::EvenBank:
+      case OperandSpace::OddBank: {
+        // A WR trigger carries host data on the write bus; a bank-space
+        // source then reads the bus instead of the array. With the SRW
+        // variant (Fig. 14), SRC1 still reads the bank so one WR can
+        // deliver a vector operand and stream a matrix operand at once.
+        const bool from_bus =
+            type == CommandType::Wr &&
+            !(config_.dse.simultaneousRdWr && is_src1);
+        if (from_bus) {
+            PIMSIM_ASSERT(bus_data != nullptr, "WR trigger without data");
+            if (stats_)
+                stats_->add("pim.busOperand");
+            return burstToLanes(*bus_data);
+        }
+        const unsigned bank =
+            space == OperandSpace::EvenBank ? evenBank_ : oddBank_;
+        PIMSIM_ASSERT(pch_.bank(bank).state == BankState::Active,
+                      "bank operand fetch from idle bank ", bank);
+        if (stats_)
+            stats_->add("pim.bankRead");
+        return burstToLanes(
+            pch_.dataStore().read(bank, pch_.bank(bank).openRow, col));
+      }
+    }
+    PIMSIM_PANIC("bad operand space");
+}
+
+void
+PimUnit::writeResult(OperandSpace space, unsigned index, unsigned col,
+                     const LaneVector &value)
+{
+    switch (space) {
+      case OperandSpace::GrfA:
+        regs_.setGrf(0, index, value);
+        return;
+      case OperandSpace::GrfB:
+        regs_.setGrf(1, index, value);
+        return;
+      case OperandSpace::EvenBank:
+      case OperandSpace::OddBank: {
+        const unsigned bank =
+            space == OperandSpace::EvenBank ? evenBank_ : oddBank_;
+        PIMSIM_ASSERT(pch_.bank(bank).state == BankState::Active,
+                      "bank result write to idle bank ", bank);
+        if (stats_)
+            stats_->add("pim.bankWrite");
+        pch_.dataStore().write(bank, pch_.bank(bank).openRow, col,
+                               lanesToBurst(value));
+        return;
+      }
+      case OperandSpace::SrfM:
+      case OperandSpace::SrfA:
+        // SRF is loaded through the PIM_CONF register map, not by
+        // microkernel results.
+        PIMSIM_PANIC("SRF is not a legal result destination");
+    }
+}
+
+void
+PimUnit::trigger(CommandType type, unsigned col, const Burst *bus_data)
+{
+    resolveControl();
+    if (halted_) {
+        // The host over-issued triggers; harmless but worth counting.
+        if (stats_)
+            stats_->add("pim.triggerAfterExit");
+        return;
+    }
+
+    const PimInst inst = PimInst::decode(regs_.crf(ppc_));
+
+    if (inst.opcode == PimOpcode::Nop) {
+        // Multi-cycle NOP: consumes imm0 triggers before advancing.
+        if (stats_)
+            stats_->add("pim.op.NOP");
+        if (++nopConsumed_ >= std::max(1u, inst.imm0)) {
+            nopConsumed_ = 0;
+            ++ppc_;
+        }
+        return;
+    }
+
+    if (stats_) {
+        stats_->add(std::string("pim.op.") + pimOpcodeName(inst.opcode));
+        stats_->add("pim.opExec");
+    }
+    ++executed_;
+
+    const unsigned s0 = effectiveIndex(inst, inst.src0Idx, inst.src0, col);
+    const unsigned s1 = effectiveIndex(inst, inst.src1Idx, inst.src1, col);
+    const unsigned d = effectiveIndex(inst, inst.dstIdx, inst.dst, col);
+
+    switch (inst.opcode) {
+      case PimOpcode::Mov:
+      case PimOpcode::Fill: {
+        LaneVector v =
+            fetchOperand(inst.src0, s0, type, col, bus_data, false);
+        if (inst.relu) {
+            for (auto &lane : v)
+                lane = fp16Relu(lane);
+        }
+        writeResult(inst.dst, d, col, v);
+        break;
+      }
+      case PimOpcode::Add: {
+        const LaneVector a =
+            fetchOperand(inst.src0, s0, type, col, bus_data, false);
+        const LaneVector b =
+            fetchOperand(inst.src1, s1, type, col, bus_data, true);
+        LaneVector r;
+        for (std::size_t i = 0; i < kSimdLanes; ++i)
+            r[i] = laneAdd(config_.format, a[i], b[i]);
+        writeResult(inst.dst, d, col, r);
+        break;
+      }
+      case PimOpcode::Mul: {
+        const LaneVector a =
+            fetchOperand(inst.src0, s0, type, col, bus_data, false);
+        const LaneVector b =
+            fetchOperand(inst.src1, s1, type, col, bus_data, true);
+        LaneVector r;
+        for (std::size_t i = 0; i < kSimdLanes; ++i)
+            r[i] = laneMul(config_.format, a[i], b[i]);
+        writeResult(inst.dst, d, col, r);
+        break;
+      }
+      case PimOpcode::Mac: {
+        // DST == SRC2: the destination register accumulates.
+        const LaneVector a =
+            fetchOperand(inst.src0, s0, type, col, bus_data, false);
+        const LaneVector b =
+            fetchOperand(inst.src1, s1, type, col, bus_data, true);
+        const LaneVector acc =
+            fetchOperand(inst.dst, d, type, col, bus_data, false);
+        LaneVector r;
+        for (std::size_t i = 0; i < kSimdLanes; ++i)
+            r[i] = laneMac(config_.format, a[i], b[i], acc[i]);
+        writeResult(inst.dst, d, col, r);
+        break;
+      }
+      case PimOpcode::Mad: {
+        // SRC2 comes from SRF_A at the SRC1 index (Section III-C).
+        const LaneVector a =
+            fetchOperand(inst.src0, s0, type, col, bus_data, false);
+        const LaneVector b =
+            fetchOperand(inst.src1, s1, type, col, bus_data, true);
+        const unsigned addend_idx =
+            inst.aam ? col % config_.srfPerFile
+                     : inst.src1Idx % config_.srfPerFile;
+        const LaneVector c = broadcast(regs_.srf(1, addend_idx));
+        LaneVector r;
+        for (std::size_t i = 0; i < kSimdLanes; ++i)
+            r[i] = laneMac(config_.format, a[i], b[i], c[i]);
+        writeResult(inst.dst, d, col, r);
+        break;
+      }
+      default:
+        PIMSIM_PANIC("control opcode reached execute stage");
+    }
+
+    ++ppc_;
+    // Pre-decode the next slot so zero-cycle JUMP/EXIT take effect
+    // immediately (the fetch stage runs ahead of the next trigger).
+    resolveControl();
+}
+
+} // namespace pimsim

@@ -1,0 +1,129 @@
+#include "pim/registers.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace pimsim {
+
+LaneVector
+burstToLanes(const Burst &burst)
+{
+    LaneVector lanes;
+    for (std::size_t i = 0; i < kSimdLanes; ++i) {
+        Fp16Bits bits = static_cast<Fp16Bits>(
+            burst[2 * i] | (static_cast<unsigned>(burst[2 * i + 1]) << 8));
+        lanes[i] = Fp16::fromBits(bits);
+    }
+    return lanes;
+}
+
+Burst
+lanesToBurst(const LaneVector &lanes)
+{
+    Burst burst{};
+    for (std::size_t i = 0; i < kSimdLanes; ++i) {
+        burst[2 * i] = static_cast<std::uint8_t>(lanes[i].bits() & 0xff);
+        burst[2 * i + 1] = static_cast<std::uint8_t>(lanes[i].bits() >> 8);
+    }
+    return burst;
+}
+
+LaneVector
+broadcast(Fp16 value)
+{
+    LaneVector lanes;
+    lanes.fill(value);
+    return lanes;
+}
+
+PimRegisterFile::PimRegisterFile(const PimConfig &config)
+    : grfPerHalf_(config.grfPerHalf), srfPerFile_(config.srfPerFile),
+      crf_(config.crfEntries, 0), grfA_(config.grfPerHalf),
+      grfB_(config.grfPerHalf), srfM_(config.srfPerFile),
+      srfA_(config.srfPerFile)
+{
+}
+
+void
+PimRegisterFile::reset()
+{
+    std::fill(crf_.begin(), crf_.end(), 0);
+    for (auto &r : grfA_)
+        r.fill(Fp16());
+    for (auto &r : grfB_)
+        r.fill(Fp16());
+    std::fill(srfM_.begin(), srfM_.end(), Fp16());
+    std::fill(srfA_.begin(), srfA_.end(), Fp16());
+}
+
+std::uint32_t
+PimRegisterFile::crf(unsigned index) const
+{
+    PIMSIM_ASSERT(index < crf_.size(), "CRF index ", index);
+    return crf_[index];
+}
+
+void
+PimRegisterFile::setCrf(unsigned index, std::uint32_t word)
+{
+    PIMSIM_ASSERT(index < crf_.size(), "CRF index ", index);
+    crf_[index] = word;
+}
+
+const LaneVector &
+PimRegisterFile::grf(unsigned half, unsigned index) const
+{
+    const auto &file = half == 0 ? grfA_ : grfB_;
+    PIMSIM_ASSERT(index < file.size(), "GRF index ", index);
+    return file[index];
+}
+
+void
+PimRegisterFile::setGrf(unsigned half, unsigned index,
+                        const LaneVector &value)
+{
+    auto &file = half == 0 ? grfA_ : grfB_;
+    PIMSIM_ASSERT(index < file.size(), "GRF index ", index);
+    file[index] = value;
+}
+
+Fp16
+PimRegisterFile::srf(unsigned file, unsigned index) const
+{
+    const auto &f = file == 0 ? srfM_ : srfA_;
+    PIMSIM_ASSERT(index < f.size(), "SRF index ", index);
+    return f[index];
+}
+
+void
+PimRegisterFile::setSrf(unsigned file, unsigned index, Fp16 value)
+{
+    auto &f = file == 0 ? srfM_ : srfA_;
+    PIMSIM_ASSERT(index < f.size(), "SRF index ", index);
+    f[index] = value;
+}
+
+Burst
+PimRegisterFile::srfFileAsBurst(unsigned file) const
+{
+    const auto &f = file == 0 ? srfM_ : srfA_;
+    Burst burst{};
+    for (std::size_t i = 0; i < f.size() && 2 * i + 1 < burst.size(); ++i) {
+        burst[2 * i] = static_cast<std::uint8_t>(f[i].bits() & 0xff);
+        burst[2 * i + 1] = static_cast<std::uint8_t>(f[i].bits() >> 8);
+    }
+    return burst;
+}
+
+void
+PimRegisterFile::loadSrfFile(unsigned file, const Burst &data)
+{
+    auto &f = file == 0 ? srfM_ : srfA_;
+    for (std::size_t i = 0; i < f.size() && 2 * i + 1 < data.size(); ++i) {
+        f[i] = Fp16::fromBits(static_cast<Fp16Bits>(
+            data[2 * i] | (static_cast<unsigned>(data[2 * i + 1]) << 8)));
+    }
+}
+
+} // namespace pimsim

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * PIM execution unit register files (Section IV-A).
+ *
+ * CRF: 32 x 32-bit instruction slots (the microkernel buffer).
+ * GRF: 16 x 256-bit vector registers, split into GRF_A (even bank) and
+ *      GRF_B (odd bank) halves of 8 each.
+ * SRF: 16 x 16-bit scalar registers, split into SRF_M (multiplicands)
+ *      and SRF_A (addends) of 8 each; a scalar is broadcast to all lanes.
+ */
+
+#ifndef PIMSIM_PIM_REGISTERS_H
+#define PIMSIM_PIM_REGISTERS_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/fp16.h"
+#include "common/types.h"
+#include "dram/datastore.h"
+#include "pim/pim_config.h"
+
+namespace pimsim {
+
+/** One 256-bit vector value: 16 FP16 lanes. */
+using LaneVector = std::array<Fp16, kSimdLanes>;
+
+/** Convert a raw 32-byte burst to 16 FP16 lanes (little-endian). */
+LaneVector burstToLanes(const Burst &burst);
+
+/** Convert 16 FP16 lanes to a raw 32-byte burst. */
+Burst lanesToBurst(const LaneVector &lanes);
+
+/** Broadcast one scalar to all lanes. */
+LaneVector broadcast(Fp16 value);
+
+/** The register state of one PIM execution unit. */
+class PimRegisterFile
+{
+  public:
+    explicit PimRegisterFile(const PimConfig &config);
+
+    /** Reset every register to zero. */
+    void reset();
+
+    // CRF (instruction) access.
+    std::uint32_t crf(unsigned index) const;
+    void setCrf(unsigned index, std::uint32_t word);
+    unsigned crfEntries() const { return static_cast<unsigned>(crf_.size()); }
+
+    // GRF access (half: 0 == GRF_A, 1 == GRF_B).
+    const LaneVector &grf(unsigned half, unsigned index) const;
+    void setGrf(unsigned half, unsigned index, const LaneVector &value);
+    unsigned grfPerHalf() const { return grfPerHalf_; }
+
+    // SRF access (file: 0 == SRF_M, 1 == SRF_A).
+    Fp16 srf(unsigned file, unsigned index) const;
+    void setSrf(unsigned file, unsigned index, Fp16 value);
+    unsigned srfPerFile() const { return srfPerFile_; }
+
+    /** Read a whole SRF file as one burst (registers packed low-first). */
+    Burst srfFileAsBurst(unsigned file) const;
+    /** Load a whole SRF file from one burst. */
+    void loadSrfFile(unsigned file, const Burst &data);
+
+  private:
+    unsigned grfPerHalf_;
+    unsigned srfPerFile_;
+    std::vector<std::uint32_t> crf_;
+    std::vector<LaneVector> grfA_;
+    std::vector<LaneVector> grfB_;
+    std::vector<Fp16> srfM_;
+    std::vector<Fp16> srfA_;
+};
+
+} // namespace pimsim
+
+#endif // PIMSIM_PIM_REGISTERS_H

@@ -1,0 +1,125 @@
+#include "sim/system.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace pimsim {
+
+PimSystem::PimSystem(const SystemConfig &config)
+    : config_(config),
+      mapping_(config.geometry, config.numChannels(), config.mapping)
+{
+    for (unsigned ch = 0; ch < config.numChannels(); ++ch) {
+        controllers_.push_back(std::make_unique<MemoryController>(
+            config.geometry, config.timing, config.controller,
+            config.withPim(), config.pim));
+        nextTick_.push_back(0);
+    }
+}
+
+bool
+PimSystem::tryEnqueue(unsigned channel, const MemRequest &request)
+{
+    PIMSIM_ASSERT(channel < controllers_.size(), "bad channel ", channel);
+    auto &ctrl = *controllers_[channel];
+    if (!ctrl.canEnqueue())
+        return false;
+    ctrl.enqueue(request);
+    nextTick_[channel] = now_;
+    return true;
+}
+
+bool
+PimSystem::step()
+{
+    // Find the earliest pending controller event.
+    Cycle target = kNoCycle;
+    for (unsigned ch = 0; ch < controllers_.size(); ++ch) {
+        if (!controllers_[ch]->idle(now_))
+            target = std::min(target, std::max(nextTick_[ch], now_));
+    }
+    if (target == kNoCycle)
+        return false;
+
+    now_ = target;
+    for (unsigned ch = 0; ch < controllers_.size(); ++ch) {
+        if (controllers_[ch]->idle(now_))
+            continue;
+        while (nextTick_[ch] <= now_) {
+            const Cycle next = controllers_[ch]->tick(now_);
+            if (next == kNoCycle) {
+                nextTick_[ch] = kNoCycle;
+                break;
+            }
+            PIMSIM_ASSERT(next > now_, "controller did not advance");
+            nextTick_[ch] = next;
+        }
+    }
+    return true;
+}
+
+void
+PimSystem::advance(Cycle cycles)
+{
+    const Cycle deadline = now_ + cycles;
+    while (now_ < deadline) {
+        Cycle target = deadline;
+        for (unsigned ch = 0; ch < controllers_.size(); ++ch) {
+            if (!controllers_[ch]->idle(now_))
+                target = std::min(target, std::max(nextTick_[ch], now_));
+        }
+        now_ = target;
+        for (unsigned ch = 0; ch < controllers_.size(); ++ch) {
+            if (controllers_[ch]->idle(now_))
+                continue;
+            while (nextTick_[ch] <= now_) {
+                const Cycle next = controllers_[ch]->tick(now_);
+                if (next == kNoCycle) {
+                    nextTick_[ch] = kNoCycle;
+                    break;
+                }
+                nextTick_[ch] = next;
+            }
+        }
+        if (target == deadline)
+            break;
+    }
+    now_ = deadline;
+}
+
+void
+PimSystem::runUntilIdle()
+{
+    while (step()) {
+    }
+}
+
+bool
+PimSystem::allIdle() const
+{
+    return std::all_of(controllers_.begin(), controllers_.end(),
+                       [this](const auto &c) { return c->idle(now_); });
+}
+
+std::uint64_t
+PimSystem::totalChannelStat(const std::string &stat) const
+{
+    std::uint64_t total = 0;
+    for (const auto &c : controllers_)
+        total += c->channel().stats().counter(stat);
+    return total;
+}
+
+std::uint64_t
+PimSystem::totalPimStat(const std::string &stat) const
+{
+    std::uint64_t total = 0;
+    for (const auto &c : controllers_) {
+        if (c->pim())
+            total += c->pim()->stats().counter(stat);
+    }
+    return total;
+}
+
+} // namespace pimsim

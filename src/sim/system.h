@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The assembled system: one host socket and its (PIM-)HBM stacks.
+ *
+ * PimSystem owns one MemoryController per pseudo channel (64 for the
+ * default four-stack configuration), the global address mapping, and the
+ * simulated clock. Callers enqueue requests per channel and pump the
+ * event loop; the loop skips dead cycles using the controllers' next-
+ * event hints, so large idle gaps cost nothing.
+ */
+
+#ifndef PIMSIM_SIM_SYSTEM_H
+#define PIMSIM_SIM_SYSTEM_H
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/stats.h"
+#include "dram/address.h"
+#include "mem/controller.h"
+#include "sim/system_config.h"
+
+namespace pimsim {
+
+/** One host + memory system instance. */
+class PimSystem
+{
+  public:
+    explicit PimSystem(const SystemConfig &config);
+
+    const SystemConfig &config() const { return config_; }
+    const AddressMapping &mapping() const { return mapping_; }
+
+    unsigned numChannels() const
+    {
+        return static_cast<unsigned>(controllers_.size());
+    }
+
+    MemoryController &controller(unsigned channel)
+    {
+        return *controllers_[channel];
+    }
+
+    /** Current simulated bus cycle. */
+    Cycle now() const { return now_; }
+
+    /** Nanoseconds elapsed since construction. */
+    double nowNs() const
+    {
+        return static_cast<double>(now_) * config_.timing.tCKns;
+    }
+
+    double nsPerCycle() const { return config_.timing.tCKns; }
+    Cycle nsToCycles(double ns) const
+    {
+        return static_cast<Cycle>(ns / config_.timing.tCKns + 0.5);
+    }
+
+    /** Enqueue a request on a channel if the queue has space. */
+    bool tryEnqueue(unsigned channel, const MemRequest &request);
+
+    /**
+     * Advance the clock to the next event and tick every due controller.
+     * @return false when every controller is idle (no work remains).
+     */
+    bool step();
+
+    /** Advance time by exactly `cycles`, ticking controllers as needed. */
+    void advance(Cycle cycles);
+
+    /** Run until all controllers are idle. */
+    void runUntilIdle();
+
+    /** Drain completed responses from one channel. */
+    std::vector<MemResponse> drain(unsigned channel)
+    {
+        return controllers_[channel]->drainResponses(now_);
+    }
+
+    /** True iff every controller is idle. */
+    bool allIdle() const;
+
+    /** Sum of a named counter over all channels' device stats. */
+    std::uint64_t totalChannelStat(const std::string &stat) const;
+    /** Sum of a named counter over all channels' PIM stats. */
+    std::uint64_t totalPimStat(const std::string &stat) const;
+
+  private:
+    SystemConfig config_;
+    AddressMapping mapping_;
+    std::vector<std::unique_ptr<MemoryController>> controllers_;
+    std::vector<Cycle> nextTick_;
+    Cycle now_ = 0;
+};
+
+} // namespace pimsim
+
+#endif // PIMSIM_SIM_SYSTEM_H

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Top-level system configurations (Section VI).
+ *
+ * The paper's evaluation system 2.5D-integrates four (PIM-)HBM stacks
+ * with an unmodified 60-CU processor at 1.725 GHz: 1.229 TB/s of off-chip
+ * bandwidth, 4.915 TB/s of on-chip PIM compute bandwidth.
+ */
+
+#ifndef PIMSIM_SIM_SYSTEM_CONFIG_H
+#define PIMSIM_SIM_SYSTEM_CONFIG_H
+
+#include "dram/address.h"
+#include "dram/geometry.h"
+#include "dram/timing.h"
+#include "host/host_config.h"
+#include "mem/controller.h"
+#include "pim/pim_config.h"
+
+namespace pimsim {
+
+/** Which device populates the interposer. */
+enum class MemoryKind
+{
+    Hbm,    ///< standard HBM2 stacks
+    PimHbm, ///< PIM-HBM stacks
+};
+
+/** A complete system: host + stacks. */
+struct SystemConfig
+{
+    MemoryKind kind = MemoryKind::PimHbm;
+    unsigned numStacks = 4;
+    HbmGeometry geometry;
+    HbmTiming timing = HbmTiming::at12GHz();
+    MappingScheme mapping = MappingScheme::ChBgColBaRo;
+    ControllerConfig controller;
+    PimConfig pim;
+    HostConfig host;
+
+    unsigned numChannels() const
+    {
+        return numStacks * geometry.pchPerStack;
+    }
+
+    bool withPim() const { return kind == MemoryKind::PimHbm; }
+
+    /** Peak off-chip bandwidth in GB/s across all stacks. */
+    double offChipBandwidthGBs() const
+    {
+        return timing.pchIoBandwidthGBs() * numChannels();
+    }
+
+    /** Peak on-chip PIM compute bandwidth in GB/s across all stacks. */
+    double onChipBandwidthGBs() const
+    {
+        // Each PIM unit consumes one 32 B bank burst per tCCD_L; with a
+        // unit per bank pair, 8 bursts stream per pCH per tCCD_L.
+        return timing.bankAbBandwidthGBs() * pim.unitsPerPch *
+               numChannels();
+    }
+
+    /** The paper's evaluation configs. */
+    static SystemConfig pimHbmSystem()
+    {
+        SystemConfig c;
+        c.kind = MemoryKind::PimHbm;
+        return c;
+    }
+
+    static SystemConfig hbmSystem()
+    {
+        SystemConfig c;
+        c.kind = MemoryKind::Hbm;
+        return c;
+    }
+
+    /** PROC-HBMx4: a hypothetical host with 4x the HBM stacks (Fig. 12). */
+    static SystemConfig hbmX4System()
+    {
+        SystemConfig c;
+        c.kind = MemoryKind::Hbm;
+        c.numStacks = 16;
+        return c;
+    }
+};
+
+} // namespace pimsim
+
+#endif // PIMSIM_SIM_SYSTEM_CONFIG_H

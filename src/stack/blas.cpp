@@ -1,0 +1,595 @@
+#include "stack/blas.h"
+
+#include <algorithm>
+
+#include "common/bits.h"
+#include "common/logging.h"
+#include "energy/probe.h"
+#include "pim/pim_channel.h"
+
+namespace pimsim {
+
+namespace {
+
+/** Pack CRF instruction words into 32-byte config bursts (8 words each). */
+std::vector<Burst>
+packCrf(const std::vector<PimInst> &insts)
+{
+    std::vector<Burst> bursts(divCeil(insts.size(), 8), Burst{});
+    for (std::size_t i = 0; i < insts.size(); ++i) {
+        const std::uint32_t word = insts[i].encode();
+        Burst &b = bursts[i / 8];
+        const std::size_t off = (i % 8) * 4;
+        for (unsigned byte = 0; byte < 4; ++byte)
+            b[off + byte] =
+                static_cast<std::uint8_t>((word >> (8 * byte)) & 0xff);
+    }
+    return bursts;
+}
+
+/** Pack up to 16 scalars into one SRF-file burst. */
+Burst
+packSrf(const std::vector<Fp16> &values)
+{
+    Burst b{};
+    for (std::size_t i = 0; i < values.size() && 2 * i + 1 < b.size(); ++i) {
+        b[2 * i] = static_cast<std::uint8_t>(values[i].bits() & 0xff);
+        b[2 * i + 1] = static_cast<std::uint8_t>(values[i].bits() >> 8);
+    }
+    return b;
+}
+
+/** Slice 16 FP16 values (zero-padded) into a burst. */
+Burst
+sliceBurst(const Fp16Vector &v, std::size_t start)
+{
+    Burst b{};
+    for (std::size_t lane = 0; lane < kSimdLanes; ++lane) {
+        const std::size_t idx = start + lane;
+        if (idx < v.size()) {
+            const Fp16Bits bits = v[idx].bits();
+            b[2 * lane] = static_cast<std::uint8_t>(bits & 0xff);
+            b[2 * lane + 1] = static_cast<std::uint8_t>(bits >> 8);
+        }
+    }
+    return b;
+}
+
+/** Extract 16 FP16 lanes from a burst. */
+void
+unpackBurst(const Burst &b, std::size_t start, Fp16Vector &out)
+{
+    for (std::size_t lane = 0; lane < kSimdLanes; ++lane) {
+        const std::size_t idx = start + lane;
+        if (idx < out.size()) {
+            out[idx] = Fp16::fromBits(static_cast<Fp16Bits>(
+                b[2 * lane] | (static_cast<unsigned>(b[2 * lane + 1]) << 8)));
+        }
+    }
+}
+
+/** Burst of a single constant byte value in byte 0. */
+Burst
+flagBurst(std::uint8_t value)
+{
+    Burst b{};
+    b[0] = value;
+    return b;
+}
+
+} // namespace
+
+PimBlas::PimBlas(PimSystem &system) : system_(system), driver_(system)
+{
+    PIMSIM_ASSERT(system.config().withPim(),
+                  "PimBlas requires a PIM-HBM system");
+    const auto conf =
+        PimConfMap::forRows(system.config().geometry.rowsPerBank);
+    configRow_ = conf.configRow;
+    abmrRow_ = conf.abmrRow;
+    sbmrRow_ = conf.sbmrRow;
+}
+
+void
+PimBlas::appendPrologue(ProgramBuilder &builder,
+                        const std::vector<PimInst> &microkernel,
+                        const Burst *srf_m, const Burst *srf_a)
+{
+    PimChannel *pim = system_.controller(0).pim();
+    PIMSIM_ASSERT(pim != nullptr, "no PIM logic attached");
+    PIMSIM_ASSERT(microkernel.size() <= pim->config().crfEntries,
+                  "microkernel exceeds CRF: ", microkernel.size());
+
+    // Quiesce: any rows left open by preceding (host) traffic must be
+    // closed before the mode transition (Fig. 3's entry condition).
+    builder.prechargeAll();
+    if (!pim->config().fastModeSwitch) {
+        // SB -> AB: ACT + PRE to the ABMR row (Fig. 3).
+        builder.activate(abmrRow_);
+        builder.precharge();
+        builder.fence();
+    }
+
+    // Load the microkernel and scalar registers through the config rows
+    // (the controller opens the rows on demand).
+    auto write_cfg = [&](unsigned flat_col, const Burst &data) {
+        const auto [row, col] = pim->configAddr(flat_col);
+        builder.write(row, col, data);
+    };
+    const auto bursts = packCrf(microkernel);
+    for (unsigned i = 0; i < bursts.size(); ++i)
+        write_cfg(i, bursts[i]);
+    if (srf_m)
+        write_cfg(pim->srfMCol(), *srf_m);
+    if (srf_a)
+        write_cfg(pim->srfACol(), *srf_a);
+
+    // Arm AB-PIM and close the config row before data streaming.
+    write_cfg(pim->opModeCol(), flagBurst(1));
+    builder.prechargeAll();
+    builder.fence();
+}
+
+void
+PimBlas::appendEpilogue(ProgramBuilder &builder)
+{
+    PimChannel *pim = system_.controller(0).pim();
+    builder.prechargeAll();
+    builder.fence();
+    const auto [op_row, op_col] = pim->configAddr(pim->opModeCol());
+    builder.write(op_row, op_col, flagBurst(0));
+    builder.prechargeAll();
+    builder.fence();
+    if (!pim->config().fastModeSwitch) {
+        // AB -> SB: ACT + PRE to the SBMR row.
+        builder.activate(sbmrRow_);
+        builder.precharge();
+        builder.fence();
+    }
+}
+
+BlasTiming
+PimBlas::elementwise(PimOpcode op, bool relu_move, const Fp16Vector &a,
+                     const Fp16Vector *b, Fp16Vector &out)
+{
+    PIMSIM_ASSERT(b == nullptr || b->size() == a.size(),
+                  "operand length mismatch");
+    out.assign(a.size(), Fp16());
+    if (a.empty())
+        return {};
+
+    // BLAS calls are self-contained: operands are staged fresh each call,
+    // so the row allocator restarts and rows are reused across calls.
+    driver_.reset();
+
+    const unsigned channels = system_.numChannels();
+    const unsigned units = system_.config().pim.unitsPerPch;
+    const unsigned window = system_.config().pim.aamWindow();
+    const unsigned cols_per_group = 8;
+    const unsigned groups_per_row = 2; // input cols 0..15, outputs 16..31
+    // The output columns sit 16 above the inputs; AAM indices only line
+    // up when 16 is a multiple of the GRF depth.
+    PIMSIM_ASSERT(16 % system_.config().pim.grfPerHalf == 0,
+                  "element-wise layout requires a GRF depth of 8 or 16");
+
+    // Chunk q (16 elements) -> (row, colgroup*8+col, unit, channel) with
+    // channel fastest so short vectors still use every channel.
+    const std::uint64_t chunks = divCeil(a.size(), kSimdLanes);
+    const std::uint64_t chunks_per_group =
+        std::uint64_t{channels} * units * cols_per_group;
+    const std::uint64_t groups = divCeil(chunks, chunks_per_group);
+    const unsigned rows =
+        static_cast<unsigned>(divCeil(groups, groups_per_row));
+    const PimRowBlock block = driver_.allocRows(rows);
+
+    auto place = [&](std::uint64_t q) {
+        struct Loc
+        {
+            unsigned ch, unit, row, col;
+        };
+        Loc loc;
+        loc.ch = static_cast<unsigned>(q % channels);
+        std::uint64_t rest = q / channels;
+        loc.unit = static_cast<unsigned>(rest % units);
+        rest /= units;
+        const unsigned group = static_cast<unsigned>(rest / cols_per_group);
+        loc.col = static_cast<unsigned>((group % groups_per_row) * 8 +
+                                        rest % cols_per_group);
+        loc.row = block.firstRow + group / groups_per_row;
+        return loc;
+    };
+
+    // Functional preload of the operands (already-resident data).
+    for (std::uint64_t q = 0; q < chunks; ++q) {
+        const auto loc = place(q);
+        driver_.preload(loc.ch, 2 * loc.unit, loc.row, loc.col,
+                        sliceBurst(a, q * kSimdLanes));
+        if (b) {
+            driver_.preload(loc.ch, 2 * loc.unit + 1, loc.row, loc.col,
+                            sliceBurst(*b, q * kSimdLanes));
+        }
+    }
+
+    // Microkernel. AAM indices walk the GRF with the column address.
+    const unsigned total_groups =
+        static_cast<unsigned>(groups_per_row * rows);
+    std::vector<PimInst> kernel;
+    const bool two_ops = b != nullptr;
+    if (two_ops && system_.config().pim.dse.twoBankAccess) {
+        // 2BA variant: one trigger reads both banks (Fig. 14).
+        kernel = {
+            PimInst::add(OperandSpace::GrfA, 0, OperandSpace::EvenBank, 0,
+                         OperandSpace::OddBank, 0, /*aam=*/true),
+            PimInst::jump(1, 8),
+            PimInst::mov(OperandSpace::EvenBank, 0, OperandSpace::GrfA, 0,
+                         false, /*aam=*/true),
+            PimInst::jump(1, 8),
+            PimInst::jump(4, total_groups),
+            PimInst::exit(),
+        };
+        if (op == PimOpcode::Mul)
+            kernel[0].opcode = PimOpcode::Mul;
+    } else if (two_ops) {
+        PimInst alu =
+            op == PimOpcode::Add
+                ? PimInst::add(OperandSpace::GrfA, 0, OperandSpace::GrfA, 0,
+                               OperandSpace::OddBank, 0, true)
+                : PimInst::mul(OperandSpace::GrfA, 0, OperandSpace::GrfA, 0,
+                               OperandSpace::OddBank, 0, true);
+        kernel = {
+            PimInst::fill(OperandSpace::GrfA, 0, OperandSpace::EvenBank, 0,
+                          true),
+            PimInst::jump(1, 8),
+            alu,
+            PimInst::jump(1, 8),
+            PimInst::mov(OperandSpace::EvenBank, 0, OperandSpace::GrfA, 0,
+                         false, true),
+            PimInst::jump(1, 8),
+            PimInst::jump(6, total_groups),
+            PimInst::exit(),
+        };
+    } else if (op == PimOpcode::Mad) {
+        // Batch-norm: MAD streams the input once (Fig. 14's BN kernel).
+        kernel = {
+            PimInst::mad(OperandSpace::GrfA, 0, OperandSpace::EvenBank, 0,
+                         OperandSpace::SrfM, 0, true),
+            PimInst::jump(1, 8),
+            PimInst::mov(OperandSpace::EvenBank, 0, OperandSpace::GrfA, 0,
+                         false, true),
+            PimInst::jump(1, 8),
+            PimInst::jump(4, total_groups),
+            PimInst::exit(),
+        };
+    } else {
+        // ReLU data movement.
+        kernel = {
+            PimInst::fill(OperandSpace::GrfA, 0, OperandSpace::EvenBank, 0,
+                          true),
+            PimInst::jump(1, 8),
+            PimInst::mov(OperandSpace::EvenBank, 0, OperandSpace::GrfA, 0,
+                         relu_move, true),
+            PimInst::jump(1, 8),
+            PimInst::jump(4, total_groups),
+            PimInst::exit(),
+        };
+    }
+
+    // Per-channel command stream (identical structure on every channel).
+    ChannelProgram prog;
+    ProgramBuilder builder(prog);
+    appendPrologue(builder, kernel, srfM_ ? &*srfM_ : nullptr,
+                   srfA_ ? &*srfA_ : nullptr);
+
+    unsigned since_fence = 0;
+    auto emit = [&](bool is_write, unsigned row, unsigned col) {
+        if (is_write)
+            builder.write(row, col, Burst{});
+        else
+            builder.read(row, col);
+        if (++since_fence == window) {
+            if (useFences_)
+                builder.fence();
+            since_fence = 0;
+        }
+    };
+
+    const bool two_bank = two_ops && system_.config().pim.dse.twoBankAccess;
+    for (unsigned g = 0; g < total_groups; ++g) {
+        const unsigned row = block.firstRow + g / groups_per_row;
+        const unsigned base = (g % groups_per_row) * 8;
+        if (two_ops && !two_bank) {
+            for (unsigned j = 0; j < 8; ++j)
+                emit(false, row, base + j); // FILL from even bank
+            for (unsigned j = 0; j < 8; ++j)
+                emit(false, row, base + j); // ALU with odd bank
+        } else {
+            for (unsigned j = 0; j < 8; ++j)
+                emit(false, row, base + j); // single-input ALU / 2BA
+        }
+        for (unsigned j = 0; j < 8; ++j)
+            emit(true, row, 16 + base + j); // MOV result to even bank
+    }
+    if (since_fence)
+        builder.fence();
+    appendEpilogue(builder);
+
+    ActivityProbe probe(system_);
+    const PimRunResult run =
+        runPimProgramReplicated(system_, prog, channels);
+    const ChannelActivity activity = probe.delta();
+
+    // Functional readback (the result stays resident for the next layer;
+    // reading it back is verification, not timed kernel work).
+    for (std::uint64_t q = 0; q < chunks; ++q) {
+        const auto loc = place(q);
+        const Burst result =
+            driver_.peek(loc.ch, 2 * loc.unit, loc.row, 16 + loc.col);
+        unpackBurst(result, q * kSimdLanes, out);
+    }
+
+    BlasTiming timing;
+    timing.ns = run.ns;
+    timing.commands = run.commands;
+    timing.fences = run.fences;
+    timing.acts = activity.acts;
+    timing.pimTriggers = activity.pimTriggers;
+    timing.pimBankAccesses = activity.pimBankReads + activity.pimBankWrites;
+    timing.pimOps = activity.pimOps;
+    return timing;
+}
+
+BlasTiming
+PimBlas::add(const Fp16Vector &a, const Fp16Vector &b, Fp16Vector &out)
+{
+    srfM_.reset();
+    srfA_.reset();
+    return elementwise(PimOpcode::Add, false, a, &b, out);
+}
+
+BlasTiming
+PimBlas::mul(const Fp16Vector &a, const Fp16Vector &b, Fp16Vector &out)
+{
+    srfM_.reset();
+    srfA_.reset();
+    return elementwise(PimOpcode::Mul, false, a, &b, out);
+}
+
+BlasTiming
+PimBlas::relu(const Fp16Vector &a, Fp16Vector &out)
+{
+    srfM_.reset();
+    srfA_.reset();
+    return elementwise(PimOpcode::Mov, true, a, nullptr, out);
+}
+
+BlasTiming
+PimBlas::bn(const Fp16Vector &a, const Fp16Vector &gamma,
+            const Fp16Vector &beta, Fp16Vector &out)
+{
+    PIMSIM_ASSERT(gamma.size() == 8 && beta.size() == 8,
+                  "bn expects 8 scalar groups (replicate smaller sets)");
+    srfM_ = packSrf(gamma);
+    srfA_ = packSrf(beta);
+    return elementwise(PimOpcode::Mad, false, a, nullptr, out);
+}
+
+BlasTiming
+PimBlas::gemv(const Fp16Vector &w, unsigned m, unsigned n,
+              const Fp16Vector &x, Fp16Vector &y)
+{
+    PIMSIM_ASSERT(w.size() == std::size_t{m} * n, "W shape mismatch");
+    PIMSIM_ASSERT(x.size() == n, "x length mismatch");
+    y.assign(m, Fp16());
+    if (m == 0 || n == 0)
+        return {};
+
+    driver_.reset();
+
+    const unsigned channels = system_.numChannels();
+    const unsigned units = system_.config().pim.unitsPerPch;
+    const unsigned window = system_.config().pim.aamWindow();
+    const unsigned slots = channels * units; // unit-pairs system-wide
+    const bool srw = system_.config().pim.dse.simultaneousRdWr;
+    PIMSIM_ASSERT(system_.config().pim.grfPerHalf >= 8,
+                  "the GEMV microkernel needs >= 8 GRF registers per half");
+
+    // Padded shapes: blocks of 128 inputs, passes of 2 rows per slot.
+    const unsigned blocks = static_cast<unsigned>(divCeil(n, 128));
+    const unsigned passes =
+        static_cast<unsigned>(divCeil(m, std::uint64_t{2} * slots));
+
+    // W rows per pass: each block holds 8 bursts per bank at one
+    // 8-column window; 4 blocks fit a 32-column row.
+    const unsigned w_rows_per_pass = divCeil(blocks, 4);
+    const unsigned out_rows = divCeil(passes, 32u);
+    const PimRowBlock wBlock =
+        driver_.allocRows(passes * w_rows_per_pass);
+    const PimRowBlock outBlock = driver_.allocRows(out_rows);
+
+    // ---- Functional preload of W ----
+    // Global output row m' = 2 * (p * slots + slot) + k, slot = ch*U + u,
+    // k = 0 (even bank) / 1 (odd bank). Block nb occupies columns
+    // (nb % 4) * 8 .. +7 of W row (wBase + p*w_rows_per_pass + nb/4).
+    for (unsigned p = 0; p < passes; ++p) {
+        for (unsigned ch = 0; ch < channels; ++ch) {
+            for (unsigned u = 0; u < units; ++u) {
+                const unsigned slot = ch * units + u;
+                for (unsigned k = 0; k < 2; ++k) {
+                    const std::uint64_t mm =
+                        2ull * (std::uint64_t{p} * slots + slot) + k;
+                    if (mm >= m)
+                        continue;
+                    for (unsigned nb = 0; nb < blocks; ++nb) {
+                        const unsigned row = wBlock.firstRow +
+                                             p * w_rows_per_pass + nb / 4;
+                        for (unsigned j = 0; j < 8; ++j) {
+                            const std::uint64_t col_start =
+                                std::uint64_t{nb} * 128 + j * 16;
+                            Burst burst{};
+                            for (unsigned lane = 0; lane < kSimdLanes;
+                                 ++lane) {
+                                const std::uint64_t idx = col_start + lane;
+                                if (idx < n) {
+                                    const Fp16Bits bits =
+                                        w[mm * n + idx].bits();
+                                    burst[2 * lane] = static_cast<
+                                        std::uint8_t>(bits & 0xff);
+                                    burst[2 * lane + 1] =
+                                        static_cast<std::uint8_t>(bits >>
+                                                                  8);
+                                }
+                            }
+                            driver_.preload(ch, 2 * u + k, row,
+                                            (nb % 4) * 8 + j, burst);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- Microkernel ----
+    std::vector<PimInst> kernel;
+    if (srw) {
+        // SRW: each WR delivers the x chunk on the bus while reading the
+        // W burst from the bank in the same trigger (Fig. 14).
+        for (unsigned k = 0; k < 2; ++k) {
+            kernel.push_back(PimInst::mac(
+                OperandSpace::GrfB, k, OperandSpace::EvenBank, 0,
+                k == 0 ? OperandSpace::EvenBank : OperandSpace::OddBank, 0));
+            kernel.push_back(PimInst::jump(1, 8));
+        }
+        kernel.push_back(PimInst::jump(4, blocks));
+    } else {
+        kernel.push_back(PimInst::fill(OperandSpace::GrfA, 0,
+                                       OperandSpace::EvenBank, 0,
+                                       /*aam=*/true));
+        kernel.push_back(PimInst::jump(1, 8));
+        for (unsigned k = 0; k < 2; ++k) {
+            for (unsigned j = 0; j < 8; ++j) {
+                kernel.push_back(PimInst::mac(
+                    OperandSpace::GrfB, k,
+                    k == 0 ? OperandSpace::EvenBank : OperandSpace::OddBank,
+                    0, OperandSpace::GrfA, j));
+            }
+        }
+        kernel.push_back(PimInst::jump(18, blocks));
+    }
+    // Store the two accumulators and clear them for the next pass.
+    kernel.push_back(PimInst::mov(OperandSpace::EvenBank, 0,
+                                  OperandSpace::GrfB, 0));
+    kernel.push_back(PimInst::mov(OperandSpace::GrfB, 0, OperandSpace::SrfA,
+                                  0));
+    kernel.push_back(PimInst::mov(OperandSpace::OddBank, 0,
+                                  OperandSpace::GrfB, 1));
+    kernel.push_back(PimInst::mov(OperandSpace::GrfB, 1, OperandSpace::SrfA,
+                                  0));
+    const unsigned loop_back = static_cast<unsigned>(kernel.size());
+    kernel.push_back(PimInst::jump(loop_back, passes));
+    kernel.push_back(PimInst::exit());
+
+    // SRF_A[0] = 0 clears accumulators between passes.
+    const Burst zero_srf{};
+
+    // ---- Command stream (identical on every channel) ----
+    ChannelProgram prog;
+    ProgramBuilder builder(prog);
+    appendPrologue(builder, kernel, nullptr, &zero_srf);
+
+    unsigned since_fence = 0;
+    auto fence_tick = [&]() {
+        if (++since_fence == window) {
+            if (useFences_)
+                builder.fence();
+            since_fence = 0;
+        }
+    };
+
+    for (unsigned p = 0; p < passes; ++p) {
+        for (unsigned nb = 0; nb < blocks; ++nb) {
+            const unsigned row = wBlock.firstRow + p * w_rows_per_pass +
+                                 nb / 4;
+            const unsigned base = (nb % 4) * 8;
+            if (srw) {
+                for (unsigned k = 0; k < 2; ++k) {
+                    for (unsigned j = 0; j < 8; ++j) {
+                        builder.write(
+                            row, base + j,
+                            sliceBurst(x, std::uint64_t{nb} * 128 + j * 16));
+                        fence_tick();
+                    }
+                }
+            } else {
+                // x loads use columns 0..7 of the open row so the AAM
+                // index (col % grfPerHalf) equals j for any GRF depth.
+                for (unsigned j = 0; j < 8; ++j) {
+                    builder.write(
+                        row, j,
+                        sliceBurst(x, std::uint64_t{nb} * 128 + j * 16));
+                    fence_tick();
+                }
+                for (unsigned k = 0; k < 2; ++k) {
+                    for (unsigned j = 0; j < 8; ++j) {
+                        builder.read(row, base + j);
+                        fence_tick();
+                    }
+                }
+            }
+        }
+        // Store + clear accumulators at the pass's output burst.
+        const unsigned out_row = outBlock.firstRow + p / 32;
+        const unsigned out_col = p % 32;
+        builder.write(out_row, out_col, Burst{}); // MOV EVEN <- GRF_B[0]
+        fence_tick();
+        builder.read(out_row, out_col); // MOV GRF_B[0] <- SRF_A[0]
+        fence_tick();
+        builder.write(out_row, out_col, Burst{}); // MOV ODD <- GRF_B[1]
+        fence_tick();
+        builder.read(out_row, out_col); // MOV GRF_B[1] <- SRF_A[0]
+        fence_tick();
+    }
+    if (since_fence)
+        builder.fence();
+    appendEpilogue(builder);
+
+    ActivityProbe probe(system_);
+    const PimRunResult run =
+        runPimProgramReplicated(system_, prog, channels);
+    const ChannelActivity activity = probe.delta();
+
+    // ---- Host readback and lane reduction ----
+    // Each output burst holds 16 FP16 partial sums; the host streams the
+    // partial buffers back (SB mode) and reduces. Timed analytically as
+    // a full-bandwidth stream plus negligible compute.
+    for (std::uint64_t mm = 0; mm < m; ++mm) {
+        const std::uint64_t pass_slot = mm / 2;
+        const unsigned p = static_cast<unsigned>(pass_slot / slots);
+        const unsigned slot = static_cast<unsigned>(pass_slot % slots);
+        const unsigned ch = slot / units;
+        const unsigned u = slot % units;
+        const unsigned k = static_cast<unsigned>(mm % 2);
+        const Burst partials =
+            driver_.peek(ch, 2 * u + k, outBlock.firstRow + p / 32, p % 32);
+        const LaneVector lanes = burstToLanes(partials);
+        double sum = 0.0;
+        for (const auto &lane : lanes)
+            sum += static_cast<double>(lane.toFloat());
+        y[mm] = Fp16(static_cast<float>(sum));
+    }
+
+    BlasTiming timing;
+    timing.ns = run.ns;
+    timing.commands = run.commands;
+    timing.fences = run.fences;
+    timing.acts = activity.acts;
+    timing.pimTriggers = activity.pimTriggers;
+    timing.pimBankAccesses = activity.pimBankReads + activity.pimBankWrites;
+    timing.pimOps = activity.pimOps;
+    const double partial_bytes = static_cast<double>(m) * kBurstBytes;
+    const double stream_bw =
+        system_.config().offChipBandwidthGBs() * 0.8; // GB/s ~= B/ns
+    timing.readbackNs = partial_bytes / stream_bw;
+    return timing;
+}
+
+} // namespace pimsim

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * PIM BLAS (Section V-A): the user-facing linear-algebra library.
+ *
+ * Each function places operands in the PIM region with a PIM-friendly
+ * layout (Section VIII, Fig. 15), generates the per-channel microkernel
+ * and command program, runs it on the simulated system (cycle-accurate,
+ * functionally exact), and returns both the numerical result and the
+ * measured execution time. Users call gemv()/add()/... without knowing
+ * anything about banks, rows or PIM instructions — exactly the role the
+ * paper assigns to PIM BLAS on top of the PIM runtime.
+ */
+
+#ifndef PIMSIM_STACK_BLAS_H
+#define PIMSIM_STACK_BLAS_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/fp16.h"
+#include "dram/datastore.h"
+#include "pim/isa.h"
+#include "stack/driver.h"
+#include "stack/pim_program.h"
+
+namespace pimsim {
+
+/** Timing and traffic results of one PIM BLAS call. */
+struct BlasTiming
+{
+    double ns = 0.0;            ///< kernel execution time (command stream)
+    double readbackNs = 0.0;    ///< host result readback / reduction time
+    std::uint64_t commands = 0; ///< DRAM column/row requests issued
+    std::uint64_t fences = 0;   ///< barriers executed
+
+    // Device activity during the kernel (energy-model inputs).
+    std::uint64_t acts = 0;          ///< bank activations
+    std::uint64_t pimTriggers = 0;   ///< AB-PIM column commands
+    std::uint64_t pimBankAccesses = 0;
+    std::uint64_t pimOps = 0;        ///< executed PIM instructions
+
+    double totalNs() const { return ns + readbackNs; }
+};
+
+/** Vector of FP16 values (host-side view of a tensor). */
+using Fp16Vector = std::vector<Fp16>;
+
+/**
+ * The PIM BLAS library bound to one PIM-HBM system.
+ *
+ * Calls are synchronous: on return the result vector holds the values
+ * the PIM units produced (read back from simulated DRAM), and timing
+ * reflects the full command-level execution including mode transitions,
+ * CRF setup and fences.
+ */
+class PimBlas
+{
+  public:
+    explicit PimBlas(PimSystem &system);
+
+    /** out[i] = a[i] + b[i] (element-wise; Fig. 15 layout). */
+    BlasTiming add(const Fp16Vector &a, const Fp16Vector &b, Fp16Vector &out);
+
+    /** out[i] = a[i] * b[i] (element-wise). */
+    BlasTiming mul(const Fp16Vector &a, const Fp16Vector &b, Fp16Vector &out);
+
+    /** out[i] = max(a[i], 0) via MOV(ReLU). */
+    BlasTiming relu(const Fp16Vector &a, Fp16Vector &out);
+
+    /**
+     * Batch-norm inference: out[i] = a[i] * gamma[g] + beta[g] where g
+     * cycles through groups of 8 scalars held in SRF_M/SRF_A (MAD path).
+     */
+    BlasTiming bn(const Fp16Vector &a, const Fp16Vector &gamma,
+                  const Fp16Vector &beta, Fp16Vector &out);
+
+    /**
+     * General matrix-vector product: y = W x with W row-major (M x N).
+     * Weights are resident in the PIM region (preloaded untimed, like an
+     * inference-time weight map); x streams in over the write bus; y
+     * partial sums are reduced on the host.
+     */
+    BlasTiming gemv(const Fp16Vector &w, unsigned m, unsigned n,
+                    const Fp16Vector &x, Fp16Vector &y);
+
+    PimDriver &driver() { return driver_; }
+    PimSystem &system() { return system_; }
+
+    /**
+     * Disable the per-window barriers (the Section VII-B study of a
+     * controller that guarantees DRAM command order in PIM mode). The
+     * prologue/epilogue synchronisation fences are kept.
+     */
+    void setUseFences(bool use) { useFences_ = use; }
+    bool useFences() const { return useFences_; }
+
+  private:
+    /** Element-wise kernels share one engine (op selects the ALU). */
+    BlasTiming elementwise(PimOpcode op, bool relu_move, const Fp16Vector &a,
+                           const Fp16Vector *b, Fp16Vector &out);
+
+    /** Common program prologue: SB -> AB, load CRF/SRF, PIM_OP_MODE=1. */
+    void appendPrologue(ProgramBuilder &builder,
+                        const std::vector<PimInst> &microkernel,
+                        const Burst *srf_m, const Burst *srf_a);
+
+    /** Common epilogue: PIM_OP_MODE=0, AB -> SB. */
+    void appendEpilogue(ProgramBuilder &builder);
+
+    PimSystem &system_;
+    PimDriver driver_;
+    bool useFences_ = true;
+
+    /** SRF file payloads staged for the next kernel prologue (BN). */
+    std::optional<Burst> srfM_;
+    std::optional<Burst> srfA_;
+
+    // Cached channel-0 PIM layout (identical on every channel).
+    unsigned configRow_;
+    unsigned abmrRow_;
+    unsigned sbmrRow_;
+};
+
+} // namespace pimsim
+
+#endif // PIMSIM_STACK_BLAS_H

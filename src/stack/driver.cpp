@@ -1,0 +1,49 @@
+#include "stack/driver.h"
+
+#include "common/logging.h"
+#include "pim/pim_config.h"
+
+namespace pimsim {
+
+PimDriver::PimDriver(PimSystem &system)
+    : system_(system),
+      limitRow_(PimConfMap::forRows(system.config().geometry.rowsPerBank)
+                    .firstReservedRow())
+{
+}
+
+PimRowBlock
+PimDriver::allocRows(unsigned count)
+{
+    if (nextRow_ + count > limitRow_) {
+        PIMSIM_FATAL("PIM row space exhausted: want ", count, ", free ",
+                     freeRows());
+    }
+    PimRowBlock block{nextRow_, count};
+    nextRow_ += count;
+    return block;
+}
+
+void
+PimDriver::reset()
+{
+    nextRow_ = 0;
+}
+
+void
+PimDriver::preload(unsigned channel, unsigned flat_bank, unsigned row,
+                   unsigned col, const Burst &data)
+{
+    system_.controller(channel).channel().dataStore().write(flat_bank, row,
+                                                            col, data);
+}
+
+Burst
+PimDriver::peek(unsigned channel, unsigned flat_bank, unsigned row,
+                unsigned col) const
+{
+    return system_.controller(channel).channel().dataStore().read(flat_bank,
+                                                                  row, col);
+}
+
+} // namespace pimsim

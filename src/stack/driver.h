@@ -1,0 +1,67 @@
+/**
+ * @file
+ * PIM device driver (Section V-A).
+ *
+ * The driver reserves the PIM-operable memory space at boot, marks it
+ * uncacheable, and hands out physically contiguous blocks so the
+ * runtime never worries about virtual-physical translation. In the
+ * simulator the reservation is a row-range allocator: PIM operands live
+ * at the *same row index in every bank of every channel*, which is what
+ * the AB-mode lock-step access pattern requires (one ACT opens the row
+ * everywhere).
+ */
+
+#ifndef PIMSIM_STACK_DRIVER_H
+#define PIMSIM_STACK_DRIVER_H
+
+#include "common/types.h"
+#include "dram/datastore.h"
+#include "sim/system.h"
+
+namespace pimsim {
+
+/** A block of PIM-reserved rows (same indices across channels/banks). */
+struct PimRowBlock
+{
+    unsigned firstRow = 0;
+    unsigned numRows = 0;
+};
+
+/** The kernel-side driver for PIM-HBM. */
+class PimDriver
+{
+  public:
+    explicit PimDriver(PimSystem &system);
+
+    /** Allocate `count` rows of PIM space (fatal on exhaustion). */
+    PimRowBlock allocRows(unsigned count);
+
+    /** Release every allocation (end of workload). */
+    void reset();
+
+    /** Rows still available. */
+    unsigned freeRows() const { return limitRow_ - nextRow_; }
+
+    /**
+     * Functional preload: place a burst directly into DRAM. Models data
+     * that is already resident in the PIM region (e.g. weights mapped at
+     * initialisation); not part of timed kernel execution.
+     */
+    void preload(unsigned channel, unsigned flat_bank, unsigned row,
+                 unsigned col, const Burst &data);
+
+    /** Functional readback (verification / untimed result consumption). */
+    Burst peek(unsigned channel, unsigned flat_bank, unsigned row,
+               unsigned col) const;
+
+    PimSystem &system() { return system_; }
+
+  private:
+    PimSystem &system_;
+    unsigned nextRow_ = 0;
+    unsigned limitRow_; ///< PIM_CONF rows live above this
+};
+
+} // namespace pimsim
+
+#endif // PIMSIM_STACK_DRIVER_H

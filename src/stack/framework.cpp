@@ -1,0 +1,153 @@
+#include "stack/framework.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "stack/reference.h"
+
+namespace pimsim {
+
+namespace {
+
+Fp16
+sigmoidFp16(Fp16 v)
+{
+    return Fp16(1.0f / (1.0f + std::exp(-v.toFloat())));
+}
+
+Fp16
+tanhFp16(Fp16 v)
+{
+    return Fp16(std::tanh(v.toFloat()));
+}
+
+/**
+ * Host-side LSTM cell update given the fused gate pre-activations.
+ * Shared by the PIM path and the reference so both are bit-identical.
+ */
+void
+lstmCellUpdate(const Fp16Vector &gates, const Fp16Vector &bias,
+               unsigned hidden, Fp16Vector &c, Fp16Vector &h)
+{
+    for (unsigned j = 0; j < hidden; ++j) {
+        const Fp16 zi = fp16Add(gates[j], bias[j]);
+        const Fp16 zf = fp16Add(gates[hidden + j], bias[hidden + j]);
+        const Fp16 zg =
+            fp16Add(gates[2 * hidden + j], bias[2 * hidden + j]);
+        const Fp16 zo =
+            fp16Add(gates[3 * hidden + j], bias[3 * hidden + j]);
+        const Fp16 i = sigmoidFp16(zi);
+        const Fp16 f = sigmoidFp16(zf);
+        const Fp16 g = tanhFp16(zg);
+        const Fp16 o = sigmoidFp16(zo);
+        c[j] = fp16Add(fp16Mul(f, c[j]), fp16Mul(i, g));
+        h[j] = fp16Mul(o, tanhFp16(c[j]));
+    }
+}
+
+Fp16Vector
+concat(const Fp16Vector &x, const Fp16Vector &h)
+{
+    Fp16Vector xh;
+    xh.reserve(x.size() + h.size());
+    xh.insert(xh.end(), x.begin(), x.end());
+    xh.insert(xh.end(), h.begin(), h.end());
+    return xh;
+}
+
+} // namespace
+
+void
+PimOps::account(const BlasTiming &t)
+{
+    profile_.pimNs += t.totalNs();
+    profile_.pimKernelCalls += 1;
+}
+
+Fp16Vector
+PimOps::add(const Fp16Vector &a, const Fp16Vector &b)
+{
+    Fp16Vector out;
+    account(blas_.add(a, b, out));
+    return out;
+}
+
+Fp16Vector
+PimOps::mul(const Fp16Vector &a, const Fp16Vector &b)
+{
+    Fp16Vector out;
+    account(blas_.mul(a, b, out));
+    return out;
+}
+
+Fp16Vector
+PimOps::relu(const Fp16Vector &a)
+{
+    Fp16Vector out;
+    account(blas_.relu(a, out));
+    return out;
+}
+
+Fp16Vector
+PimOps::bn(const Fp16Vector &a, const Fp16Vector &gamma,
+           const Fp16Vector &beta)
+{
+    Fp16Vector out;
+    account(blas_.bn(a, gamma, beta, out));
+    return out;
+}
+
+Fp16Vector
+PimOps::gemv(const Fp16Vector &w, unsigned m, unsigned n,
+             const Fp16Vector &x)
+{
+    Fp16Vector y;
+    account(blas_.gemv(w, m, n, x, y));
+    return y;
+}
+
+std::vector<Fp16Vector>
+PimOps::lstm(const LstmWeights &weights,
+             const std::vector<Fp16Vector> &inputs)
+{
+    const unsigned hidden = weights.hidden;
+    const unsigned input = weights.input;
+    const unsigned m = 4 * hidden;
+    const unsigned n = input + hidden;
+    PIMSIM_ASSERT(weights.w.size() == std::size_t{m} * n,
+                  "LSTM weight shape mismatch");
+    PIMSIM_ASSERT(weights.bias.size() == m, "LSTM bias shape mismatch");
+
+    std::vector<Fp16Vector> outputs;
+    Fp16Vector h(hidden);
+    Fp16Vector c(hidden);
+    for (const auto &x : inputs) {
+        PIMSIM_ASSERT(x.size() == input, "LSTM input length mismatch");
+        // The fused gate GEMV runs on PIM; the cell update on the host.
+        Fp16Vector gates;
+        account(blas_.gemv(weights.w, m, n, concat(x, h), gates));
+        lstmCellUpdate(gates, weights.bias, hidden, c, h);
+        outputs.push_back(h);
+    }
+    return outputs;
+}
+
+std::vector<Fp16Vector>
+refLstm(const LstmWeights &weights, const std::vector<Fp16Vector> &inputs)
+{
+    const unsigned hidden = weights.hidden;
+    const unsigned m = 4 * hidden;
+    const unsigned n = weights.input + hidden;
+
+    std::vector<Fp16Vector> outputs;
+    Fp16Vector h(hidden);
+    Fp16Vector c(hidden);
+    for (const auto &x : inputs) {
+        const Fp16Vector gates = refGemv(weights.w, m, n, concat(x, h));
+        lstmCellUpdate(gates, weights.bias, hidden, c, h);
+        outputs.push_back(h);
+    }
+    return outputs;
+}
+
+} // namespace pimsim

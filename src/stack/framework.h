@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Framework-level "PIM custom ops" (Section V-A, Fig. 6/7).
+ *
+ * The paper implements six TensorFlow custom ops — ADD, MUL, Relu, LSTM,
+ * GEMV, and BN — that call straight into PIM BLAS (the "PIM-direct
+ * execution path"). This module is the equivalent surface for our stack:
+ * a small framework-facing API over PimBlas that application code (the
+ * examples) uses without knowing anything about banks or microkernels.
+ *
+ * The LSTM op runs a full, functionally exact LSTM forward pass: the
+ * fused gate GEMV executes on the simulated PIM hardware; activations
+ * and the cell update run on the host (float math, rounded to FP16),
+ * like the paper's stack.
+ */
+
+#ifndef PIMSIM_STACK_FRAMEWORK_H
+#define PIMSIM_STACK_FRAMEWORK_H
+
+#include <cstdint>
+#include <vector>
+
+#include "stack/blas.h"
+
+namespace pimsim {
+
+/** Weights of one LSTM layer (fused gate matrix). */
+struct LstmWeights
+{
+    /** Gate matrix W of shape (4H x (In + H)); rows ordered i,f,g,o. */
+    Fp16Vector w;
+    /** Gate bias of length 4H. */
+    Fp16Vector bias;
+    unsigned hidden = 0;
+    unsigned input = 0;
+};
+
+/** Output of an op: result plus accumulated device timing. */
+struct OpProfile
+{
+    double pimNs = 0.0;
+    double hostNs = 0.0;
+    std::uint64_t pimKernelCalls = 0;
+
+    double totalNs() const { return pimNs + hostNs; }
+};
+
+/** The six PIM custom ops. */
+class PimOps
+{
+  public:
+    explicit PimOps(PimSystem &system) : blas_(system) {}
+
+    /** Element-wise c = a + b. */
+    Fp16Vector add(const Fp16Vector &a, const Fp16Vector &b);
+    /** Element-wise c = a * b. */
+    Fp16Vector mul(const Fp16Vector &a, const Fp16Vector &b);
+    /** Element-wise ReLU. */
+    Fp16Vector relu(const Fp16Vector &a);
+    /** Batch norm (8 scalar groups, see PimBlas::bn). */
+    Fp16Vector bn(const Fp16Vector &a, const Fp16Vector &gamma,
+                  const Fp16Vector &beta);
+    /** y = W x. */
+    Fp16Vector gemv(const Fp16Vector &w, unsigned m, unsigned n,
+                    const Fp16Vector &x);
+
+    /**
+     * Full LSTM forward pass over a sequence.
+     *
+     * @param weights fused gate weights
+     * @param inputs  sequence of input vectors (each of length In)
+     * @return the sequence of hidden states (each of length H)
+     */
+    std::vector<Fp16Vector> lstm(const LstmWeights &weights,
+                                 const std::vector<Fp16Vector> &inputs);
+
+    /** Timing accumulated since construction / resetProfile(). */
+    const OpProfile &profile() const { return profile_; }
+    void resetProfile() { profile_ = OpProfile{}; }
+
+    PimBlas &blas() { return blas_; }
+
+  private:
+    void account(const BlasTiming &t);
+
+    PimBlas blas_;
+    OpProfile profile_;
+};
+
+/** Reference (host-only) LSTM forward pass for verification. */
+std::vector<Fp16Vector> refLstm(const LstmWeights &weights,
+                                const std::vector<Fp16Vector> &inputs);
+
+} // namespace pimsim
+
+#endif // PIMSIM_STACK_FRAMEWORK_H

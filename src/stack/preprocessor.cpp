@@ -1,0 +1,110 @@
+#include "stack/preprocessor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bits.h"
+#include "common/types.h"
+
+namespace pimsim {
+
+PimPreprocessor::PimPreprocessor(const SystemConfig &config)
+    : config_(config)
+{
+}
+
+double
+PimPreprocessor::commandStreamNs(double commands_per_channel) const
+{
+    const HbmTiming &t = config_.timing;
+    // One trigger per tCCD_L; every aamWindow commands a fence drains
+    // the pipe (read latency) and pays the barrier cost.
+    const double per_cmd = t.tCCDL * t.tCKns;
+    const double window = config_.pim.aamWindow();
+    const double fence = (t.tCL + t.tBL) * t.tCKns +
+                         config_.host.fenceNs;
+    return commands_per_channel * per_cmd +
+           commands_per_channel / window * fence;
+}
+
+double
+PimPreprocessor::pimGemvNs(unsigned m, unsigned n) const
+{
+    const unsigned slots =
+        config_.numChannels() * config_.pim.unitsPerPch;
+    const double blocks = divCeil(n, 128);
+    const double passes =
+        std::ceil(static_cast<double>(m) / (2.0 * slots));
+    // 8 x-loads + 16 W reads per block, 4 store/clear steps per pass.
+    const double commands = passes * (blocks * 24.0 + 4.0) + 24.0;
+    return commandStreamNs(commands);
+}
+
+double
+PimPreprocessor::pimElementwiseNs(std::uint64_t elements,
+                                  unsigned operand_count) const
+{
+    const double chunks =
+        static_cast<double>(divCeil(elements, kSimdLanes));
+    const double chunks_per_channel =
+        chunks / config_.numChannels();
+    // Commands per chunk: one RD per streamed operand + one WR, spread
+    // over the units of the channel.
+    const double commands = chunks_per_channel *
+                            (operand_count + 1.0) /
+                            config_.pim.unitsPerPch;
+    return commandStreamNs(commands + 24.0);
+}
+
+OffloadDecision
+PimPreprocessor::gemv(unsigned m, unsigned n, unsigned batch) const
+{
+    OffloadDecision d;
+    d.estimatedPimNs =
+        batch * pimGemvNs(m, n) + config_.host.kernelLaunchNs;
+
+    // Host estimate mirrors HostModel::gemv's issue model.
+    const HostConfig &host = config_.host;
+    const double waves = std::ceil(static_cast<double>(m) / host.waveSize);
+    const double cus = std::min<double>(host.computeUnits,
+                                        std::max(1.0, waves));
+    const double amortise = std::min(std::pow(batch, 0.7), 8.0);
+    const double issue = static_cast<double>(m) * n /
+                         (cus * host.coreGHz *
+                          host.scalarLoadsPerCyclePerCu * amortise);
+    const double stream = 2.0 * m * n /
+                          (0.85 * config_.offChipBandwidthGBs());
+    d.estimatedHostNs =
+        std::max(issue, stream) + config_.host.kernelLaunchNs;
+    d.usePim = d.estimatedPimNs < d.estimatedHostNs;
+    return d;
+}
+
+OffloadDecision
+PimPreprocessor::elementwise(std::uint64_t elements,
+                             unsigned operand_count) const
+{
+    OffloadDecision d;
+    d.estimatedPimNs = pimElementwiseNs(elements, operand_count) +
+                       config_.host.kernelLaunchNs;
+    const double bytes = 2.0 * elements * (operand_count + 1.0);
+    d.estimatedHostNs = bytes / (0.8 * config_.offChipBandwidthGBs()) +
+                        config_.host.kernelLaunchNs;
+    d.usePim = d.estimatedPimNs < d.estimatedHostNs;
+    return d;
+}
+
+OffloadDecision
+PimPreprocessor::conv(double flops) const
+{
+    OffloadDecision d;
+    const HostConfig &host = config_.host;
+    d.estimatedHostNs =
+        flops / (host.peakFlops() * host.convEfficiency) * 1e9;
+    // No PIM path for dense convolutions (compute-bound, Section VII-A).
+    d.estimatedPimNs = d.estimatedHostNs * 100.0;
+    d.usePim = false;
+    return d;
+}
+
+} // namespace pimsim

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * PIM runtime preprocessor (Section V-A).
+ *
+ * The paper's runtime has three modules: the *preprocessor* that finds
+ * ops suitable for PIM acceleration at runtime, the *memory manager*
+ * (PimDriver here), and the *executor* (the program runner). This is
+ * the preprocessor: a cost model that decides, per op invocation,
+ * whether the PIM path beats the host path — so compute-bound layers
+ * and batched GEMMs stay on the host automatically (the Fig. 10
+ * behaviour where ResNet is untouched and batch-4 GEMV prefers HBM).
+ */
+
+#ifndef PIMSIM_STACK_PREPROCESSOR_H
+#define PIMSIM_STACK_PREPROCESSOR_H
+
+#include "host/host_config.h"
+#include "sim/system_config.h"
+#include "stack/workloads.h"
+
+namespace pimsim {
+
+/** The preprocessor's verdict for one op invocation. */
+struct OffloadDecision
+{
+    bool usePim = false;
+    double estimatedPimNs = 0.0;
+    double estimatedHostNs = 0.0;
+};
+
+/**
+ * Static cost model mirroring how the simulator's PIM and host paths
+ * behave. Estimates are analytic (no simulation) so the decision itself
+ * is cheap, as a runtime pass must be.
+ */
+class PimPreprocessor
+{
+  public:
+    explicit PimPreprocessor(const SystemConfig &config);
+
+    /** Decide a GEMV of shape (m x n) at a batch size. */
+    OffloadDecision gemv(unsigned m, unsigned n, unsigned batch) const;
+
+    /** Decide an element-wise op over `elements` values with
+     *  `operand_count` streamed inputs (1 for ReLU/BN, 2 for ADD/MUL). */
+    OffloadDecision elementwise(std::uint64_t elements,
+                                unsigned operand_count) const;
+
+    /** Convolutions never offload (compute-bound; Section VII-A). */
+    OffloadDecision conv(double flops) const;
+
+    /** Estimated PIM GEMV kernel time (analytic, ns). */
+    double pimGemvNs(unsigned m, unsigned n) const;
+    /** Estimated PIM element-wise kernel time (analytic, ns). */
+    double pimElementwiseNs(std::uint64_t elements,
+                            unsigned operand_count) const;
+
+  private:
+    double commandStreamNs(double commands_per_channel) const;
+
+    SystemConfig config_;
+};
+
+} // namespace pimsim
+
+#endif // PIMSIM_STACK_PREPROCESSOR_H

@@ -1,0 +1,96 @@
+#include "stack/reference.h"
+
+#include "common/logging.h"
+#include "common/types.h"
+
+namespace pimsim {
+
+Fp16Vector
+refAdd(const Fp16Vector &a, const Fp16Vector &b)
+{
+    PIMSIM_ASSERT(a.size() == b.size(), "length mismatch");
+    Fp16Vector out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        out[i] = fp16Add(a[i], b[i]);
+    return out;
+}
+
+Fp16Vector
+refMul(const Fp16Vector &a, const Fp16Vector &b)
+{
+    PIMSIM_ASSERT(a.size() == b.size(), "length mismatch");
+    Fp16Vector out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        out[i] = fp16Mul(a[i], b[i]);
+    return out;
+}
+
+Fp16Vector
+refRelu(const Fp16Vector &a)
+{
+    Fp16Vector out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        out[i] = fp16Relu(a[i]);
+    return out;
+}
+
+Fp16Vector
+refBn(const Fp16Vector &a, const Fp16Vector &gamma, const Fp16Vector &beta,
+      unsigned slots)
+{
+    PIMSIM_ASSERT(gamma.size() == 8 && beta.size() == 8,
+                  "bn expects 8 scalar groups");
+    Fp16Vector out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const std::size_t chunk = i / kSimdLanes;
+        const unsigned g = static_cast<unsigned>((chunk / slots) % 8);
+        out[i] = fp16Mad(a[i], gamma[g], beta[g]);
+    }
+    return out;
+}
+
+Fp16Vector
+refGemv(const Fp16Vector &w, unsigned m, unsigned n, const Fp16Vector &x)
+{
+    PIMSIM_ASSERT(w.size() == std::size_t{m} * n, "W shape mismatch");
+    PIMSIM_ASSERT(x.size() == n, "x length mismatch");
+    Fp16Vector y(m);
+    const unsigned blocks = static_cast<unsigned>((n + 127) / 128);
+    for (unsigned mm = 0; mm < m; ++mm) {
+        Fp16 partial[kSimdLanes] = {};
+        for (unsigned nb = 0; nb < blocks; ++nb) {
+            for (unsigned j = 0; j < 8; ++j) {
+                for (unsigned lane = 0; lane < kSimdLanes; ++lane) {
+                    const std::uint64_t idx =
+                        std::uint64_t{nb} * 128 + j * 16 + lane;
+                    if (idx < n) {
+                        partial[lane] = fp16Mac(w[std::uint64_t{mm} * n + idx],
+                                                x[idx], partial[lane]);
+                    }
+                }
+            }
+        }
+        double sum = 0.0;
+        for (const auto &p : partial)
+            sum += static_cast<double>(p.toFloat());
+        y[mm] = Fp16(static_cast<float>(sum));
+    }
+    return y;
+}
+
+std::vector<double>
+refGemvF64(const Fp16Vector &w, unsigned m, unsigned n, const Fp16Vector &x)
+{
+    std::vector<double> y(m, 0.0);
+    for (unsigned mm = 0; mm < m; ++mm) {
+        double sum = 0.0;
+        for (unsigned nn = 0; nn < n; ++nn) {
+            sum += static_cast<double>(w[std::uint64_t{mm} * n + nn].toFloat()) *
+                   static_cast<double>(x[nn].toFloat());
+        }
+        y[mm] = sum;
+    }
+    return y;
+}
+
+} // namespace pimsim

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Golden host-side reference implementations.
+ *
+ * These compute exactly what the PIM datapath computes — same FP16
+ * rounding, same accumulation order, same lane-partial structure — so
+ * integration tests can require bit-exact agreement between simulated
+ * PIM execution and the reference.
+ */
+
+#ifndef PIMSIM_STACK_REFERENCE_H
+#define PIMSIM_STACK_REFERENCE_H
+
+#include <vector>
+
+#include "common/fp16.h"
+
+namespace pimsim {
+
+using Fp16Vector = std::vector<Fp16>;
+
+/** out[i] = a[i] + b[i] with FP16 rounding. */
+Fp16Vector refAdd(const Fp16Vector &a, const Fp16Vector &b);
+
+/** out[i] = a[i] * b[i] with FP16 rounding. */
+Fp16Vector refMul(const Fp16Vector &a, const Fp16Vector &b);
+
+/** out[i] = ReLU(a[i]) (sign-bit mux). */
+Fp16Vector refRelu(const Fp16Vector &a);
+
+/**
+ * out[i] = a[i] * gamma[g] + beta[g] under the PIM BLAS element-wise
+ * layout: chunk q of 16 elements lands at column position
+ * (q / slots) % 8, where slots = channels * units of the target system,
+ * and AAM selects SRF group g = that column position.
+ */
+Fp16Vector refBn(const Fp16Vector &a, const Fp16Vector &gamma,
+                 const Fp16Vector &beta, unsigned slots);
+
+/**
+ * y = W x computed the PIM way: 16 FP16 lane-partial accumulators per
+ * output row, accumulated in block order, reduced in double and rounded
+ * once (the host-side reduction of the PIM BLAS).
+ */
+Fp16Vector refGemv(const Fp16Vector &w, unsigned m, unsigned n,
+                   const Fp16Vector &x);
+
+/** Plain double-precision GEMV (accuracy yardstick for tests). */
+std::vector<double> refGemvF64(const Fp16Vector &w, unsigned m, unsigned n,
+                               const Fp16Vector &x);
+
+} // namespace pimsim
+
+#endif // PIMSIM_STACK_REFERENCE_H

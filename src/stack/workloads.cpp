@@ -1,0 +1,195 @@
+#include "stack/workloads.h"
+
+namespace pimsim {
+
+std::vector<MicroSpec>
+table6Microbenchmarks()
+{
+    // Table VI: GEMV dims and element-wise ADD sizes.
+    return {
+        {"GEMV1", MicroKind::Gemv, 1024, 4096, 0},
+        {"GEMV2", MicroKind::Gemv, 2048, 4096, 0},
+        {"GEMV3", MicroKind::Gemv, 4096, 8192, 0},
+        {"GEMV4", MicroKind::Gemv, 8192, 8192, 0},
+        {"ADD1", MicroKind::Add, 0, 0, 2u << 20},
+        {"ADD2", MicroKind::Add, 0, 0, 4u << 20},
+        {"ADD3", MicroKind::Add, 0, 0, 8u << 20},
+        {"ADD4", MicroKind::Add, 0, 0, 16u << 20},
+    };
+}
+
+std::vector<MicroSpec>
+bnMicrobenchmarks()
+{
+    // Fig. 14 evaluates BN "with the same input size as ADD".
+    return {
+        {"BN1", MicroKind::Bn, 0, 0, 2u << 20},
+        {"BN2", MicroKind::Bn, 0, 0, 4u << 20},
+        {"BN3", MicroKind::Bn, 0, 0, 8u << 20},
+        {"BN4", MicroKind::Bn, 0, 0, 16u << 20},
+    };
+}
+
+namespace {
+
+/** A fused LSTM layer: gates = W [x_t ; h_{t-1}], one GEMV per step. */
+LayerSpec
+lstm(unsigned hidden, unsigned input, unsigned steps, bool inputs_available)
+{
+    LayerSpec l;
+    l.kind = LayerSpec::Kind::Lstm;
+    l.hidden = hidden;
+    l.input = input;
+    l.steps = steps;
+    l.inputsAvailable = inputs_available;
+    return l;
+}
+
+LayerSpec
+fc(unsigned out, unsigned in, unsigned steps = 1,
+   bool inputs_available = true)
+{
+    LayerSpec l;
+    l.kind = LayerSpec::Kind::Fc;
+    l.hidden = out;
+    l.input = in;
+    l.steps = steps;
+    l.inputsAvailable = inputs_available;
+    return l;
+}
+
+LayerSpec
+conv(double flops)
+{
+    LayerSpec l;
+    l.kind = LayerSpec::Kind::Conv;
+    l.flops = flops;
+    l.pimEligible = false;
+    return l;
+}
+
+LayerSpec
+residual(std::uint64_t elements, unsigned steps = 1)
+{
+    LayerSpec l;
+    l.kind = LayerSpec::Kind::Residual;
+    l.elements = elements;
+    l.steps = steps;
+    return l;
+}
+
+LayerSpec
+batchNorm(std::uint64_t elements, unsigned steps = 1)
+{
+    LayerSpec l;
+    l.kind = LayerSpec::Kind::BatchNorm;
+    l.elements = elements;
+    l.steps = steps;
+    l.pimEligible = false; // paper applies PIM to LSTM/FC layers only
+    return l;
+}
+
+} // namespace
+
+AppSpec
+ds2App()
+{
+    // Baidu DeepSpeech2 (Section VII-A): 2 convolution layers, 6
+    // bidirectional LSTM layers, one FC layer; 2 s spectrogram input
+    // (~100 post-conv timesteps). Bidirectional = 2 directions per
+    // layer, both encoder-style (all inputs available).
+    AppSpec app;
+    app.name = "DS2";
+    app.layers.push_back(conv(0.6e9));
+    app.layers.push_back(conv(0.9e9));
+    for (int layer = 0; layer < 6; ++layer) {
+        for (int dir = 0; dir < 2; ++dir)
+            app.layers.push_back(lstm(1760, 1760, 100, true));
+    }
+    app.layers.push_back(fc(1600, 1760, 100, true));
+    return app;
+}
+
+AppSpec
+rnntApp()
+{
+    // RNN-T (MLPerf variant): 5 encoder LSTM layers, 2 prediction LSTM
+    // layers, 2 FC joint layers with ReLU/dropout; 2 s of audio.
+    AppSpec app;
+    app.name = "RNN-T";
+    for (int i = 0; i < 5; ++i)
+        app.layers.push_back(lstm(1024, 1024, 100, true));
+    for (int i = 0; i < 2; ++i)
+        app.layers.push_back(lstm(320, 320, 40, false)); // label-dependent
+    app.layers.push_back(fc(512, 1344, 40, false));
+    app.layers.push_back(fc(512, 512, 40, false));
+    return app;
+}
+
+AppSpec
+gnmtApp()
+{
+    // GNMT: 8 LSTM encoders (inputs available), 8 LSTM decoders (the
+    // output of the previous step feeds the next: one PIM kernel call
+    // per step per layer), attention; ~50-word sentences.
+    AppSpec app;
+    app.name = "GNMT";
+    for (int i = 0; i < 8; ++i)
+        app.layers.push_back(lstm(1024, 1024, 50, true));
+    for (int i = 0; i < 8; ++i)
+        app.layers.push_back(lstm(1024, 1024, 50, false));
+    // Attention: batched matrix ops on the host (compute-friendly).
+    LayerSpec attention = conv(2.0 * 50 * 50 * 1024);
+    app.layers.push_back(attention);
+    return app;
+}
+
+AppSpec
+alexnetApp()
+{
+    // AlexNet: 5 convolutions (compute-bound) + 3 FC layers; the FC
+    // layers are the PIM-accelerated part (Section VII-B).
+    AppSpec app;
+    app.name = "AlexNet";
+    app.layers.push_back(conv(0.21e9));
+    app.layers.push_back(conv(0.45e9));
+    app.layers.push_back(conv(0.3e9));
+    app.layers.push_back(conv(0.22e9));
+    app.layers.push_back(conv(0.15e9));
+    app.layers.push_back(fc(4096, 9216));
+    app.layers.push_back(fc(4096, 4096));
+    app.layers.push_back(fc(1000, 4096));
+    return app;
+}
+
+AppSpec
+resnet50App()
+{
+    // ResNet-50: convolution-dominated with BN and skip connections.
+    // The paper runs it unmodified to show PIM does not hurt
+    // compute-bound applications (Fig. 10: 1.0x).
+    AppSpec app;
+    app.name = "ResNet";
+    // ~4 GFLOPs of convolutions for one 224x224x3 image, split over
+    // the four stages.
+    app.layers.push_back(conv(0.7e9));
+    app.layers.push_back(conv(1.1e9));
+    app.layers.push_back(conv(1.3e9));
+    app.layers.push_back(conv(0.9e9));
+    // BN + skip-connection traffic: memory-bound but small relative to
+    // the convolutions; left on the host like the paper's runs.
+    app.layers.push_back(batchNorm(11u << 20));
+    LayerSpec skip = residual(3u << 20);
+    skip.pimEligible = false;
+    app.layers.push_back(skip);
+    app.layers.push_back(fc(1000, 2048));
+    return app;
+}
+
+std::vector<AppSpec>
+allApps()
+{
+    return {ds2App(), rnntApp(), gnmtApp(), alexnetApp(), resnet50App()};
+}
+
+} // namespace pimsim

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Workload-definition and application-runner tests: Table VI values,
+ * the five app topologies of Section VII-A, and the qualitative
+ * relationships Fig. 10 depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stack/app_runner.h"
+#include "stack/workloads.h"
+
+namespace pimsim {
+namespace {
+
+// ---------- Table VI ----------
+
+TEST(Workloads, Table6Exact)
+{
+    const auto micros = table6Microbenchmarks();
+    ASSERT_EQ(micros.size(), 8u);
+    EXPECT_EQ(micros[0].name, "GEMV1");
+    EXPECT_EQ(micros[0].m, 1024u);
+    EXPECT_EQ(micros[0].n, 4096u);
+    EXPECT_EQ(micros[3].m, 8192u);
+    EXPECT_EQ(micros[3].n, 8192u);
+    EXPECT_EQ(micros[4].name, "ADD1");
+    EXPECT_EQ(micros[4].elements, 2u << 20);
+    EXPECT_EQ(micros[7].elements, 16u << 20);
+}
+
+TEST(Workloads, Ds2Topology)
+{
+    // Section VII-A: 2 convolution layers, 6 bidirectional LSTM layers,
+    // one fully connected layer.
+    const AppSpec app = ds2App();
+    unsigned convs = 0, lstms = 0, fcs = 0;
+    for (const auto &l : app.layers) {
+        convs += l.kind == LayerSpec::Kind::Conv;
+        lstms += l.kind == LayerSpec::Kind::Lstm;
+        fcs += l.kind == LayerSpec::Kind::Fc;
+    }
+    EXPECT_EQ(convs, 2u);
+    EXPECT_EQ(lstms, 12u); // 6 bidirectional = 12 directions
+    EXPECT_EQ(fcs, 1u);
+    for (const auto &l : app.layers) {
+        if (l.kind == LayerSpec::Kind::Lstm)
+            EXPECT_TRUE(l.inputsAvailable); // encoder-style
+    }
+}
+
+TEST(Workloads, GnmtHasDecoderStyleLayers)
+{
+    const AppSpec app = gnmtApp();
+    unsigned enc = 0, dec = 0;
+    for (const auto &l : app.layers) {
+        if (l.kind == LayerSpec::Kind::Lstm) {
+            if (l.inputsAvailable)
+                ++enc;
+            else
+                ++dec;
+        }
+    }
+    EXPECT_EQ(enc, 8u);
+    EXPECT_EQ(dec, 8u);
+}
+
+TEST(Workloads, ResnetIsNotPimEligible)
+{
+    // Fig. 10: ResNet runs unmodified (PIM does not hurt compute-bound
+    // applications); only the tiny FC is eligible.
+    const AppSpec app = resnet50App();
+    for (const auto &l : app.layers) {
+        if (l.kind != LayerSpec::Kind::Fc)
+            EXPECT_FALSE(l.pimEligible);
+    }
+}
+
+TEST(Workloads, FiveApps)
+{
+    const auto apps = allApps();
+    ASSERT_EQ(apps.size(), 5u);
+    EXPECT_EQ(apps[0].name, "DS2");
+    EXPECT_EQ(apps[4].name, "ResNet");
+}
+
+// ---------- runner, small configs for speed ----------
+
+struct Runners
+{
+    Runners()
+        : hbm_sys(SystemConfig::hbmSystem()),
+          pim_sys(smallPim()),
+          hbm_host(hbm_sys), pim_host(pim_sys), blas(pim_sys),
+          hbm(hbm_host, nullptr), pim(pim_host, &blas)
+    {
+    }
+
+    static SystemConfig smallPim()
+    {
+        SystemConfig c = SystemConfig::pimHbmSystem();
+        return c;
+    }
+
+    PimSystem hbm_sys;
+    PimSystem pim_sys;
+    HostModel hbm_host;
+    HostModel pim_host;
+    PimBlas blas;
+    AppRunner hbm;
+    AppRunner pim;
+};
+
+TEST(AppRunner, MicroGemvPimBeatsHostAtBatch1)
+{
+    Runners r;
+    const MicroSpec gemv{"GEMV1", MicroKind::Gemv, 1024, 4096, 0};
+    const auto host = r.hbm.runMicro(gemv, 1);
+    const auto pim = r.pim.runMicro(gemv, 1);
+    EXPECT_GT(host.ns / pim.ns, 5.0);
+    EXPECT_LT(host.ns / pim.ns, 20.0);
+}
+
+TEST(AppRunner, GemvSpeedupFallsWithBatch)
+{
+    Runners r;
+    const MicroSpec gemv{"GEMV2", MicroKind::Gemv, 2048, 4096, 0};
+    double prev = 1e18;
+    for (unsigned b : {1u, 2u, 4u}) {
+        const double ratio = r.hbm.runMicro(gemv, b).ns /
+                             r.pim.runMicro(gemv, b).ns;
+        EXPECT_LT(ratio, prev);
+        prev = ratio;
+    }
+    // Level-3 BLAS territory: the host wins by batch 4 (Fig. 10).
+    EXPECT_LT(prev, 1.0);
+}
+
+TEST(AppRunner, AddSpeedupNearPaperBand)
+{
+    Runners r;
+    const MicroSpec add{"ADD3", MicroKind::Add, 0, 0, 8u << 20};
+    const double ratio =
+        r.hbm.runMicro(add, 1).ns / r.pim.runMicro(add, 1).ns;
+    EXPECT_GT(ratio, 1.2);
+    EXPECT_LT(ratio, 2.3); // paper: ~1.6x
+}
+
+TEST(AppRunner, PimRunsAccumulateDeviceActivity)
+{
+    Runners r;
+    const MicroSpec gemv{"GEMV1", MicroKind::Gemv, 1024, 4096, 0};
+    const auto run = r.pim.runMicro(gemv, 1);
+    EXPECT_GT(run.pimTriggers, 0u);
+    EXPECT_GT(run.pimOps, 0u);
+    EXPECT_GT(run.pimBankAccesses, 0u);
+    // Each trigger executes one instruction on each of the 8 units.
+    EXPECT_NEAR(static_cast<double>(run.pimOps),
+                static_cast<double>(run.pimTriggers) * 8.0,
+                static_cast<double>(run.pimOps) * 0.1);
+}
+
+TEST(AppRunner, ShapeMemoisationIsConsistent)
+{
+    Runners r;
+    const MicroSpec gemv{"GEMV1", MicroKind::Gemv, 1024, 4096, 0};
+    const auto first = r.pim.runMicro(gemv, 1);
+    const auto second = r.pim.runMicro(gemv, 1);
+    EXPECT_DOUBLE_EQ(first.ns, second.ns);
+}
+
+TEST(AppRunner, ResnetParityAndDs2Gain)
+{
+    Runners r;
+    const AppSpec resnet = resnet50App();
+    const double resnet_ratio =
+        r.hbm.runApp(resnet, 1).ns / r.pim.runApp(resnet, 1).ns;
+    EXPECT_NEAR(resnet_ratio, 1.0, 0.1);
+
+    const AppSpec ds2 = ds2App();
+    const double ds2_ratio =
+        r.hbm.runApp(ds2, 1).ns / r.pim.runApp(ds2, 1).ns;
+    EXPECT_GT(ds2_ratio, 3.0);
+    EXPECT_LT(ds2_ratio, 7.0);
+    EXPECT_GT(ds2_ratio, resnet_ratio);
+}
+
+TEST(AppRunner, GnmtGainsLessThanDs2)
+{
+    // Section VII-B: decoder kernel-call overhead limits GNMT.
+    Runners r;
+    const double ds2 =
+        r.hbm.runApp(ds2App(), 1).ns / r.pim.runApp(ds2App(), 1).ns;
+    const double gnmt =
+        r.hbm.runApp(gnmtApp(), 1).ns / r.pim.runApp(gnmtApp(), 1).ns;
+    EXPECT_LT(gnmt, ds2 * 0.6);
+    EXPECT_GT(gnmt, 1.0);
+}
+
+TEST(AppRunner, LaunchOverheadDominatesGnmtDecoder)
+{
+    Runners r;
+    const auto run = r.pim.runApp(gnmtApp(), 1);
+    EXPECT_GT(run.launchNs, 0.3 * run.ns);
+}
+
+} // namespace
+} // namespace pimsim

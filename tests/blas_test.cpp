@@ -1,0 +1,288 @@
+/**
+ * @file
+ * End-to-end PIM BLAS integration tests: full command-level execution on
+ * the simulated system, verified bit-exactly against the golden host
+ * references, plus timing-shape sanity checks (fence cost, scaling).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "stack/blas.h"
+#include "stack/reference.h"
+
+namespace pimsim {
+namespace {
+
+SystemConfig
+testConfig()
+{
+    SystemConfig c = SystemConfig::pimHbmSystem();
+    c.numStacks = 1; // 16 channels keeps tests fast
+    c.geometry.rowsPerBank = 512;
+    return c;
+}
+
+Fp16Vector
+randomVector(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Fp16Vector v(n);
+    for (auto &x : v)
+        x = rng.nextFp16();
+    return v;
+}
+
+bool
+bitEqual(const Fp16Vector &a, const Fp16Vector &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        if (a[i].bits() != b[i].bits())
+            return false;
+    return true;
+}
+
+class ElementwiseSize : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(ElementwiseSize, AddMatchesReference)
+{
+    PimSystem sys(testConfig());
+    PimBlas blas(sys);
+    const auto a = randomVector(GetParam(), 1);
+    const auto b = randomVector(GetParam(), 2);
+    Fp16Vector out;
+    const BlasTiming t = blas.add(a, b, out);
+    EXPECT_TRUE(bitEqual(out, refAdd(a, b)));
+    EXPECT_GT(t.ns, 0.0);
+    EXPECT_GT(t.commands, 0u);
+}
+
+TEST_P(ElementwiseSize, MulMatchesReference)
+{
+    PimSystem sys(testConfig());
+    PimBlas blas(sys);
+    const auto a = randomVector(GetParam(), 3);
+    const auto b = randomVector(GetParam(), 4);
+    Fp16Vector out;
+    blas.mul(a, b, out);
+    EXPECT_TRUE(bitEqual(out, refMul(a, b)));
+}
+
+TEST_P(ElementwiseSize, ReluMatchesReference)
+{
+    PimSystem sys(testConfig());
+    PimBlas blas(sys);
+    const auto a = randomVector(GetParam(), 5);
+    Fp16Vector out;
+    blas.relu(a, out);
+    EXPECT_TRUE(bitEqual(out, refRelu(a)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ElementwiseSize,
+                         ::testing::Values(std::size_t{16},
+                                           std::size_t{100},
+                                           std::size_t{2048},
+                                           std::size_t{40000},
+                                           std::size_t{131072}));
+
+TEST(PimBlasBn, MatchesReference)
+{
+    PimSystem sys(testConfig());
+    PimBlas blas(sys);
+    const unsigned slots =
+        sys.numChannels() * sys.config().pim.unitsPerPch;
+    const auto a = randomVector(30000, 6);
+    const auto gamma = randomVector(8, 7);
+    const auto beta = randomVector(8, 8);
+    Fp16Vector out;
+    blas.bn(a, gamma, beta, out);
+    EXPECT_TRUE(bitEqual(out, refBn(a, gamma, beta, slots)));
+}
+
+struct GemvShape
+{
+    unsigned m;
+    unsigned n;
+};
+
+class GemvShapes : public ::testing::TestWithParam<GemvShape>
+{
+};
+
+TEST_P(GemvShapes, MatchesReferenceBitExactly)
+{
+    PimSystem sys(testConfig());
+    PimBlas blas(sys);
+    const auto [m, n] = GetParam();
+    const auto w = randomVector(std::size_t{m} * n, 11);
+    const auto x = randomVector(n, 12);
+    Fp16Vector y;
+    const BlasTiming t = blas.gemv(w, m, n, x, y);
+    EXPECT_TRUE(bitEqual(y, refGemv(w, m, n, x)));
+    EXPECT_GT(t.ns, 0.0);
+
+    // Cross-check against plain double GEMV: FP16 accumulation error on
+    // a dot product of this size stays small for [-2,2) inputs.
+    const auto exact = refGemvF64(w, m, n, x);
+    for (unsigned i = 0; i < m; ++i) {
+        const double got = static_cast<double>(y[i].toFloat());
+        EXPECT_NEAR(got, exact[i], std::max(1.0, std::abs(exact[i])) * 0.15)
+            << "row " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemvShapes,
+    ::testing::Values(GemvShape{16, 128}, GemvShape{64, 256},
+                      GemvShape{100, 200}, GemvShape{256, 512},
+                      GemvShape{300, 130}, GemvShape{512, 1024}));
+
+TEST(PimBlasGemv, MultiPassAccumulatorsAreCleared)
+{
+    // m > 2 * slots forces several passes through the same CRF loop; the
+    // MOV-from-SRF_A clear must isolate passes.
+    PimSystem sys(testConfig());
+    PimBlas blas(sys);
+    const unsigned slots = sys.numChannels() * sys.config().pim.unitsPerPch;
+    const unsigned m = 2 * slots * 3; // three passes
+    const unsigned n = 128;
+    const auto w = randomVector(std::size_t{m} * n, 13);
+    const auto x = randomVector(n, 14);
+    Fp16Vector y;
+    blas.gemv(w, m, n, x, y);
+    EXPECT_TRUE(bitEqual(y, refGemv(w, m, n, x)));
+}
+
+TEST(PimBlasTiming, FencesCostTime)
+{
+    // Section VII-B: removing the per-window fences speeds PIM kernels
+    // up substantially.
+    PimSystem sys_fenced(testConfig());
+    PimBlas fenced(sys_fenced);
+    PimSystem sys_free(testConfig());
+    PimBlas free(sys_free);
+    free.setUseFences(false);
+    sys_free.controller(0).setOrderedWindow(1);
+
+    const auto a = randomVector(65536, 21);
+    const auto b = randomVector(65536, 22);
+    Fp16Vector out1, out2;
+    const BlasTiming t1 = fenced.add(a, b, out1);
+    const BlasTiming t2 = free.add(a, b, out2);
+    EXPECT_TRUE(bitEqual(out1, out2));
+    EXPECT_GT(t1.ns, t2.ns * 1.3) << "fences should cost >30%";
+    EXPECT_GT(t1.fences, t2.fences);
+}
+
+TEST(PimBlasTiming, TimeScalesWithWork)
+{
+    PimSystem sys(testConfig());
+    PimBlas blas(sys);
+    const auto a1 = randomVector(32768, 31);
+    const auto b1 = randomVector(32768, 32);
+    const auto a2 = randomVector(4 * 32768, 33);
+    const auto b2 = randomVector(4 * 32768, 34);
+    Fp16Vector out;
+    const BlasTiming small = blas.add(a1, b1, out);
+    const BlasTiming large = blas.add(a2, b2, out);
+    EXPECT_GT(large.ns, small.ns * 2.0);
+    EXPECT_LT(large.ns, small.ns * 8.0);
+}
+
+TEST(PimBlasModes, SystemReturnsToSbMode)
+{
+    PimSystem sys(testConfig());
+    PimBlas blas(sys);
+    const auto a = randomVector(1024, 41);
+    const auto b = randomVector(1024, 42);
+    Fp16Vector out;
+    blas.add(a, b, out);
+    for (unsigned ch = 0; ch < sys.numChannels(); ++ch) {
+        ASSERT_NE(sys.controller(ch).pim(), nullptr);
+        EXPECT_EQ(sys.controller(ch).pim()->mode(), PimMode::Sb);
+        EXPECT_FALSE(sys.controller(ch).channel().allBankMode());
+    }
+}
+
+TEST(PimBlasDse, TwoBankAccessReducesCommands)
+{
+    SystemConfig base = testConfig();
+    SystemConfig dse = testConfig();
+    dse.pim = dse.pim.withTwoBankAccess();
+
+    PimSystem sys1(base);
+    PimSystem sys2(dse);
+    PimBlas b1(sys1);
+    PimBlas b2(sys2);
+    const auto a = randomVector(32768, 51);
+    const auto b = randomVector(32768, 52);
+    Fp16Vector o1, o2;
+    const BlasTiming t1 = b1.add(a, b, o1);
+    const BlasTiming t2 = b2.add(a, b, o2);
+    EXPECT_TRUE(bitEqual(o1, o2));
+    EXPECT_LT(t2.commands, t1.commands);
+    EXPECT_LT(t2.ns, t1.ns);
+}
+
+TEST(PimBlasDse, SrwGemvMatchesAndIsFaster)
+{
+    SystemConfig srw = testConfig();
+    srw.pim = srw.pim.withSimultaneousRdWr();
+
+    PimSystem sys1(testConfig());
+    PimSystem sys2(srw);
+    PimBlas b1(sys1);
+    PimBlas b2(sys2);
+    const unsigned m = 256;
+    const unsigned n = 512;
+    const auto w = randomVector(std::size_t{m} * n, 61);
+    const auto x = randomVector(n, 62);
+    Fp16Vector y1, y2;
+    const BlasTiming t1 = b1.gemv(w, m, n, x, y1);
+    const BlasTiming t2 = b2.gemv(w, m, n, x, y2);
+    EXPECT_TRUE(bitEqual(y1, y2));
+    EXPECT_LT(t2.commands, t1.commands);
+    EXPECT_LT(t2.ns, t1.ns);
+}
+
+TEST(PimBlasDse, DoubleResourcesGemvStaysBitExact)
+{
+    // Regression: with a 16-deep GRF the AAM index is col % 16, so the
+    // x-load columns must stay register-aligned (fixed bug).
+    SystemConfig dse = testConfig();
+    dse.pim = dse.pim.withDoubleResources();
+    PimSystem sys(dse);
+    PimBlas blas(sys);
+    const unsigned m = 300;
+    const unsigned n = 500;
+    const auto w = randomVector(std::size_t{m} * n, 81);
+    const auto x = randomVector(n, 82);
+    Fp16Vector y;
+    blas.gemv(w, m, n, x, y);
+    EXPECT_TRUE(bitEqual(y, refGemv(w, m, n, x)));
+}
+
+TEST(PimBlasDse, DoubleResourcesWidensFenceWindow)
+{
+    SystemConfig dse = testConfig();
+    dse.pim = dse.pim.withDoubleResources();
+    PimSystem sys1(testConfig());
+    PimSystem sys2(dse);
+    PimBlas b1(sys1);
+    PimBlas b2(sys2);
+    const auto a = randomVector(65536, 71);
+    const auto b = randomVector(65536, 72);
+    Fp16Vector o1, o2;
+    const BlasTiming t1 = b1.add(a, b, o1);
+    const BlasTiming t2 = b2.add(a, b, o2);
+    EXPECT_TRUE(bitEqual(o1, o2));
+    EXPECT_LT(t2.fences, t1.fences);
+    EXPECT_LT(t2.ns, t1.ns);
+}
+
+} // namespace
+} // namespace pimsim

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Unit tests for the common utilities: bit helpers, RNG determinism,
+ * statistics, and histograms.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/bits.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace pimsim {
+namespace {
+
+// ---------- bits ----------
+
+TEST(Bits, MaskBits)
+{
+    EXPECT_EQ(maskBits(0), 0u);
+    EXPECT_EQ(maskBits(1), 1u);
+    EXPECT_EQ(maskBits(8), 0xffu);
+    EXPECT_EQ(maskBits(64), ~std::uint64_t{0});
+}
+
+TEST(Bits, ExtractInsertRoundTrip)
+{
+    Rng rng(1);
+    for (int i = 0; i < 10000; ++i) {
+        const std::uint64_t value = rng.next();
+        const unsigned lo = static_cast<unsigned>(rng.nextBelow(56));
+        const unsigned width = 1 + static_cast<unsigned>(rng.nextBelow(8));
+        const std::uint64_t field = rng.next() & maskBits(width);
+        const std::uint64_t inserted = insertBits(value, lo, width, field);
+        EXPECT_EQ(extractBits(inserted, lo, width), field);
+        // Bits outside the field are untouched.
+        const std::uint64_t m = maskBits(width) << lo;
+        EXPECT_EQ(inserted & ~m, value & ~m);
+    }
+}
+
+TEST(Bits, PowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(64));
+    EXPECT_FALSE(isPowerOfTwo(65));
+    EXPECT_EQ(exactLog2(1), 0u);
+    EXPECT_EQ(exactLog2(4096), 12u);
+    EXPECT_EQ(floorLog2(5), 2u);
+    EXPECT_EQ(floorLog2(1ull << 40), 40u);
+}
+
+TEST(Bits, RoundUpDivCeil)
+{
+    EXPECT_EQ(roundUp(0, 32), 0u);
+    EXPECT_EQ(roundUp(1, 32), 32u);
+    EXPECT_EQ(roundUp(32, 32), 32u);
+    EXPECT_EQ(divCeil(0, 7), 0u);
+    EXPECT_EQ(divCeil(7, 7), 1u);
+    EXPECT_EQ(divCeil(8, 7), 2u);
+}
+
+// ---------- rng ----------
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(12345);
+    Rng b(12345);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    unsigned equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += a.next() == b.next();
+    EXPECT_LT(equal, 3u);
+}
+
+TEST(Rng, NextBelowRespectsBound)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const std::uint64_t bound = 1 + rng.nextBelow(1000);
+        EXPECT_LT(rng.nextBelow(bound), bound);
+    }
+}
+
+TEST(Rng, NextBelowCoversRange)
+{
+    Rng rng(9);
+    bool seen[8] = {};
+    for (int i = 0; i < 1000; ++i)
+        seen[rng.nextBelow(8)] = true;
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(11);
+    for (int i = 0; i < 10000; ++i) {
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, Fp16InRange)
+{
+    // Floats just below 2 round up to exactly 2.0 in FP16, so the upper
+    // bound is inclusive.
+    Rng rng(13);
+    for (int i = 0; i < 10000; ++i) {
+        const float f = rng.nextFp16().toFloat();
+        EXPECT_GE(f, -2.0f);
+        EXPECT_LE(f, 2.0f);
+    }
+}
+
+TEST(Rng, AnyFiniteNeverInfNan)
+{
+    Rng rng(17);
+    for (int i = 0; i < 50000; ++i) {
+        const Fp16 h = rng.nextFp16AnyFinite();
+        EXPECT_FALSE(h.isInf());
+        EXPECT_FALSE(h.isNan());
+    }
+}
+
+// ---------- stats ----------
+
+TEST(Stats, CountersAccumulate)
+{
+    StatGroup g("test");
+    EXPECT_EQ(g.counter("x"), 0u);
+    g.add("x");
+    g.add("x", 4);
+    EXPECT_EQ(g.counter("x"), 5u);
+}
+
+TEST(Stats, ScalarsSetAndAdd)
+{
+    StatGroup g;
+    g.set("v", 1.5);
+    g.addScalar("v", 0.5);
+    EXPECT_DOUBLE_EQ(g.scalar("v"), 2.0);
+}
+
+TEST(Stats, ResetZeroes)
+{
+    StatGroup g;
+    g.add("a", 10);
+    g.set("b", 3.0);
+    g.reset();
+    EXPECT_EQ(g.counter("a"), 0u);
+    EXPECT_DOUBLE_EQ(g.scalar("b"), 0.0);
+}
+
+TEST(Stats, MergeSums)
+{
+    StatGroup a, b;
+    a.add("x", 2);
+    b.add("x", 3);
+    b.add("y", 1);
+    a.merge(b);
+    EXPECT_EQ(a.counter("x"), 5u);
+    EXPECT_EQ(a.counter("y"), 1u);
+}
+
+TEST(Stats, DumpFormat)
+{
+    StatGroup g("grp");
+    g.add("count", 7);
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_EQ(os.str(), "grp.count 7\n");
+}
+
+TEST(Histogram, BucketsAndStats)
+{
+    Histogram h(10, 5);
+    for (std::uint64_t v : {0u, 5u, 12u, 49u, 100u})
+        h.sample(v);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 100u);
+    EXPECT_DOUBLE_EQ(h.mean(), (0 + 5 + 12 + 49 + 100) / 5.0);
+    EXPECT_EQ(h.buckets()[0], 2u); // 0 and 5
+    EXPECT_EQ(h.buckets()[1], 1u); // 12
+    EXPECT_EQ(h.buckets()[4], 1u); // 49
+    EXPECT_EQ(h.overflow(), 1u);   // 100
+}
+
+TEST(Histogram, EmptyIsSane)
+{
+    Histogram h(10, 4);
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.min(), 0u);
+}
+
+} // namespace
+} // namespace pimsim

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * DRAM substrate tests: address mapping, data store, bank timing and
+ * the pseudo-channel state machine (SB and AB modes).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dram/address.h"
+#include "dram/pseudo_channel.h"
+
+namespace pimsim {
+namespace {
+
+HbmGeometry
+smallGeom()
+{
+    HbmGeometry g;
+    g.rowsPerBank = 256;
+    return g;
+}
+
+// ---------- Address mapping ----------
+
+class AddressMappingTest : public ::testing::TestWithParam<MappingScheme>
+{
+};
+
+TEST_P(AddressMappingTest, RoundTripRandomAddresses)
+{
+    const AddressMapping map(smallGeom(), 64, GetParam());
+    Rng rng(101);
+    for (int i = 0; i < 20000; ++i) {
+        const Addr addr =
+            (rng.nextBelow(map.capacity() / kBurstBytes)) * kBurstBytes;
+        const DramCoord coord = map.decode(addr);
+        EXPECT_EQ(map.encode(coord), addr);
+    }
+}
+
+TEST_P(AddressMappingTest, RoundTripRandomCoords)
+{
+    const HbmGeometry g = smallGeom();
+    const AddressMapping map(g, 16, GetParam());
+    Rng rng(103);
+    for (int i = 0; i < 20000; ++i) {
+        DramCoord coord;
+        coord.channel = static_cast<unsigned>(rng.nextBelow(16));
+        coord.bankGroup =
+            static_cast<unsigned>(rng.nextBelow(g.bankGroupsPerPch));
+        coord.bank =
+            static_cast<unsigned>(rng.nextBelow(g.banksPerBankGroup));
+        coord.row = static_cast<unsigned>(rng.nextBelow(g.rowsPerBank));
+        coord.col = static_cast<unsigned>(rng.nextBelow(g.colsPerRow));
+        EXPECT_EQ(map.decode(map.encode(coord)), coord);
+    }
+}
+
+TEST_P(AddressMappingTest, DistinctAddressesDistinctCoords)
+{
+    const AddressMapping map(smallGeom(), 4, GetParam());
+    const DramCoord a = map.decode(0);
+    const DramCoord b = map.decode(kBurstBytes);
+    EXPECT_NE(map.encode(a), map.encode(b));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, AddressMappingTest,
+                         ::testing::Values(MappingScheme::ChBgColBaRo,
+                                           MappingScheme::ChColBgBaRo,
+                                           MappingScheme::RoColBgBaCh));
+
+TEST(AddressMapping, ChannelInterleaveIsFine)
+{
+    // With the default scheme, consecutive bursts hit different channels.
+    const AddressMapping map(smallGeom(), 64);
+    EXPECT_EQ(map.decode(0).channel, 0u);
+    EXPECT_EQ(map.decode(kBurstBytes).channel, 1u);
+    EXPECT_EQ(map.decode(63 * kBurstBytes).channel, 63u);
+    EXPECT_EQ(map.decode(64 * kBurstBytes).channel, 0u);
+}
+
+// ---------- Data store ----------
+
+TEST(DataStore, ReadsZeroWhenUntouched)
+{
+    DataStore store(smallGeom());
+    const Burst b = store.read(3, 10, 5);
+    for (auto byte : b)
+        EXPECT_EQ(byte, 0);
+    EXPECT_EQ(store.allocatedBytes(), 0u);
+}
+
+TEST(DataStore, WriteReadRoundTrip)
+{
+    DataStore store(smallGeom());
+    Rng rng(107);
+    for (int i = 0; i < 5000; ++i) {
+        const unsigned bank = static_cast<unsigned>(rng.nextBelow(16));
+        const unsigned row = static_cast<unsigned>(rng.nextBelow(256));
+        const unsigned col = static_cast<unsigned>(rng.nextBelow(32));
+        Burst data;
+        for (auto &byte : data)
+            byte = static_cast<std::uint8_t>(rng.nextBelow(256));
+        store.write(bank, row, col, data);
+        EXPECT_EQ(store.read(bank, row, col), data);
+    }
+}
+
+TEST(DataStore, ColumnsAreIndependent)
+{
+    DataStore store(smallGeom());
+    Burst a{};
+    a.fill(0xaa);
+    Burst b{};
+    b.fill(0xbb);
+    store.write(0, 0, 0, a);
+    store.write(0, 0, 1, b);
+    EXPECT_EQ(store.read(0, 0, 0), a);
+    EXPECT_EQ(store.read(0, 0, 1), b);
+    // Untouched column in an allocated row reads zero.
+    EXPECT_EQ(store.read(0, 0, 2), Burst{});
+}
+
+// ---------- Pseudo channel timing ----------
+
+struct PchFixture : public ::testing::Test
+{
+    PchFixture() : pch(smallGeom(), timing) {}
+
+    /** Issue when legal, returning the issue cycle. */
+    Cycle
+    issueNext(const Command &cmd)
+    {
+        now = pch.earliestIssue(cmd, now);
+        pch.issue(cmd, now);
+        return now;
+    }
+
+    HbmTiming timing;
+    PseudoChannel pch;
+    Cycle now = 0;
+};
+
+TEST_F(PchFixture, ActToReadHonoursTrcd)
+{
+    const Cycle act = issueNext(Command::act(0, 0, 5));
+    const Cycle rd = issueNext(Command::rd(0, 0, 0));
+    EXPECT_GE(rd - act, timing.tRCDRD);
+}
+
+TEST_F(PchFixture, ActToPreHonoursTras)
+{
+    const Cycle act = issueNext(Command::act(1, 2, 9));
+    const Cycle pre = issueNext(Command::pre(1, 2));
+    EXPECT_GE(pre - act, timing.tRAS);
+}
+
+TEST_F(PchFixture, PreToActHonoursTrp)
+{
+    issueNext(Command::act(0, 0, 1));
+    const Cycle pre = issueNext(Command::pre(0, 0));
+    const Cycle act = issueNext(Command::act(0, 0, 2));
+    EXPECT_GE(act - pre, timing.tRP);
+}
+
+TEST_F(PchFixture, BackToBackReadsSameBankGroupUseTccdL)
+{
+    issueNext(Command::act(0, 0, 1));
+    issueNext(Command::act(0, 1, 1));
+    const Cycle rd1 = issueNext(Command::rd(0, 0, 0));
+    const Cycle rd2 = issueNext(Command::rd(0, 1, 0));
+    EXPECT_GE(rd2 - rd1, timing.tCCDL);
+}
+
+TEST_F(PchFixture, BackToBackReadsAcrossBankGroupsUseTccdS)
+{
+    issueNext(Command::act(0, 0, 1));
+    issueNext(Command::act(1, 0, 1));
+    now += 100; // both banks long past tRCD
+    const Cycle rd1 = issueNext(Command::rd(0, 0, 0));
+    const Cycle rd2 = issueNext(Command::rd(1, 0, 0));
+    EXPECT_EQ(rd2 - rd1, timing.tCCDS);
+}
+
+TEST_F(PchFixture, WriteToReadTurnaround)
+{
+    issueNext(Command::act(0, 0, 1));
+    Burst data{};
+    const Cycle wr = issueNext(Command::wr(0, 0, 0, data));
+    const Cycle rd = issueNext(Command::rd(0, 0, 1));
+    EXPECT_GE(rd - wr, timing.tCWL + timing.tBL + timing.tWTRL);
+}
+
+TEST_F(PchFixture, FourActivateWindow)
+{
+    // Five activates to different bank groups: the fifth must respect
+    // tFAW relative to the first.
+    std::vector<Cycle> acts;
+    for (unsigned i = 0; i < 5; ++i)
+        acts.push_back(issueNext(Command::act(i % 4, i / 4, 1)));
+    EXPECT_GE(acts[4] - acts[0], timing.tFAW);
+}
+
+TEST_F(PchFixture, FunctionalReadBack)
+{
+    issueNext(Command::act(2, 1, 7));
+    Burst data;
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<std::uint8_t>(i * 3 + 1);
+    issueNext(Command::wr(2, 1, 4, data));
+    now += 100;
+    const IssueResult r = pch.issue(
+        Command::rd(2, 1, 4), pch.earliestIssue(Command::rd(2, 1, 4), now));
+    EXPECT_EQ(r.data, data);
+    EXPECT_NE(r.dataCycle, kNoCycle);
+}
+
+TEST_F(PchFixture, ReadLatencyIsDeterministic)
+{
+    // PIM's key enabling property (Section III-A): every column command
+    // completes with the same fixed latency, whenever it issues.
+    issueNext(Command::act(0, 0, 3));
+    std::vector<Cycle> latencies;
+    for (unsigned i = 0; i < 8; ++i) {
+        const Command cmd = Command::rd(0, 0, i);
+        now = pch.earliestIssue(cmd, now + i * 13); // jittered issue times
+        const IssueResult r = pch.issue(cmd, now);
+        latencies.push_back(r.dataCycle - now);
+    }
+    for (Cycle lat : latencies)
+        EXPECT_EQ(lat, timing.tCL + timing.tBL);
+}
+
+TEST_F(PchFixture, AllBankModeAppliesToEveryBank)
+{
+    pch.setAllBankMode(true);
+    issueNext(Command::act(0, 0, 5));
+    for (unsigned b = 0; b < 16; ++b) {
+        EXPECT_EQ(pch.bank(b).state, BankState::Active);
+        EXPECT_EQ(pch.bank(b).openRow, 5u);
+    }
+    Burst data{};
+    data.fill(0x5a);
+    issueNext(Command::wr(0, 0, 3, data));
+    // AB-mode write broadcasts to every bank.
+    for (unsigned b = 0; b < 16; ++b)
+        EXPECT_EQ(pch.dataStore().read(b, 5, 3), data);
+    issueNext(Command::preAll());
+    EXPECT_TRUE(pch.allBanksIdle());
+}
+
+TEST_F(PchFixture, AbModeColumnsPacedAtTccdL)
+{
+    pch.setAllBankMode(true);
+    issueNext(Command::act(0, 0, 1));
+    const Cycle rd1 = issueNext(Command::rd(0, 0, 0));
+    const Cycle rd2 = issueNext(Command::rd(0, 0, 1));
+    EXPECT_EQ(rd2 - rd1, timing.tCCDL);
+}
+
+TEST_F(PchFixture, RefreshBlocksActivates)
+{
+    issueNext(Command::act(0, 0, 1));
+    issueNext(Command::preAll());
+    const Cycle ref = issueNext(Command::refresh());
+    const Cycle act = issueNext(Command::act(0, 0, 1));
+    EXPECT_GE(act - ref, timing.tRFC);
+}
+
+} // namespace
+} // namespace pimsim

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Unit and property tests for the software FP16/BF16 datapaths.
+ */
+
+#include <cmath>
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "common/bf16.h"
+#include "common/fp16.h"
+#include "common/rng.h"
+
+namespace pimsim {
+namespace {
+
+TEST(Fp16, BasicConstants)
+{
+    EXPECT_EQ(Fp16(0.0f).bits(), 0x0000u);
+    EXPECT_EQ(Fp16(-0.0f).bits(), 0x8000u);
+    EXPECT_EQ(Fp16(1.0f).bits(), 0x3c00u);
+    EXPECT_EQ(Fp16(-1.0f).bits(), 0xbc00u);
+    EXPECT_EQ(Fp16(2.0f).bits(), 0x4000u);
+    EXPECT_EQ(Fp16(0.5f).bits(), 0x3800u);
+    EXPECT_EQ(Fp16(65504.0f).bits(), 0x7bffu); // max finite
+    EXPECT_EQ(Fp16(-65504.0f).bits(), 0xfbffu);
+}
+
+TEST(Fp16, RoundTripExactValues)
+{
+    // Every binary16 value converts to float and back identically.
+    for (unsigned bits = 0; bits <= 0xffffu; ++bits) {
+        const Fp16 h = Fp16::fromBits(static_cast<Fp16Bits>(bits));
+        if (h.isNan())
+            continue; // NaN payload representation may differ
+        const Fp16 round_trip(h.toFloat());
+        EXPECT_EQ(round_trip.bits(), h.bits()) << "bits=" << bits;
+    }
+}
+
+TEST(Fp16, NanPreserved)
+{
+    const Fp16 nan = Fp16::fromBits(0x7e01);
+    EXPECT_TRUE(nan.isNan());
+    EXPECT_TRUE(std::isnan(nan.toFloat()));
+    EXPECT_TRUE(Fp16(std::nanf("")).isNan());
+}
+
+TEST(Fp16, InfinityHandling)
+{
+    const Fp16 inf(1e10f);
+    EXPECT_TRUE(inf.isInf());
+    EXPECT_FALSE(inf.signBit());
+    const Fp16 ninf(-1e10f);
+    EXPECT_TRUE(ninf.isInf());
+    EXPECT_TRUE(ninf.signBit());
+    // 65520 is the smallest value that rounds to infinity.
+    EXPECT_TRUE(Fp16(65520.0f).isInf());
+    EXPECT_FALSE(Fp16(65519.0f).isInf());
+    EXPECT_EQ(Fp16(65519.0f).bits(), 0x7bffu);
+}
+
+TEST(Fp16, SubnormalsConvert)
+{
+    const float min_sub = std::ldexp(1.0f, -24);
+    EXPECT_EQ(Fp16(min_sub).bits(), 0x0001u);
+    EXPECT_FLOAT_EQ(Fp16::fromBits(0x0001).toFloat(), min_sub);
+    const float max_sub = std::ldexp(1023.0f, -24);
+    EXPECT_EQ(Fp16(max_sub).bits(), 0x03ffu);
+    // Below half of the min subnormal rounds to zero.
+    EXPECT_EQ(Fp16(std::ldexp(1.0f, -26)).bits(), 0x0000u);
+    // Exactly half ties to even -> zero.
+    EXPECT_EQ(Fp16(std::ldexp(1.0f, -25)).bits(), 0x0000u);
+    // Just above half rounds up to the min subnormal.
+    EXPECT_EQ(Fp16(std::ldexp(1.1f, -25)).bits(), 0x0001u);
+}
+
+TEST(Fp16, RoundToNearestEven)
+{
+    // 1 + 2^-11 is exactly halfway between 1.0 and the next half value;
+    // RNE keeps the even mantissa (1.0).
+    EXPECT_EQ(Fp16(1.0f + std::ldexp(1.0f, -11)).bits(), 0x3c00u);
+    // 1 + 3*2^-11 is halfway between odd and even; rounds up to even.
+    EXPECT_EQ(Fp16(1.0f + 3 * std::ldexp(1.0f, -11)).bits(), 0x3c02u);
+    // Slightly above the halfway point rounds up.
+    EXPECT_EQ(Fp16(1.0f + std::ldexp(1.2f, -11)).bits(), 0x3c01u);
+}
+
+TEST(Fp16, ConversionMatchesHardwareFp16)
+{
+#if defined(__F16C__) || defined(__aarch64__)
+    // When the platform has native conversions, compare exhaustively.
+    Rng rng(7);
+    for (int i = 0; i < 200000; ++i) {
+        const float f = rng.nextFloat(-70000.0f, 70000.0f);
+        const Fp16 ours(f);
+        const _Float16 native = static_cast<_Float16>(f);
+        Fp16Bits native_bits;
+        std::memcpy(&native_bits, &native, sizeof(native_bits));
+        EXPECT_EQ(ours.bits(), native_bits) << "f=" << f;
+    }
+#else
+    GTEST_SKIP() << "no native FP16 support on this platform";
+#endif
+}
+
+TEST(Fp16, AddProperties)
+{
+    Rng rng(11);
+    for (int i = 0; i < 20000; ++i) {
+        const Fp16 a = rng.nextFp16();
+        const Fp16 b = rng.nextFp16();
+        // Commutativity.
+        EXPECT_EQ(fp16Add(a, b).bits(), fp16Add(b, a).bits());
+        // Identity.
+        EXPECT_EQ(fp16Add(a, Fp16(0.0f)).bits(), a.bits());
+        // Correct rounding: float add of two halves is exact.
+        EXPECT_EQ(fp16Add(a, b).bits(),
+                  Fp16(a.toFloat() + b.toFloat()).bits());
+    }
+}
+
+TEST(Fp16, MulProperties)
+{
+    Rng rng(13);
+    for (int i = 0; i < 20000; ++i) {
+        const Fp16 a = rng.nextFp16();
+        const Fp16 b = rng.nextFp16();
+        EXPECT_EQ(fp16Mul(a, b).bits(), fp16Mul(b, a).bits());
+        EXPECT_EQ(fp16Mul(a, Fp16(1.0f)).bits(), a.bits());
+        EXPECT_EQ(fp16Mul(a, b).bits(),
+                  Fp16(a.toFloat() * b.toFloat()).bits());
+    }
+}
+
+TEST(Fp16, MacIsNonFused)
+{
+    // MAC must round the product before adding (two roundings).
+    Rng rng(17);
+    for (int i = 0; i < 20000; ++i) {
+        const Fp16 a = rng.nextFp16();
+        const Fp16 b = rng.nextFp16();
+        const Fp16 c = rng.nextFp16();
+        const Fp16 expected = fp16Add(fp16Mul(a, b), c);
+        EXPECT_EQ(fp16Mac(a, b, c).bits(), expected.bits());
+    }
+}
+
+TEST(Fp16, ReluIsSignBitMux)
+{
+    EXPECT_EQ(fp16Relu(Fp16(3.5f)).bits(), Fp16(3.5f).bits());
+    EXPECT_EQ(fp16Relu(Fp16(-3.5f)).bits(), 0x0000u);
+    EXPECT_EQ(fp16Relu(Fp16(-0.0f)).bits(), 0x0000u);
+    EXPECT_EQ(fp16Relu(Fp16(0.0f)).bits(), 0x0000u);
+    // Negative NaN flushes to zero (hardware muxes on the sign bit).
+    EXPECT_EQ(fp16Relu(Fp16::fromBits(0xfe01)).bits(), 0x0000u);
+    // Positive NaN passes through.
+    EXPECT_TRUE(fp16Relu(Fp16::fromBits(0x7e01)).isNan());
+    // Positive infinity passes through.
+    EXPECT_TRUE(fp16Relu(Fp16::fromBits(0x7c00)).isInf());
+}
+
+TEST(Fp16, AllFiniteValuesSurviveRandomOps)
+{
+    // Property: ops on arbitrary finite inputs never produce trap
+    // representations; results are always valid FP16 bit patterns.
+    Rng rng(19);
+    for (int i = 0; i < 50000; ++i) {
+        const Fp16 a = rng.nextFp16AnyFinite();
+        const Fp16 b = rng.nextFp16AnyFinite();
+        const Fp16 sum = fp16Add(a, b);
+        const Fp16 prod = fp16Mul(a, b);
+        const float fs = sum.toFloat();
+        const float fp = prod.toFloat();
+        (void)fs;
+        (void)fp;
+        EXPECT_EQ(sum.bits(), Fp16(a.toFloat() + b.toFloat()).bits());
+        EXPECT_EQ(prod.bits(), Fp16(a.toFloat() * b.toFloat()).bits());
+    }
+}
+
+TEST(Bf16, BasicConstants)
+{
+    EXPECT_EQ(Bf16(0.0f).bits(), 0x0000u);
+    EXPECT_EQ(Bf16(1.0f).bits(), 0x3f80u);
+    EXPECT_EQ(Bf16(-2.0f).bits(), 0xc000u);
+}
+
+TEST(Bf16, RoundTrip)
+{
+    for (unsigned bits = 0; bits <= 0xffffu; ++bits) {
+        const Bf16 b = Bf16::fromBits(static_cast<std::uint16_t>(bits));
+        if (b.isNan())
+            continue;
+        EXPECT_EQ(Bf16(b.toFloat()).bits(), b.bits()) << "bits=" << bits;
+    }
+}
+
+TEST(Bf16, WiderDynamicRangeThanFp16)
+{
+    // The motivation in Section III-C: BF16 keeps FP32's exponent.
+    const float big = 1e20f;
+    EXPECT_TRUE(Fp16(big).isInf());
+    EXPECT_FALSE(Bf16(big).isNan());
+    EXPECT_FALSE(Bf16(big).isInf());
+    EXPECT_NEAR(Bf16(big).toFloat(), big, big * 0.01f);
+}
+
+TEST(Bf16, RneRounding)
+{
+    Rng rng(23);
+    for (int i = 0; i < 20000; ++i) {
+        const float f = rng.nextFloat(-1000.0f, 1000.0f);
+        const Bf16 b(f);
+        // Result must be one of the two neighbouring representable
+        // values, and within half a ULP.
+        const float back = b.toFloat();
+        const float ulp = std::ldexp(1.0f, std::ilogb(f) - 7);
+        EXPECT_LE(std::abs(back - f), ulp * 0.5f + 1e-30f) << f;
+    }
+}
+
+TEST(Bf16, MacMatchesTwoStepRounding)
+{
+    Rng rng(29);
+    for (int i = 0; i < 10000; ++i) {
+        const Bf16 a(rng.nextFloat(-2.0f, 2.0f));
+        const Bf16 b(rng.nextFloat(-2.0f, 2.0f));
+        const Bf16 c(rng.nextFloat(-2.0f, 2.0f));
+        EXPECT_EQ(bf16Mac(a, b, c).bits(),
+                  bf16Add(bf16Mul(a, b), c).bits());
+    }
+}
+
+} // namespace
+} // namespace pimsim

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Framework ("PIM custom op") tests: the six ops of Section V-A run on
+ * the simulated hardware and match the host references bit-exactly,
+ * including the full LSTM forward pass.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "stack/framework.h"
+#include "stack/reference.h"
+
+namespace pimsim {
+namespace {
+
+SystemConfig
+testConfig()
+{
+    SystemConfig c = SystemConfig::pimHbmSystem();
+    c.numStacks = 1;
+    c.geometry.rowsPerBank = 512;
+    return c;
+}
+
+Fp16Vector
+randomVector(std::size_t n, std::uint64_t seed, float lo = -2.0f,
+             float hi = 2.0f)
+{
+    Rng rng(seed);
+    Fp16Vector v(n);
+    for (auto &x : v)
+        x = Fp16(rng.nextFloat(lo, hi));
+    return v;
+}
+
+bool
+bitEqual(const Fp16Vector &a, const Fp16Vector &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        if (a[i].bits() != b[i].bits())
+            return false;
+    return true;
+}
+
+TEST(PimOps, AddMulRelu)
+{
+    PimSystem sys(testConfig());
+    PimOps ops(sys);
+    const auto a = randomVector(5000, 1);
+    const auto b = randomVector(5000, 2);
+    EXPECT_TRUE(bitEqual(ops.add(a, b), refAdd(a, b)));
+    EXPECT_TRUE(bitEqual(ops.mul(a, b), refMul(a, b)));
+    EXPECT_TRUE(bitEqual(ops.relu(a), refRelu(a)));
+    EXPECT_EQ(ops.profile().pimKernelCalls, 3u);
+    EXPECT_GT(ops.profile().pimNs, 0.0);
+}
+
+TEST(PimOps, Bn)
+{
+    PimSystem sys(testConfig());
+    PimOps ops(sys);
+    const unsigned slots =
+        sys.numChannels() * sys.config().pim.unitsPerPch;
+    const auto a = randomVector(9000, 3);
+    const auto gamma = randomVector(8, 4);
+    const auto beta = randomVector(8, 5);
+    EXPECT_TRUE(bitEqual(ops.bn(a, gamma, beta),
+                         refBn(a, gamma, beta, slots)));
+}
+
+TEST(PimOps, Gemv)
+{
+    PimSystem sys(testConfig());
+    PimOps ops(sys);
+    const unsigned m = 96;
+    const unsigned n = 160;
+    const auto w = randomVector(std::size_t{m} * n, 6);
+    const auto x = randomVector(n, 7);
+    EXPECT_TRUE(bitEqual(ops.gemv(w, m, n, x), refGemv(w, m, n, x)));
+}
+
+TEST(PimOps, LstmMatchesReferenceBitExactly)
+{
+    PimSystem sys(testConfig());
+    PimOps ops(sys);
+
+    const unsigned hidden = 64;
+    const unsigned steps = 6;
+    LstmWeights weights;
+    weights.hidden = hidden;
+    weights.input = hidden;
+    weights.w = randomVector(std::size_t{4} * hidden * 2 * hidden, 8,
+                             -0.1f, 0.1f);
+    weights.bias = randomVector(4 * hidden, 9, -0.05f, 0.05f);
+
+    std::vector<Fp16Vector> inputs;
+    for (unsigned t = 0; t < steps; ++t)
+        inputs.push_back(randomVector(hidden, 100 + t, -1.0f, 1.0f));
+
+    const auto got = ops.lstm(weights, inputs);
+    const auto expected = refLstm(weights, inputs);
+    ASSERT_EQ(got.size(), steps);
+    for (unsigned t = 0; t < steps; ++t)
+        EXPECT_TRUE(bitEqual(got[t], expected[t])) << "step " << t;
+    // One gate GEMV kernel per step.
+    EXPECT_EQ(ops.profile().pimKernelCalls, steps);
+}
+
+TEST(PimOps, LstmStateIsBounded)
+{
+    // Property: sigmoid/tanh gating keeps |h| <= 1 regardless of inputs.
+    PimSystem sys(testConfig());
+    PimOps ops(sys);
+    const unsigned hidden = 32;
+    LstmWeights weights;
+    weights.hidden = hidden;
+    weights.input = hidden;
+    weights.w = randomVector(std::size_t{4} * hidden * 2 * hidden, 21);
+    weights.bias = randomVector(4 * hidden, 22);
+    std::vector<Fp16Vector> inputs(10, randomVector(hidden, 23));
+    for (const auto &h : ops.lstm(weights, inputs))
+        for (const auto &v : h)
+            EXPECT_LE(std::abs(v.toFloat()), 1.0f);
+}
+
+TEST(PimOps, ProfileResets)
+{
+    PimSystem sys(testConfig());
+    PimOps ops(sys);
+    ops.add(randomVector(100, 31), randomVector(100, 32));
+    EXPECT_GT(ops.profile().pimKernelCalls, 0u);
+    ops.resetProfile();
+    EXPECT_EQ(ops.profile().pimKernelCalls, 0u);
+    EXPECT_DOUBLE_EQ(ops.profile().pimNs, 0.0);
+}
+
+} // namespace
+} // namespace pimsim

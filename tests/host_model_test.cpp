@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Host-baseline model tests: stream bandwidth sanity, the GEMV issue
+ * model's scaling behaviour, batch amortisation, and LLC miss-rate
+ * trends (the Fig. 10 series).
+ */
+
+#include <gtest/gtest.h>
+
+#include "host/host_model.h"
+
+namespace pimsim {
+namespace {
+
+SystemConfig
+hbm()
+{
+    return SystemConfig::hbmSystem();
+}
+
+TEST(HostStream, AchievesMostOfPeakOnReads)
+{
+    PimSystem sys(hbm());
+    HostModel host(sys);
+    const std::uint64_t bytes = 32ull << 20;
+    const double ns = host.simulateStreamNs(bytes, 0.0);
+    const double gbs = bytes / ns;
+    EXPECT_GT(gbs, 0.75 * sys.config().offChipBandwidthGBs());
+    EXPECT_LT(gbs, sys.config().offChipBandwidthGBs());
+}
+
+TEST(HostStream, WritesCostTurnarounds)
+{
+    PimSystem sys(hbm());
+    HostModel host(sys);
+    const std::uint64_t bytes = 16ull << 20;
+    const double reads = host.simulateStreamNs(bytes, 0.0);
+    const double mixed = host.simulateStreamNs(bytes + 1, 0.33);
+    EXPECT_GT(mixed, reads);
+    EXPECT_LT(mixed, reads * 1.6);
+}
+
+TEST(HostStream, ScalesWithBytes)
+{
+    PimSystem sys(hbm());
+    HostModel host(sys);
+    const double small = host.simulateStreamNs(4ull << 20, 0.0);
+    const double large = host.simulateStreamNs(16ull << 20, 0.0);
+    EXPECT_GT(large, small * 3.0);
+    EXPECT_LT(large, small * 5.0);
+}
+
+TEST(HostStream, Memoised)
+{
+    PimSystem sys(hbm());
+    HostModel host(sys);
+    const double a = host.simulateStreamNs(8ull << 20, 0.0);
+    const double b = host.simulateStreamNs(8ull << 20, 0.0);
+    EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(HostGemv, SmallMCannotFillTheMachine)
+{
+    // 1024 rows occupy only 16 of 60 CUs; doubling M at fixed total
+    // loads-per-row keeps time flat (more CUs absorb the extra work).
+    PimSystem sys(hbm());
+    HostModel host(sys);
+    const auto small = host.gemv(1024, 4096, 1);
+    const auto dbl = host.gemv(2048, 4096, 1);
+    EXPECT_NEAR(dbl.ns, small.ns, small.ns * 0.05);
+}
+
+TEST(HostGemv, IssueBoundAtBatchOne)
+{
+    PimSystem sys(hbm());
+    HostModel host(sys);
+    const auto r = host.gemv(4096, 8192, 1);
+    EXPECT_GT(r.issueNs, r.dramNs);
+    EXPECT_GT(r.issueNs, r.computeNs);
+}
+
+TEST(HostGemv, BatchingAmortises)
+{
+    PimSystem sys(hbm());
+    HostModel host(sys);
+    const auto b1 = host.gemv(8192, 8192, 1);
+    const auto b2 = host.gemv(8192, 8192, 2);
+    const auto b4 = host.gemv(8192, 8192, 4);
+    EXPECT_LT(b2.ns, b1.ns);
+    EXPECT_LT(b4.ns, b2.ns);
+    // Sub-linear amortisation: batch 4 is not 4x faster.
+    EXPECT_GT(b4.ns, b1.ns / 4.0);
+}
+
+TEST(HostGemv, LlcMissRateFollowsFig10)
+{
+    PimSystem sys(hbm());
+    HostModel host(sys);
+    const double m1 = host.gemv(2048, 4096, 1).llcMissRate;
+    const double m2 = host.gemv(2048, 4096, 2).llcMissRate;
+    const double m4 = host.gemv(2048, 4096, 4).llcMissRate;
+    EXPECT_GT(m1, 0.95);       // ~100% at batch 1
+    EXPECT_LT(m2, m1);
+    EXPECT_LT(m4, m2);
+    EXPECT_GT(m4, 0.65);       // 70-80% at batch 4
+    EXPECT_LT(m4, 0.85);
+}
+
+TEST(HostElementwise, StreamsAtFullMissRate)
+{
+    PimSystem sys(hbm());
+    HostModel host(sys);
+    const auto r = host.elementwise(8ull << 20, 4ull << 20);
+    EXPECT_DOUBLE_EQ(r.llcMissRate, 1.0);
+    EXPECT_GT(r.ns, 0.0);
+}
+
+TEST(HostCompute, LinearInFlops)
+{
+    PimSystem sys(hbm());
+    HostModel host(sys);
+    const auto one = host.computeBound(1e9);
+    const auto two = host.computeBound(2e9);
+    const double launch = sys.config().host.kernelLaunchNs;
+    EXPECT_NEAR(two.ns - launch, 2.0 * (one.ns - launch),
+                (one.ns - launch) * 0.01);
+}
+
+TEST(HostBandwidth, X4SystemStreamsFaster)
+{
+    PimSystem base(hbm());
+    HostModel host_base(base);
+    PimSystem x4(SystemConfig::hbmX4System());
+    HostModel host_x4(x4);
+    const std::uint64_t bytes = 64ull << 20;
+    const double t_base = host_base.simulateStreamNs(bytes, 0.0);
+    const double t_x4 = host_x4.simulateStreamNs(bytes, 0.0);
+    EXPECT_LT(t_x4, t_base / 3.0);
+}
+
+} // namespace
+} // namespace pimsim

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * PIM ISA tests: Table III encoding round-trips and the Table II
+ * operand-combination counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "pim/isa.h"
+
+namespace pimsim {
+namespace {
+
+TEST(PimIsa, Table2CombinationCounts)
+{
+    // Table II of the paper: MUL 32, ADD 40, MAC 14, MAD 28, MOV 24.
+    EXPECT_EQ(countCombinations(PimOpcode::Mul), 32u);
+    EXPECT_EQ(countCombinations(PimOpcode::Add), 40u);
+    EXPECT_EQ(countCombinations(PimOpcode::Mac), 14u);
+    EXPECT_EQ(countCombinations(PimOpcode::Mad), 28u);
+    EXPECT_EQ(countCombinations(PimOpcode::Mov), 24u);
+
+    // "PIM supports a total of 114 operand combinations for computations,
+    // and 24 different ways of data movement" (Section III-C).
+    const unsigned compute = countCombinations(PimOpcode::Mul) +
+                             countCombinations(PimOpcode::Add) +
+                             countCombinations(PimOpcode::Mac) +
+                             countCombinations(PimOpcode::Mad);
+    EXPECT_EQ(compute, 114u);
+}
+
+TEST(PimIsa, NoDoubleBankRead)
+{
+    for (PimOpcode op : {PimOpcode::Add, PimOpcode::Mul, PimOpcode::Mac,
+                         PimOpcode::Mad}) {
+        for (const auto &combo : enumerateCompute(op)) {
+            EXPECT_FALSE(isBankSpace(combo[0]) && isBankSpace(combo[1]))
+                << pimOpcodeName(op);
+        }
+    }
+}
+
+TEST(PimIsa, MacAccumulatesIntoGrfB)
+{
+    for (const auto &combo : enumerateCompute(PimOpcode::Mac))
+        EXPECT_EQ(combo[2], OperandSpace::GrfB);
+}
+
+TEST(PimIsa, ControlEncodingRoundTrip)
+{
+    for (unsigned imm0 : {0u, 1u, 7u, 31u, 2047u}) {
+        for (unsigned imm1 : {0u, 1u, 8u, 255u, 65535u}) {
+            const PimInst jump = PimInst::jump(imm0, imm1);
+            const PimInst decoded = PimInst::decode(jump.encode());
+            EXPECT_EQ(decoded.opcode, PimOpcode::Jump);
+            EXPECT_EQ(decoded.imm0, imm0);
+            EXPECT_EQ(decoded.imm1, imm1);
+
+            const PimInst nop = PimInst::nop(imm0);
+            EXPECT_EQ(PimInst::decode(nop.encode()).imm0, imm0);
+        }
+    }
+    EXPECT_EQ(PimInst::decode(PimInst::exit().encode()).opcode,
+              PimOpcode::Exit);
+}
+
+TEST(PimIsa, DataAluEncodingRoundTripExhaustiveSpaces)
+{
+    const OperandSpace spaces[] = {
+        OperandSpace::GrfA,    OperandSpace::GrfB, OperandSpace::EvenBank,
+        OperandSpace::OddBank, OperandSpace::SrfM, OperandSpace::SrfA,
+    };
+    for (OperandSpace dst : spaces) {
+        for (OperandSpace s0 : spaces) {
+            for (OperandSpace s1 : spaces) {
+                PimInst inst = PimInst::mac(dst, 3, s0, 5, s1, 7);
+                const PimInst d = PimInst::decode(inst.encode());
+                EXPECT_EQ(d, inst);
+                EXPECT_EQ(d.dst, dst);
+                EXPECT_EQ(d.src0, s0);
+                EXPECT_EQ(d.src1, s1);
+                EXPECT_EQ(d.dstIdx, 3u);
+                EXPECT_EQ(d.src0Idx, 5u);
+                EXPECT_EQ(d.src1Idx, 7u);
+            }
+        }
+    }
+}
+
+TEST(PimIsa, FlagsRoundTrip)
+{
+    PimInst mov = PimInst::mov(OperandSpace::GrfA, 1, OperandSpace::EvenBank,
+                               0, /*relu=*/true, /*aam=*/true);
+    PimInst d = PimInst::decode(mov.encode());
+    EXPECT_TRUE(d.relu);
+    EXPECT_TRUE(d.aam);
+
+    mov.relu = false;
+    d = PimInst::decode(mov.encode());
+    EXPECT_FALSE(d.relu);
+    EXPECT_TRUE(d.aam);
+}
+
+TEST(PimIsa, RandomRoundTripProperty)
+{
+    Rng rng(31);
+    for (int i = 0; i < 50000; ++i) {
+        // Any 32-bit word decodes; re-encoding a decoded ALU/data word
+        // preserves all architectural fields (unused bits are dropped).
+        const PimOpcode ops[] = {PimOpcode::Nop, PimOpcode::Jump,
+                                 PimOpcode::Exit, PimOpcode::Mov,
+                                 PimOpcode::Fill, PimOpcode::Add,
+                                 PimOpcode::Mul, PimOpcode::Mac,
+                                 PimOpcode::Mad};
+        PimInst inst;
+        inst.opcode = ops[rng.nextBelow(9)];
+        if (isControlOpcode(inst.opcode)) {
+            inst.imm0 = static_cast<unsigned>(rng.nextBelow(2048));
+            inst.imm1 = static_cast<unsigned>(rng.nextBelow(65536));
+        } else {
+            inst.dst = static_cast<OperandSpace>(rng.nextBelow(6));
+            inst.src0 = static_cast<OperandSpace>(rng.nextBelow(6));
+            inst.src1 = static_cast<OperandSpace>(rng.nextBelow(6));
+            inst.src2 = static_cast<OperandSpace>(rng.nextBelow(6));
+            inst.dstIdx = static_cast<unsigned>(rng.nextBelow(16));
+            inst.src0Idx = static_cast<unsigned>(rng.nextBelow(16));
+            inst.src1Idx = static_cast<unsigned>(rng.nextBelow(16));
+            inst.aam = rng.nextBelow(2) != 0;
+            inst.relu = rng.nextBelow(2) != 0;
+        }
+        EXPECT_EQ(PimInst::decode(inst.encode()), inst);
+    }
+}
+
+TEST(PimIsa, DisassemblyIsReadable)
+{
+    EXPECT_EQ(PimInst::exit().disassemble(), "EXIT");
+    EXPECT_EQ(PimInst::jump(3, 8).disassemble(), "JUMP -3, x8");
+    const auto mac = PimInst::mac(OperandSpace::GrfB, 0,
+                                  OperandSpace::EvenBank, 0,
+                                  OperandSpace::GrfA, 2);
+    EXPECT_EQ(mac.disassemble(), "MAC GRF_B[0], EVEN_BANK[0], GRF_A[2]");
+}
+
+TEST(PimIsa, SpaceClassification)
+{
+    EXPECT_TRUE(isGrfSpace(OperandSpace::GrfA));
+    EXPECT_TRUE(isGrfSpace(OperandSpace::GrfB));
+    EXPECT_TRUE(isBankSpace(OperandSpace::EvenBank));
+    EXPECT_TRUE(isBankSpace(OperandSpace::OddBank));
+    EXPECT_TRUE(isSrfSpace(OperandSpace::SrfM));
+    EXPECT_TRUE(isSrfSpace(OperandSpace::SrfA));
+    EXPECT_FALSE(isGrfSpace(OperandSpace::SrfM));
+    EXPECT_FALSE(isBankSpace(OperandSpace::GrfA));
+}
+
+} // namespace
+} // namespace pimsim

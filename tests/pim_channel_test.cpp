@@ -1,0 +1,185 @@
+/**
+ * @file
+ * PIM channel tests beyond the unit level: the two-row register map
+ * (2x variant), the HBM3-generation fast mode switch (Section VIII
+ * future work), refresh interference during AB-PIM kernels, and
+ * per-unit register readback routing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "stack/blas.h"
+#include "stack/reference.h"
+
+namespace pimsim {
+namespace {
+
+Fp16Vector
+randomVector(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Fp16Vector v(n);
+    for (auto &x : v)
+        x = rng.nextFp16();
+    return v;
+}
+
+bool
+bitEqual(const Fp16Vector &a, const Fp16Vector &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        if (a[i].bits() != b[i].bits())
+            return false;
+    return true;
+}
+
+SystemConfig
+smallConfig()
+{
+    SystemConfig c = SystemConfig::pimHbmSystem();
+    c.numStacks = 1;
+    c.geometry.rowsPerBank = 512;
+    return c;
+}
+
+TEST(PimChannelMap, TwoXVariantSpillsIntoSecondConfigRow)
+{
+    SystemConfig cfg = smallConfig();
+    cfg.pim = cfg.pim.withDoubleResources();
+    PimSystem sys(cfg);
+    PimChannel *pim = sys.controller(0).pim();
+
+    // With CRF 64 (8 cols), GRF 2x16 (32 cols) and SRF/opmode, the map
+    // exceeds one 32-column row.
+    EXPECT_GE(pim->opModeCol(), 32u);
+    const auto [row, col] = pim->configAddr(pim->opModeCol());
+    EXPECT_EQ(row, pim->confMap().configRow2);
+    EXPECT_EQ(col, pim->opModeCol() - 32);
+    // Lower columns stay in the primary config row.
+    EXPECT_EQ(pim->configAddr(0).first, pim->confMap().configRow);
+}
+
+TEST(PimChannelMap, RegisterReadbackRoutesByAddressedBank)
+{
+    SystemConfig cfg = smallConfig();
+    PimSystem sys(cfg);
+    PimChannel *pim = sys.controller(0).pim();
+    auto &pch = sys.controller(0).channel();
+
+    // Distinct GRF_A[0] contents per unit (set directly).
+    for (unsigned u = 0; u < pim->numUnits(); ++u)
+        pim->unit(u).regs().setGrf(0, 0,
+                                   broadcast(Fp16(1.0f + u)));
+
+    // Enter AB mode and read GRF_A[0] through different bank addresses.
+    Cycle now = 0;
+    auto go = [&](const Command &cmd) {
+        now = pch.earliestIssue(cmd, now);
+        return pch.issue(cmd, now);
+    };
+    go(Command::act(0, 0, pim->confMap().abmrRow));
+    go(Command::pre(0, 0));
+    go(Command::act(0, 0, pim->confMap().configRow));
+    for (unsigned u = 0; u < pim->numUnits(); ++u) {
+        const unsigned flat = 2 * u;
+        const Command rd = Command::rd(flat / 4, flat % 4,
+                                       pim->grfACol(0));
+        const IssueResult r = go(rd);
+        EXPECT_TRUE(r.intercepted);
+        EXPECT_EQ(burstToLanes(r.data)[0].bits(),
+                  Fp16(1.0f + u).bits())
+            << "unit " << u;
+    }
+}
+
+TEST(FastModeSwitch, EndToEndResultsStayBitExact)
+{
+    SystemConfig cfg = smallConfig();
+    cfg.pim = cfg.pim.withFastModeSwitch();
+    PimSystem sys(cfg);
+    PimBlas blas(sys);
+    const auto a = randomVector(20000, 1);
+    const auto b = randomVector(20000, 2);
+    Fp16Vector out;
+    blas.add(a, b, out);
+    EXPECT_TRUE(bitEqual(out, refAdd(a, b)));
+    // And the system ends back in plain SB mode.
+    for (unsigned ch = 0; ch < sys.numChannels(); ++ch)
+        EXPECT_EQ(sys.controller(ch).pim()->mode(), PimMode::Sb);
+}
+
+TEST(FastModeSwitch, CutsPerKernelOverhead)
+{
+    // The HBM3-generation option reduces small-kernel invocation cost:
+    // exactly the overhead that throttles decoder-style layers.
+    auto kernel_ns = [&](bool fast) {
+        SystemConfig cfg = smallConfig();
+        if (fast)
+            cfg.pim = cfg.pim.withFastModeSwitch();
+        PimSystem sys(cfg);
+        PimBlas blas(sys);
+        const auto w = randomVector(std::size_t{256} * 256, 3);
+        const auto x = randomVector(256, 4);
+        Fp16Vector y;
+        return blas.gemv(w, 256, 256, x, y).ns;
+    };
+    const double baseline = kernel_ns(false);
+    const double fast = kernel_ns(true);
+    EXPECT_LT(fast, baseline);
+}
+
+TEST(FastModeSwitch, GemvStaysCorrect)
+{
+    SystemConfig cfg = smallConfig();
+    cfg.pim = cfg.pim.withFastModeSwitch();
+    PimSystem sys(cfg);
+    PimBlas blas(sys);
+    const unsigned m = 128, n = 384;
+    const auto w = randomVector(std::size_t{m} * n, 5);
+    const auto x = randomVector(n, 6);
+    Fp16Vector y;
+    blas.gemv(w, m, n, x, y);
+    EXPECT_TRUE(bitEqual(y, refGemv(w, m, n, x)));
+}
+
+TEST(RefreshInterference, PimKernelSurvivesRefresh)
+{
+    // A long kernel spans several tREFI windows: the controller's
+    // all-bank refresh closes rows mid-kernel, the open-page policy
+    // reopens them, and results stay bit-exact.
+    SystemConfig cfg = smallConfig();
+    cfg.controller.refreshEnabled = true;
+    PimSystem sys(cfg);
+    PimBlas blas(sys);
+    const auto a = randomVector(1u << 20, 7);
+    const auto b = randomVector(1u << 20, 8);
+    Fp16Vector out;
+    const BlasTiming t = blas.add(a, b, out);
+    EXPECT_TRUE(bitEqual(out, refAdd(a, b)));
+    // The kernel really did cross refresh windows.
+    const double refi_ns =
+        cfg.timing.tREFI * cfg.timing.tCKns;
+    EXPECT_GT(t.ns, 2 * refi_ns);
+    EXPECT_GE(sys.controller(0).stats().counter("refresh"), 2u);
+}
+
+TEST(RefreshInterference, DisablingRefreshIsFasterButUnsafe)
+{
+    auto add_ns = [&](bool refresh) {
+        SystemConfig cfg = smallConfig();
+        cfg.controller.refreshEnabled = refresh;
+        PimSystem sys(cfg);
+        PimBlas blas(sys);
+        const auto a = randomVector(1u << 20, 9);
+        const auto b = randomVector(1u << 20, 10);
+        Fp16Vector out;
+        return blas.add(a, b, out).ns;
+    };
+    EXPECT_LT(add_ns(false), add_ns(true));
+}
+
+} // namespace
+} // namespace pimsim

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * PIM runtime preprocessor tests: the analytic cost model agrees with
+ * the simulator on which path wins, and its estimates track simulated
+ * kernel times.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "host/host_model.h"
+#include "stack/blas.h"
+#include "stack/preprocessor.h"
+
+namespace pimsim {
+namespace {
+
+TEST(Preprocessor, OffloadsBatch1Gemv)
+{
+    const PimPreprocessor pre(SystemConfig::pimHbmSystem());
+    EXPECT_TRUE(pre.gemv(1024, 4096, 1).usePim);
+    EXPECT_TRUE(pre.gemv(8192, 8192, 1).usePim);
+}
+
+TEST(Preprocessor, KeepsBatchedGemmOnHost)
+{
+    // Fig. 10: by batch 4 the host wins on GEMV.
+    const PimPreprocessor pre(SystemConfig::pimHbmSystem());
+    EXPECT_FALSE(pre.gemv(8192, 8192, 8).usePim);
+}
+
+TEST(Preprocessor, NeverOffloadsConvolutions)
+{
+    const PimPreprocessor pre(SystemConfig::pimHbmSystem());
+    EXPECT_FALSE(pre.conv(1e9).usePim);
+    EXPECT_FALSE(pre.conv(1e6).usePim);
+}
+
+TEST(Preprocessor, OffloadsLargeElementwise)
+{
+    const PimPreprocessor pre(SystemConfig::pimHbmSystem());
+    EXPECT_TRUE(pre.elementwise(8u << 20, 2).usePim);
+}
+
+TEST(Preprocessor, GemvEstimateTracksSimulation)
+{
+    SystemConfig cfg = SystemConfig::pimHbmSystem();
+    PimSystem sys(cfg);
+    PimBlas blas(sys);
+    const PimPreprocessor pre(cfg);
+
+    for (const auto [m, n] : {std::pair<unsigned, unsigned>{1024, 4096},
+                              {2048, 4096}, {4096, 8192}}) {
+        Rng rng(m ^ n);
+        Fp16Vector w(std::size_t{m} * n), x(n), y;
+        for (auto &v : w)
+            v = rng.nextFp16();
+        for (auto &v : x)
+            v = rng.nextFp16();
+        const BlasTiming t = blas.gemv(w, m, n, x, y);
+        const double est = pre.pimGemvNs(m, n);
+        EXPECT_GT(est, t.ns * 0.5) << m << "x" << n;
+        EXPECT_LT(est, t.ns * 2.0) << m << "x" << n;
+    }
+}
+
+TEST(Preprocessor, ElementwiseEstimateTracksSimulation)
+{
+    SystemConfig cfg = SystemConfig::pimHbmSystem();
+    PimSystem sys(cfg);
+    PimBlas blas(sys);
+    const PimPreprocessor pre(cfg);
+
+    Rng rng(99);
+    const std::size_t n = 1u << 20;
+    Fp16Vector a(n), b(n), out;
+    for (auto &v : a)
+        v = rng.nextFp16();
+    for (auto &v : b)
+        v = rng.nextFp16();
+    const BlasTiming t = blas.add(a, b, out);
+    const double est = pre.pimElementwiseNs(n, 2);
+    EXPECT_GT(est, t.ns * 0.5);
+    EXPECT_LT(est, t.ns * 2.0);
+}
+
+TEST(Preprocessor, DecisionMatchesMeasuredWinner)
+{
+    // The runtime's whole job: its verdicts agree with what actually
+    // simulates faster.
+    SystemConfig cfg = SystemConfig::pimHbmSystem();
+    PimSystem pim_sys(cfg);
+    PimSystem hbm_sys(SystemConfig::hbmSystem());
+    PimBlas blas(pim_sys);
+    HostModel host(hbm_sys);
+    const PimPreprocessor pre(cfg);
+
+    for (unsigned batch : {1u, 8u}) {
+        const unsigned m = 2048, n = 4096;
+        Rng rng(batch);
+        Fp16Vector w(std::size_t{m} * n), x(n), y;
+        for (auto &v : w)
+            v = rng.nextFp16();
+        for (auto &v : x)
+            v = rng.nextFp16();
+        const double pim_ns = batch * blas.gemv(w, m, n, x, y).totalNs();
+        const double host_ns = host.gemv(m, n, batch).ns;
+        const OffloadDecision d = pre.gemv(m, n, batch);
+        EXPECT_EQ(d.usePim, pim_ns < host_ns) << "batch " << batch;
+    }
+}
+
+} // namespace
+} // namespace pimsim

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Golden-reference self-tests: the host references must themselves obey
+ * the algebraic properties the PIM datapath guarantees, and the
+ * lane-partial GEMV must stay close to exact arithmetic.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "stack/reference.h"
+
+namespace pimsim {
+namespace {
+
+Fp16Vector
+randomVector(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Fp16Vector v(n);
+    for (auto &x : v)
+        x = rng.nextFp16();
+    return v;
+}
+
+TEST(Reference, AddIsCommutative)
+{
+    const auto a = randomVector(1000, 1);
+    const auto b = randomVector(1000, 2);
+    const auto ab = refAdd(a, b);
+    const auto ba = refAdd(b, a);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(ab[i].bits(), ba[i].bits());
+}
+
+TEST(Reference, AddZeroIsIdentity)
+{
+    const auto a = randomVector(1000, 3);
+    const Fp16Vector zero(a.size(), Fp16(0.0f));
+    const auto sum = refAdd(a, zero);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(sum[i].bits(), a[i].bits());
+}
+
+TEST(Reference, MulOneIsIdentity)
+{
+    const auto a = randomVector(1000, 4);
+    const Fp16Vector one(a.size(), Fp16(1.0f));
+    const auto prod = refMul(a, one);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(prod[i].bits(), a[i].bits());
+}
+
+TEST(Reference, ReluIsIdempotent)
+{
+    const auto a = randomVector(1000, 5);
+    const auto once = refRelu(a);
+    const auto twice = refRelu(once);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(once[i].bits(), twice[i].bits());
+        EXPECT_FALSE(once[i].signBit() && !once[i].isZero());
+    }
+}
+
+TEST(Reference, BnWithUnitScaleZeroShiftIsIdentity)
+{
+    const auto a = randomVector(2048, 6);
+    const Fp16Vector gamma(8, Fp16(1.0f));
+    const Fp16Vector beta(8, Fp16(0.0f));
+    const auto out = refBn(a, gamma, beta, /*slots=*/128);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(out[i].bits(), a[i].bits());
+}
+
+TEST(Reference, GemvZeroMatrixGivesZero)
+{
+    const unsigned m = 32, n = 200;
+    const Fp16Vector w(std::size_t{m} * n, Fp16(0.0f));
+    const auto x = randomVector(n, 7);
+    const auto y = refGemv(w, m, n, x);
+    for (unsigned i = 0; i < m; ++i)
+        EXPECT_EQ(y[i].bits(), Fp16(0.0f).bits());
+}
+
+TEST(Reference, GemvIdentityExtractsX)
+{
+    // W = I (n x n): y == x up to the FP16 partial/reduction rounding,
+    // which is exact here because each row has a single non-zero term.
+    const unsigned n = 64;
+    Fp16Vector w(std::size_t{n} * n, Fp16(0.0f));
+    for (unsigned i = 0; i < n; ++i)
+        w[std::size_t{i} * n + i] = Fp16(1.0f);
+    const auto x = randomVector(n, 8);
+    const auto y = refGemv(w, n, n, x);
+    for (unsigned i = 0; i < n; ++i)
+        EXPECT_EQ(y[i].bits(), x[i].bits());
+}
+
+TEST(Reference, GemvTracksDoublePrecision)
+{
+    const unsigned m = 64, n = 1024;
+    const auto w = randomVector(std::size_t{m} * n, 9);
+    const auto x = randomVector(n, 10);
+    const auto y16 = refGemv(w, m, n, x);
+    const auto y64 = refGemvF64(w, m, n, x);
+    for (unsigned i = 0; i < m; ++i) {
+        const double got = y16[i].toFloat();
+        const double tol = std::max(2.0, std::abs(y64[i]) * 0.1);
+        EXPECT_NEAR(got, y64[i], tol) << "row " << i;
+    }
+}
+
+TEST(Reference, GemvLinearityInX)
+{
+    // y(2x) == computed partials of doubled x; FP16 doubling is exact
+    // (exponent bump), so the whole pipeline doubles exactly away from
+    // overflow.
+    const unsigned m = 16, n = 128;
+    Rng rng(11);
+    Fp16Vector w(std::size_t{m} * n), x(n), x2(n);
+    for (auto &v : w)
+        v = Fp16(rng.nextFloat(-0.25f, 0.25f));
+    for (unsigned i = 0; i < n; ++i) {
+        const float f = rng.nextFloat(-0.25f, 0.25f);
+        x[i] = Fp16(f);
+        x2[i] = Fp16(2.0f * x[i].toFloat());
+    }
+    const auto y = refGemv(w, m, n, x);
+    const auto y2 = refGemv(w, m, n, x2);
+    for (unsigned i = 0; i < m; ++i) {
+        EXPECT_NEAR(y2[i].toFloat(), 2.0f * y[i].toFloat(),
+                    std::abs(y[i].toFloat()) * 0.01 + 1e-3);
+    }
+}
+
+} // namespace
+} // namespace pimsim
