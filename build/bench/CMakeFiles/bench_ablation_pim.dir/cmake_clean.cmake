@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pim.dir/bench_ablation_pim.cpp.o"
+  "CMakeFiles/bench_ablation_pim.dir/bench_ablation_pim.cpp.o.d"
+  "bench_ablation_pim"
+  "bench_ablation_pim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_mac_units.dir/bench_table1_mac_units.cpp.o"
+  "CMakeFiles/bench_table1_mac_units.dir/bench_table1_mac_units.cpp.o.d"
+  "bench_table1_mac_units"
+  "bench_table1_mac_units.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_mac_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_operand_combos.dir/bench_table2_operand_combos.cpp.o"
+  "CMakeFiles/bench_table2_operand_combos.dir/bench_table2_operand_combos.cpp.o.d"
+  "bench_table2_operand_combos"
+  "bench_table2_operand_combos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_operand_combos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

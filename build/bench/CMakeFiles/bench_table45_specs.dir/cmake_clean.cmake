@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table45_specs.dir/bench_table45_specs.cpp.o"
+  "CMakeFiles/bench_table45_specs.dir/bench_table45_specs.cpp.o.d"
+  "bench_table45_specs"
+  "bench_table45_specs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table45_specs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_inference.dir/app_inference.cpp.o"
+  "CMakeFiles/app_inference.dir/app_inference.cpp.o.d"
+  "app_inference"
+  "app_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemv_nlp.dir/gemv_nlp.cpp.o"
+  "CMakeFiles/gemv_nlp.dir/gemv_nlp.cpp.o.d"
+  "gemv_nlp"
+  "gemv_nlp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemv_nlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

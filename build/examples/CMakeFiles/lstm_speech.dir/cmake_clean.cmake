@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lstm_speech.dir/lstm_speech.cpp.o"
+  "CMakeFiles/lstm_speech.dir/lstm_speech.cpp.o.d"
+  "lstm_speech"
+  "lstm_speech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lstm_speech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

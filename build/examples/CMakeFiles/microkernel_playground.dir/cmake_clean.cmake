@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microkernel_playground.dir/microkernel_playground.cpp.o"
+  "CMakeFiles/microkernel_playground.dir/microkernel_playground.cpp.o.d"
+  "microkernel_playground"
+  "microkernel_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microkernel_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/bf16.cpp" "src/CMakeFiles/pimsim.dir/common/bf16.cpp.o" "gcc" "src/CMakeFiles/pimsim.dir/common/bf16.cpp.o.d"
+  "/root/repo/src/common/fp16.cpp" "src/CMakeFiles/pimsim.dir/common/fp16.cpp.o" "gcc" "src/CMakeFiles/pimsim.dir/common/fp16.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "src/CMakeFiles/pimsim.dir/common/logging.cpp.o" "gcc" "src/CMakeFiles/pimsim.dir/common/logging.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/pimsim.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/pimsim.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/pimsim.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/pimsim.dir/common/stats.cpp.o.d"
+  "/root/repo/src/dram/address.cpp" "src/CMakeFiles/pimsim.dir/dram/address.cpp.o" "gcc" "src/CMakeFiles/pimsim.dir/dram/address.cpp.o.d"
+  "/root/repo/src/dram/command.cpp" "src/CMakeFiles/pimsim.dir/dram/command.cpp.o" "gcc" "src/CMakeFiles/pimsim.dir/dram/command.cpp.o.d"
+  "/root/repo/src/dram/datastore.cpp" "src/CMakeFiles/pimsim.dir/dram/datastore.cpp.o" "gcc" "src/CMakeFiles/pimsim.dir/dram/datastore.cpp.o.d"
+  "/root/repo/src/dram/ecc.cpp" "src/CMakeFiles/pimsim.dir/dram/ecc.cpp.o" "gcc" "src/CMakeFiles/pimsim.dir/dram/ecc.cpp.o.d"
+  "/root/repo/src/dram/pseudo_channel.cpp" "src/CMakeFiles/pimsim.dir/dram/pseudo_channel.cpp.o" "gcc" "src/CMakeFiles/pimsim.dir/dram/pseudo_channel.cpp.o.d"
+  "/root/repo/src/energy/energy_model.cpp" "src/CMakeFiles/pimsim.dir/energy/energy_model.cpp.o" "gcc" "src/CMakeFiles/pimsim.dir/energy/energy_model.cpp.o.d"
+  "/root/repo/src/energy/probe.cpp" "src/CMakeFiles/pimsim.dir/energy/probe.cpp.o" "gcc" "src/CMakeFiles/pimsim.dir/energy/probe.cpp.o.d"
+  "/root/repo/src/energy/system_power.cpp" "src/CMakeFiles/pimsim.dir/energy/system_power.cpp.o" "gcc" "src/CMakeFiles/pimsim.dir/energy/system_power.cpp.o.d"
+  "/root/repo/src/host/host_model.cpp" "src/CMakeFiles/pimsim.dir/host/host_model.cpp.o" "gcc" "src/CMakeFiles/pimsim.dir/host/host_model.cpp.o.d"
+  "/root/repo/src/mem/controller.cpp" "src/CMakeFiles/pimsim.dir/mem/controller.cpp.o" "gcc" "src/CMakeFiles/pimsim.dir/mem/controller.cpp.o.d"
+  "/root/repo/src/mem/llc.cpp" "src/CMakeFiles/pimsim.dir/mem/llc.cpp.o" "gcc" "src/CMakeFiles/pimsim.dir/mem/llc.cpp.o.d"
+  "/root/repo/src/pim/isa.cpp" "src/CMakeFiles/pimsim.dir/pim/isa.cpp.o" "gcc" "src/CMakeFiles/pimsim.dir/pim/isa.cpp.o.d"
+  "/root/repo/src/pim/pim_channel.cpp" "src/CMakeFiles/pimsim.dir/pim/pim_channel.cpp.o" "gcc" "src/CMakeFiles/pimsim.dir/pim/pim_channel.cpp.o.d"
+  "/root/repo/src/pim/pim_unit.cpp" "src/CMakeFiles/pimsim.dir/pim/pim_unit.cpp.o" "gcc" "src/CMakeFiles/pimsim.dir/pim/pim_unit.cpp.o.d"
+  "/root/repo/src/pim/registers.cpp" "src/CMakeFiles/pimsim.dir/pim/registers.cpp.o" "gcc" "src/CMakeFiles/pimsim.dir/pim/registers.cpp.o.d"
+  "/root/repo/src/sim/system.cpp" "src/CMakeFiles/pimsim.dir/sim/system.cpp.o" "gcc" "src/CMakeFiles/pimsim.dir/sim/system.cpp.o.d"
+  "/root/repo/src/stack/app_runner.cpp" "src/CMakeFiles/pimsim.dir/stack/app_runner.cpp.o" "gcc" "src/CMakeFiles/pimsim.dir/stack/app_runner.cpp.o.d"
+  "/root/repo/src/stack/blas.cpp" "src/CMakeFiles/pimsim.dir/stack/blas.cpp.o" "gcc" "src/CMakeFiles/pimsim.dir/stack/blas.cpp.o.d"
+  "/root/repo/src/stack/driver.cpp" "src/CMakeFiles/pimsim.dir/stack/driver.cpp.o" "gcc" "src/CMakeFiles/pimsim.dir/stack/driver.cpp.o.d"
+  "/root/repo/src/stack/framework.cpp" "src/CMakeFiles/pimsim.dir/stack/framework.cpp.o" "gcc" "src/CMakeFiles/pimsim.dir/stack/framework.cpp.o.d"
+  "/root/repo/src/stack/pim_program.cpp" "src/CMakeFiles/pimsim.dir/stack/pim_program.cpp.o" "gcc" "src/CMakeFiles/pimsim.dir/stack/pim_program.cpp.o.d"
+  "/root/repo/src/stack/preprocessor.cpp" "src/CMakeFiles/pimsim.dir/stack/preprocessor.cpp.o" "gcc" "src/CMakeFiles/pimsim.dir/stack/preprocessor.cpp.o.d"
+  "/root/repo/src/stack/reference.cpp" "src/CMakeFiles/pimsim.dir/stack/reference.cpp.o" "gcc" "src/CMakeFiles/pimsim.dir/stack/reference.cpp.o.d"
+  "/root/repo/src/stack/workloads.cpp" "src/CMakeFiles/pimsim.dir/stack/workloads.cpp.o" "gcc" "src/CMakeFiles/pimsim.dir/stack/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_runner_test.dir/app_runner_test.cpp.o"
+  "CMakeFiles/app_runner_test.dir/app_runner_test.cpp.o.d"
+  "app_runner_test"
+  "app_runner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_runner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_channel_test.dir/pim_channel_test.cpp.o"
+  "CMakeFiles/pim_channel_test.dir/pim_channel_test.cpp.o.d"
+  "pim_channel_test"
+  "pim_channel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_channel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_program_test.dir/pim_program_test.cpp.o"
+  "CMakeFiles/pim_program_test.dir/pim_program_test.cpp.o.d"
+  "pim_program_test"
+  "pim_program_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_program_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_unit_test.dir/pim_unit_test.cpp.o"
+  "CMakeFiles/pim_unit_test.dir/pim_unit_test.cpp.o.d"
+  "pim_unit_test"
+  "pim_unit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
