@@ -6,6 +6,11 @@
  *
  *   $ ./app_inference            # all apps, batch 1
  *   $ ./app_inference GNMT 2     # one app at batch 2
+ *   $ ./app_inference GNMT 1 2.0 # ... with fault injection (rate 2.0):
+ *                                # on-die ECC + scrubbing are enabled and
+ *                                # a deterministic campaign corrupts the
+ *                                # device before the PIM run; the stack
+ *                                # must finish with correct results.
  */
 
 #include <cstdio>
@@ -14,6 +19,7 @@
 
 #include "common/logging.h"
 #include "host/host_model.h"
+#include "reliability/fault_injector.h"
 #include "stack/app_runner.h"
 #include "stack/preprocessor.h"
 #include "stack/workloads.h"
@@ -23,16 +29,44 @@ using namespace pimsim;
 namespace {
 
 void
-runOne(const AppSpec &app, unsigned batch)
+runOne(const AppSpec &app, unsigned batch, double inject_rate)
 {
     PimSystem hbm_sys(SystemConfig::hbmSystem());
     HostModel hbm_host(hbm_sys);
     AppRunner hbm(hbm_host, nullptr);
 
-    PimSystem pim_sys(SystemConfig::pimHbmSystem());
+    SystemConfig pim_cfg = SystemConfig::pimHbmSystem();
+    if (inject_rate > 0) {
+        pim_cfg.geometry.onDieEcc = true;
+        pim_cfg.controller.scrubEnabled = true;
+        pim_cfg.controller.scrubInterval = 2000;
+        pim_cfg.controller.scrubBurstsPerStep = 64;
+    }
+    PimSystem pim_sys(pim_cfg);
     HostModel pim_host(pim_sys);
     PimBlas blas(pim_sys);
     AppRunner pim(pim_host, &blas);
+
+    if (inject_rate > 0) {
+        // Seed the PIM region with one small kernel so DRAM faults have
+        // touched rows to land on, then run a deterministic campaign.
+        // Stuck-at cells planted here persist into the timed run below;
+        // the runtime must scrub/correct/retry its way through them.
+        Fp16Vector warm(256, Fp16(1.0f)), out;
+        blas.relu(warm, out);
+        FaultRates rates;
+        rates.dramTransient = inject_rate;
+        rates.dramStuck = inject_rate / 4;
+        rates.dramBurst = inject_rate / 8;
+        rates.pimCrf = inject_rate / 16;
+        FaultInjector injector(pim_sys, rates, /*seed=*/0x7a11);
+        injector.runCampaign(/*interval=*/2000, /*steps=*/8);
+        std::printf("injected %llu faults into the PIM-HBM device "
+                    "(rate %.2f, seed 0x7a11)\n",
+                    static_cast<unsigned long long>(
+                        injector.counts().total()),
+                    inject_rate);
+    }
 
     const AppRunResult h = hbm.runApp(app, batch);
     const AppRunResult p = pim.runApp(app, batch);
@@ -45,6 +79,19 @@ runOne(const AppSpec &app, unsigned batch)
                 p.ns / 1e6, p.pimNs / 1e6, p.hostNs / 1e6,
                 p.launchNs / 1e6,
                 static_cast<unsigned long long>(p.kernelLaunches));
+    if (inject_rate > 0) {
+        std::printf("  reliability:  ECC corrected %llu (scrub %llu), "
+                    "uncorrectable %llu, kernel retries %llu, host "
+                    "fallbacks %llu\n",
+                    static_cast<unsigned long long>(
+                        pim_sys.errorLog().corrected()),
+                    static_cast<unsigned long long>(
+                        pim_sys.totalCtrlStat("scrub.corrected")),
+                    static_cast<unsigned long long>(
+                        pim_sys.errorLog().uncorrectable()),
+                    static_cast<unsigned long long>(p.pimRetries),
+                    static_cast<unsigned long long>(p.hostFallbacks));
+    }
     std::printf("  speedup: %.2fx\n\n", h.ns / p.ns);
 }
 
@@ -99,13 +146,14 @@ main(int argc, char **argv)
     const char *which = argc > 1 ? argv[1] : nullptr;
     const unsigned batch =
         argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 1;
+    const double inject_rate = argc > 3 ? std::atof(argv[3]) : 0.0;
 
     for (const auto &app : allApps()) {
         if (which && std::strcmp(which, app.name.c_str()) != 0)
             continue;
         if (which)
             printOffloadPlan(app, batch);
-        runOne(app, batch);
+        runOne(app, batch, inject_rate);
     }
     return 0;
 }

@@ -54,7 +54,11 @@ main()
                     kernel[i].disassemble().c_str());
 
     // ---- 2. stage operands: 8 bursts in every unit's bank pair ----
-    const PimRowBlock rows = driver.allocRows(1);
+    PimRowBlock rows;
+    if (driver.allocRows(1, rows) != PimStatus::Ok) {
+        std::printf("no free PIM rows\n");
+        return 1;
+    }
     const unsigned row = rows.firstRow;
     for (unsigned ch = 0; ch < system.numChannels(); ++ch) {
         for (unsigned u = 0; u < cfg.pim.unitsPerPch; ++u) {

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Build the tree with AddressSanitizer + UndefinedBehaviorSanitizer and
+# run the full test suite. Usage:
+#
+#   scripts/run_sanitized_tests.sh [build-dir]
+#
+# The sanitized build lives in its own directory (default build-asan) so
+# it never disturbs the regular build tree.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build-asan}"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DPIMSIM_SANITIZE=address,undefined
+cmake --build "${build_dir}" -j "$(nproc)"
+
+export ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1"
+export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)"

@@ -1,5 +1,6 @@
 #include "dram/datastore.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/logging.h"
@@ -10,12 +11,15 @@ namespace pimsim {
 DataStore::DataStore(const HbmGeometry &geom) : geom_(geom) {}
 
 Burst
-DataStore::read(unsigned bank, unsigned row, unsigned col) const
+DataStore::read(unsigned bank, unsigned row, unsigned col,
+                EccStatus *ecc) const
 {
     PIMSIM_ASSERT(bank < geom_.banksPerPch() && row < geom_.rowsPerBank &&
                       col < geom_.colsPerRow,
                   "read out of range: bank ", bank, " row ", row, " col ",
                   col);
+    if (ecc)
+        *ecc = EccStatus::Ok;
     Burst burst{};
     auto it = rows_.find(key(bank, row));
     if (it == rows_.end())
@@ -28,7 +32,10 @@ DataStore::read(unsigned bank, unsigned row, unsigned col) const
         if (eit != ecc_.end()) {
             EccBytes check;
             std::memcpy(check.data(), eit->second.data() + col * 4, 4);
-            switch (eccDecodeBurst(burst, check)) {
+            const EccStatus status = eccDecodeBurst(burst, check);
+            if (ecc)
+                *ecc = status;
+            switch (status) {
               case EccStatus::Ok:
                 break;
               case EccStatus::Corrected:
@@ -40,8 +47,26 @@ DataStore::read(unsigned bank, unsigned row, unsigned col) const
                             " row ", row, " col ", col);
                 break;
             }
+            if (status != EccStatus::Ok && eccHook_)
+                eccHook_(bank, row, col, status);
         }
     }
+    return burst;
+}
+
+Burst
+DataStore::readRaw(unsigned bank, unsigned row, unsigned col) const
+{
+    PIMSIM_ASSERT(bank < geom_.banksPerPch() && row < geom_.rowsPerBank &&
+                      col < geom_.colsPerRow,
+                  "readRaw out of range: bank ", bank, " row ", row, " col ",
+                  col);
+    Burst burst{};
+    auto it = rows_.find(key(bank, row));
+    if (it == rows_.end())
+        return burst;
+    std::memcpy(burst.data(), it->second.data() + col * kBurstBytes,
+                kBurstBytes);
     return burst;
 }
 
@@ -73,12 +98,28 @@ DataStore::write(unsigned bank, unsigned row, unsigned col,
         const EccBytes check = eccEncodeBurst(data);
         std::memcpy(check_row.data() + col * 4, check.data(), 4);
     }
+
+    applyStuckBits(bank, row, col);
 }
 
 std::size_t
 DataStore::allocatedBytes() const
 {
     return rows_.size() * geom_.bytesPerRow();
+}
+
+std::vector<std::pair<unsigned, unsigned>>
+DataStore::allocatedRows() const
+{
+    std::vector<std::pair<unsigned, unsigned>> out;
+    out.reserve(rows_.size());
+    for (const auto &[k, storage] : rows_) {
+        (void)storage;
+        out.emplace_back(static_cast<unsigned>(k >> 32),
+                         static_cast<unsigned>(k & 0xffffffffu));
+    }
+    std::sort(out.begin(), out.end());
+    return out;
 }
 
 void
@@ -91,6 +132,107 @@ DataStore::injectBitFlip(unsigned bank, unsigned row, unsigned col,
         storage.assign(geom_.bytesPerRow(), 0);
     storage[col * kBurstBytes + bit / 8] ^=
         static_cast<std::uint8_t>(1u << (bit % 8));
+}
+
+void
+DataStore::setStuckBit(unsigned bank, unsigned row, unsigned col,
+                       unsigned bit, bool value)
+{
+    PIMSIM_ASSERT(bit < kBurstBytes * 8, "bit index out of range");
+    auto &faults = stuck_[key(bank, row)];
+    const auto it = std::find_if(faults.begin(), faults.end(),
+                                 [&](const StuckBit &s) {
+                                     return s.col == col && s.bit == bit;
+                                 });
+    if (it != faults.end()) {
+        it->value = value;
+    } else {
+        faults.push_back(StuckBit{col, bit, value});
+        ++stuckCount_;
+    }
+    // Force the cell immediately (the row allocates if needed so the
+    // defect is visible even before the first write).
+    auto &storage = rows_[key(bank, row)];
+    if (storage.empty()) {
+        storage.assign(geom_.bytesPerRow(), 0);
+        if (geom_.onDieEcc) {
+            auto &check_row = ecc_[key(bank, row)];
+            if (check_row.empty()) {
+                check_row.assign(geom_.colsPerRow * 4, 0);
+                const EccBytes zero_check = eccEncodeBurst(Burst{});
+                for (unsigned c = 0; c < geom_.colsPerRow; ++c)
+                    std::memcpy(check_row.data() + c * 4,
+                                zero_check.data(), 4);
+            }
+        }
+    }
+    applyStuckBits(bank, row, col);
+}
+
+void
+DataStore::clearStuckBits()
+{
+    stuck_.clear();
+    stuckCount_ = 0;
+}
+
+void
+DataStore::applyStuckBits(unsigned bank, unsigned row, unsigned col)
+{
+    const auto it = stuck_.find(key(bank, row));
+    if (it == stuck_.end())
+        return;
+    auto &storage = rows_[key(bank, row)];
+    for (const StuckBit &s : it->second) {
+        if (s.col != col)
+            continue;
+        std::uint8_t &byte = storage[s.col * kBurstBytes + s.bit / 8];
+        const std::uint8_t mask =
+            static_cast<std::uint8_t>(1u << (s.bit % 8));
+        if (s.value)
+            byte |= mask;
+        else
+            byte &= static_cast<std::uint8_t>(~mask);
+    }
+}
+
+ScrubOutcome
+DataStore::scrubBurst(unsigned bank, unsigned row, unsigned col)
+{
+    ScrubOutcome outcome;
+    if (!geom_.onDieEcc)
+        return outcome;
+    const auto rit = rows_.find(key(bank, row));
+    const auto eit = ecc_.find(key(bank, row));
+    if (rit == rows_.end() || eit == ecc_.end())
+        return outcome;
+
+    std::uint8_t *bytes = rit->second.data() + col * kBurstBytes;
+    std::uint8_t *check = eit->second.data() + col * 4;
+    for (unsigned w = 0; w < 4; ++w) {
+        std::uint64_t word = 0;
+        for (unsigned b = 0; b < 8; ++b)
+            word |= std::uint64_t{bytes[8 * w + b]} << (8 * b);
+        std::uint64_t repaired = word;
+        switch (eccDecodeWord(repaired, check[w])) {
+          case EccStatus::Ok:
+            break;
+          case EccStatus::Corrected:
+            ++outcome.corrected;
+            for (unsigned b = 0; b < 8; ++b)
+                bytes[8 * w + b] = static_cast<std::uint8_t>(
+                    (repaired >> (8 * b)) & 0xff);
+            // Re-encode so a corrected check-bit fault is repaired too.
+            check[w] = eccEncodeWord(repaired);
+            break;
+          case EccStatus::Uncorrectable:
+            ++outcome.uncorrectable;
+            break;
+        }
+    }
+    if (outcome.corrected)
+        applyStuckBits(bank, row, col);
+    return outcome;
 }
 
 } // namespace pimsim

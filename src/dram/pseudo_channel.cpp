@@ -233,7 +233,8 @@ PseudoChannel::issue(const Command &cmd, Cycle now)
                 lastRdDataEnd_ = busBusyUntil_;
                 const unsigned src =
                     cmd.flatBank(geom_.banksPerBankGroup);
-                result.data = data_.read(src, banks_[src].openRow, cmd.col);
+                result.data = data_.read(src, banks_[src].openRow, cmd.col,
+                                         &result.ecc);
                 stats_.add("rd");
                 stats_.add("rdBanks", targets.size());
             }

@@ -29,6 +29,7 @@
 #include "dram/bank.h"
 #include "dram/command.h"
 #include "dram/datastore.h"
+#include "dram/ecc.h"
 #include "dram/geometry.h"
 #include "dram/timing.h"
 
@@ -43,6 +44,8 @@ struct IssueResult
     Burst data{};
     /** True if a PIM interceptor consumed the command's data phase. */
     bool intercepted = false;
+    /** On-die ECC outcome of a host RD's array access (Ok otherwise). */
+    EccStatus ecc = EccStatus::Ok;
 };
 
 /**

@@ -13,10 +13,98 @@ MemoryController::MemoryController(const HbmGeometry &geom,
                                    const PimConfig &pim_config)
     : geom_(geom), timing_(timing), config_(config),
       channel_(std::make_unique<PseudoChannel>(geom, timing)),
-      nextRefresh_(timing.tREFI), stats_("ctrl")
+      nextRefresh_(timing.tREFI), nextScrub_(config.scrubInterval),
+      stats_("ctrl")
 {
     if (with_pim)
         pimChannel_ = std::make_unique<PimChannel>(pim_config, *channel_);
+}
+
+void
+MemoryController::setErrorSink(MemErrorLog *log, unsigned channel)
+{
+    errorLog_ = log;
+    channelId_ = channel;
+    channel_->dataStore().setEccHook(
+        [this](unsigned bank, unsigned row, unsigned col,
+               EccStatus status) {
+            const bool fatal = status == EccStatus::Uncorrectable;
+            stats_.add(fatal ? "ecc.uncorrectable" : "ecc.corrected");
+            if (!errorLog_)
+                return;
+            MemErrorEvent event;
+            event.severity = fatal
+                                 ? MemErrorEvent::Severity::Uncorrectable
+                                 : MemErrorEvent::Severity::Corrected;
+            event.origin = MemErrorEvent::Origin::Access;
+            event.channel = channelId_;
+            event.bank = bank;
+            event.row = row;
+            event.col = col;
+            event.cycle = lastNow_;
+            errorLog_->record(event);
+        });
+}
+
+Cycle
+MemoryController::scrubTick(Cycle now)
+{
+    if (!config_.scrubEnabled)
+        return kNoCycle;
+    if (now < nextScrub_)
+        return nextScrub_;
+    lastNow_ = now;
+    const Cycle interval = std::max<Cycle>(config_.scrubInterval, 1);
+    nextScrub_ = now + interval;
+
+    // Patrol scrub steals only idle cycles: defer while demand requests
+    // are queued (Section VIII's scrubber must not cost PIM bandwidth).
+    if (!queue_.empty()) {
+        stats_.add("scrub.deferred");
+        return nextScrub_;
+    }
+
+    DataStore &store = channel_->dataStore();
+    const auto rows = store.allocatedRows();
+    if (rows.empty())
+        return nextScrub_;
+    const std::size_t bursts = rows.size() * geom_.colsPerRow;
+    stats_.add("scrub.steps");
+
+    for (unsigned n = 0; n < config_.scrubBurstsPerStep; ++n) {
+        if (scrubPos_ >= bursts) {
+            scrubPos_ = 0;
+            stats_.add("scrub.passes");
+        }
+        const auto &[bank, row] = rows[scrubPos_ / geom_.colsPerRow];
+        const auto col =
+            static_cast<unsigned>(scrubPos_ % geom_.colsPerRow);
+        const ScrubOutcome outcome = store.scrubBurst(bank, row, col);
+        stats_.add("scrub.bursts");
+        if (outcome.corrected) {
+            stats_.add("scrub.corrected", outcome.corrected);
+        }
+        if (outcome.uncorrectable) {
+            stats_.add("scrub.uncorrectable", outcome.uncorrectable);
+        }
+        if (errorLog_ && (outcome.corrected || outcome.uncorrectable)) {
+            MemErrorEvent event;
+            event.origin = MemErrorEvent::Origin::Scrub;
+            event.channel = channelId_;
+            event.bank = bank;
+            event.row = row;
+            event.col = col;
+            event.cycle = now;
+            event.severity = MemErrorEvent::Severity::Corrected;
+            for (std::uint64_t i = 0; i < outcome.corrected; ++i)
+                errorLog_->record(event);
+            event.severity = MemErrorEvent::Severity::Uncorrectable;
+            for (std::uint64_t i = 0; i < outcome.uncorrectable; ++i)
+                errorLog_->record(event);
+        }
+        ++scrubPos_;
+    }
+    return nextScrub_;
 }
 
 void
@@ -190,6 +278,7 @@ MemoryController::completeRequest(const Queued &entry,
       case RequestType::Read:
         resp.data = result.data;
         resp.completion = result.dataCycle;
+        resp.ecc = result.ecc;
         break;
       case RequestType::Write:
         resp.completion = now + timing_.tCWL + timing_.tBL;
@@ -229,6 +318,7 @@ MemoryController::refreshTick(Cycle now)
 Cycle
 MemoryController::tick(Cycle now)
 {
+    lastNow_ = now;
     // The earliest moment anything interesting can happen next.
     Cycle next = kNoCycle;
     if (!pendingResponses_.empty()) {

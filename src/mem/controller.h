@@ -22,6 +22,7 @@
 #include "dram/pseudo_channel.h"
 #include "mem/request.h"
 #include "pim/pim_channel.h"
+#include "reliability/mem_error.h"
 
 namespace pimsim {
 
@@ -40,6 +41,12 @@ struct ControllerConfig
     bool refreshEnabled = true;
     /** Close a row after this many idle cycles (0 = leave open). */
     unsigned rowIdleTimeout = 0;
+    /** Enable the background ECC scrubber (patrol scrub). */
+    bool scrubEnabled = false;
+    /** Cycles between scrub steps. */
+    Cycle scrubInterval = 50000;
+    /** Bursts checked per scrub step (when the controller is idle). */
+    unsigned scrubBurstsPerStep = 8;
 };
 
 /**
@@ -106,6 +113,33 @@ class MemoryController
     /** Override the ordered-request reorder window (fence study). */
     void setOrderedWindow(unsigned window) { config_.orderedWindow = window; }
 
+    /**
+     * Attach the system error log. Installs a DataStore hook so every
+     * ECC event on a demand access (host RD or PIM operand fetch) is
+     * recorded as a machine-check-style event attributed to `channel`.
+     */
+    void setErrorSink(MemErrorLog *log, unsigned channel);
+
+    /**
+     * Run the patrol scrubber if a scrub step is due at `now`. Walks
+     * allocated rows burst by burst, repairing correctable faults in
+     * place; runs only while the request queue is empty (idle cycles),
+     * deferring one interval otherwise.
+     *
+     * @return the cycle of the next due scrub step (kNoCycle when
+     *         scrubbing is disabled).
+     */
+    Cycle scrubTick(Cycle now);
+
+    /** Next cycle a scrub step wants to run (kNoCycle when disabled). */
+    Cycle nextScrubDue() const
+    {
+        return config_.scrubEnabled ? nextScrub_ : kNoCycle;
+    }
+
+    /** Enable/disable scrubbing at runtime (benchmark sweeps). */
+    void setScrubEnabled(bool enabled) { config_.scrubEnabled = enabled; }
+
   private:
     struct Queued
     {
@@ -141,6 +175,15 @@ class MemoryController
     bool refreshing_ = false;
     /** Direction of the last issued column command (streak scheduling). */
     bool lastColWasWrite_ = false;
+
+    // Reliability: error reporting and patrol scrub state.
+    MemErrorLog *errorLog_ = nullptr;
+    unsigned channelId_ = 0;
+    /** Cycle stamp applied to error events raised from inside tick(). */
+    Cycle lastNow_ = 0;
+    Cycle nextScrub_;
+    /** Flat (row-index * colsPerRow + col) scrub cursor. */
+    std::size_t scrubPos_ = 0;
 
     StatGroup stats_;
 };

@@ -17,6 +17,7 @@
 #include "common/types.h"
 #include "dram/address.h"
 #include "dram/datastore.h"
+#include "dram/ecc.h"
 
 namespace pimsim {
 
@@ -56,6 +57,8 @@ struct MemResponse
     Burst data{};
     /** Cycle at which data was valid / the write was accepted. */
     Cycle completion = 0;
+    /** On-die ECC outcome of the array access behind a Read. */
+    EccStatus ecc = EccStatus::Ok;
 };
 
 } // namespace pimsim

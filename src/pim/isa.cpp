@@ -54,6 +54,33 @@ operandSpaceName(OperandSpace space)
     return "???";
 }
 
+bool
+isValidEncoding(std::uint32_t word)
+{
+    const auto raw_op = static_cast<unsigned>(extractBits(word, 28, 4));
+    switch (static_cast<PimOpcode>(raw_op)) {
+      case PimOpcode::Nop:
+      case PimOpcode::Jump:
+      case PimOpcode::Exit:
+        return true;
+      case PimOpcode::Mov:
+      case PimOpcode::Fill:
+      case PimOpcode::Add:
+      case PimOpcode::Mul:
+      case PimOpcode::Mac:
+      case PimOpcode::Mad:
+        break;
+      default:
+        return false;
+    }
+    // Data/ALU format: each 3-bit space field must name a real space.
+    for (unsigned lsb : {25u, 22u, 19u, 16u}) {
+        if (extractBits(word, lsb, 3) > 5)
+            return false;
+    }
+    return true;
+}
+
 std::uint32_t
 PimInst::encode() const
 {

@@ -96,6 +96,16 @@ isDataOpcode(PimOpcode op)
     return op == PimOpcode::Mov || op == PimOpcode::Fill;
 }
 
+/**
+ * True iff `word` decodes to an architecturally defined instruction:
+ * the opcode is one of the nine of Table III and, for the data/ALU
+ * formats, every operand-space field names one of the six spaces. A
+ * corrupted CRF slot (bit flip in the opcode or a space field) fails
+ * this check; the sequencer raises an illegal-instruction fault instead
+ * of executing garbage.
+ */
+bool isValidEncoding(std::uint32_t word);
+
 /** One decoded PIM instruction. */
 struct PimInst
 {

@@ -52,6 +52,13 @@ PimChannel::allUnitsHalted() const
                        [](const auto &u) { return u->halted(); });
 }
 
+bool
+PimChannel::anyUnitFaulted() const
+{
+    return std::any_of(units_.begin(), units_.end(),
+                       [](const auto &u) { return u->faulted(); });
+}
+
 void
 PimChannel::onRowCommand(const Command &cmd, Cycle cycle)
 {

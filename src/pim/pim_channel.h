@@ -56,6 +56,9 @@ class PimChannel : public ColumnInterceptor
     /** True once every unit has hit EXIT. */
     bool allUnitsHalted() const;
 
+    /** True if any unit raised an illegal-instruction fault. */
+    bool anyUnitFaulted() const;
+
     // Flat column layout of the register map; columns beyond one row's
     // width spill into configRow2. Use configAddr() to get (row, col).
     unsigned crfCol(unsigned crf_index) const { return crf_index / 8; }

@@ -59,9 +59,25 @@ PimUnit::resetProgram()
 {
     ppc_ = 0;
     halted_ = false;
+    faulted_ = false;
     nopConsumed_ = 0;
     executed_ = 0;
     std::fill(jumpRemaining_.begin(), jumpRemaining_.end(), -1);
+}
+
+void
+PimUnit::raiseIllegalInst(std::uint32_t word)
+{
+    // A corrupted CRF slot (the register files carry no ECC) must not
+    // crash the device model: raise a sticky fault and halt. The runtime
+    // sees the fault via PimChannel::anyUnitFaulted() and recovers.
+    PIMSIM_WARN("PIM unit (banks ", evenBank_, "/", oddBank_,
+                ") illegal instruction word ", word, " at CRF[", ppc_,
+                "]");
+    if (stats_)
+        stats_->add("pim.illegalInst");
+    faulted_ = true;
+    halted_ = true;
 }
 
 void
@@ -75,7 +91,12 @@ PimUnit::resolveControl()
             halted_ = true;
             return;
         }
-        const PimInst inst = PimInst::decode(regs_.crf(ppc_));
+        const std::uint32_t word = regs_.crf(ppc_);
+        if (!isValidEncoding(word)) {
+            raiseIllegalInst(word);
+            return;
+        }
+        const PimInst inst = PimInst::decode(word);
         if (inst.opcode == PimOpcode::Exit) {
             halted_ = true;
             return;
@@ -87,7 +108,12 @@ PimUnit::resolveControl()
             remaining = static_cast<int>(inst.imm1) - 1;
         if (remaining > 0) {
             --remaining;
-            PIMSIM_ASSERT(inst.imm0 <= ppc_, "JUMP beyond CRF start");
+            if (inst.imm0 > ppc_) {
+                // A corrupted offset would branch before CRF[0]; treat it
+                // as an illegal instruction rather than a simulator bug.
+                raiseIllegalInst(word);
+                return;
+            }
             ppc_ -= inst.imm0;
         } else {
             remaining = -1;
@@ -144,8 +170,17 @@ PimUnit::fetchOperand(OperandSpace space, unsigned index, CommandType type,
                       "bank operand fetch from idle bank ", bank);
         if (stats_)
             stats_->add("pim.bankRead");
-        return burstToLanes(
-            pch_.dataStore().read(bank, pch_.bank(bank).openRow, col));
+        // The bank read passes through the same on-die ECC engine as a
+        // host RD (Section VIII); count what it observes. The DataStore
+        // hook additionally records the event in the system error log.
+        EccStatus ecc = EccStatus::Ok;
+        const Burst data =
+            pch_.dataStore().read(bank, pch_.bank(bank).openRow, col, &ecc);
+        if (stats_ && ecc == EccStatus::Corrected)
+            stats_->add("pim.eccCorrected");
+        if (stats_ && ecc == EccStatus::Uncorrectable)
+            stats_->add("pim.eccUncorrectable");
+        return burstToLanes(data);
       }
     }
     PIMSIM_PANIC("bad operand space");
@@ -187,8 +222,9 @@ PimUnit::trigger(CommandType type, unsigned col, const Burst *bus_data)
 {
     resolveControl();
     if (halted_) {
-        // The host over-issued triggers; harmless but worth counting.
-        if (stats_)
+        // Faulted units stay silent; otherwise the host over-issued
+        // triggers — harmless but worth counting.
+        if (stats_ && !faulted_)
             stats_->add("pim.triggerAfterExit");
         return;
     }

@@ -44,6 +44,13 @@ class PimUnit
     /** True once EXIT has been fetched. */
     bool halted() const { return halted_; }
 
+    /**
+     * True if the sequencer hit an illegal instruction (a corrupted CRF
+     * slot). The unit halts rather than executing garbage; the fault is
+     * sticky until resetProgram().
+     */
+    bool faulted() const { return faulted_; }
+
     /** Current PIM program counter. */
     unsigned ppc() const { return ppc_; }
 
@@ -92,8 +99,12 @@ class PimUnit
     PimRegisterFile regs_;
     StatGroup *stats_;
 
+    /** Raise an illegal-instruction fault and halt the unit. */
+    void raiseIllegalInst(std::uint32_t word);
+
     unsigned ppc_ = 0;
     bool halted_ = false;
+    bool faulted_ = false;
     unsigned nopConsumed_ = 0;
     std::uint64_t executed_ = 0;
     std::vector<int> jumpRemaining_;

@@ -126,4 +126,33 @@ PimRegisterFile::loadSrfFile(unsigned file, const Burst &data)
     }
 }
 
+void
+PimRegisterFile::flipCrfBit(unsigned index, unsigned bit)
+{
+    PIMSIM_ASSERT(index < crf_.size() && bit < 32, "CRF flip at ", index,
+                  ":", bit);
+    crf_[index] ^= 1u << bit;
+}
+
+void
+PimRegisterFile::flipGrfBit(unsigned half, unsigned index, unsigned bit)
+{
+    auto &file = half == 0 ? grfA_ : grfB_;
+    PIMSIM_ASSERT(index < file.size() && bit < kSimdLanes * 16,
+                  "GRF flip at ", index, ":", bit);
+    Fp16 &lane = file[index][bit / 16];
+    lane = Fp16::fromBits(
+        static_cast<Fp16Bits>(lane.bits() ^ (1u << (bit % 16))));
+}
+
+void
+PimRegisterFile::flipSrfBit(unsigned file, unsigned index, unsigned bit)
+{
+    auto &f = file == 0 ? srfM_ : srfA_;
+    PIMSIM_ASSERT(index < f.size() && bit < 16, "SRF flip at ", index, ":",
+                  bit);
+    f[index] = Fp16::fromBits(
+        static_cast<Fp16Bits>(f[index].bits() ^ (1u << bit)));
+}
+
 } // namespace pimsim

@@ -64,6 +64,16 @@ class PimRegisterFile
     /** Load a whole SRF file from one burst. */
     void loadSrfFile(unsigned file, const Burst &data);
 
+    // Fault injection (reliability campaigns). Unlike the DRAM arrays,
+    // the register files have no ECC, so a flipped bit persists until the
+    // register is next written.
+    /** Flip one bit of a 32-bit CRF instruction slot. */
+    void flipCrfBit(unsigned index, unsigned bit);
+    /** Flip one bit of a GRF register (bit indexes the 256-bit value). */
+    void flipGrfBit(unsigned half, unsigned index, unsigned bit);
+    /** Flip one bit of a 16-bit SRF register. */
+    void flipSrfBit(unsigned file, unsigned index, unsigned bit);
+
   private:
     unsigned grfPerHalf_;
     unsigned srfPerFile_;

@@ -1,0 +1,75 @@
+#include "reliability/mem_error.h"
+
+#include <algorithm>
+
+namespace pimsim {
+
+const char *
+memErrorSeverityName(MemErrorEvent::Severity severity)
+{
+    switch (severity) {
+      case MemErrorEvent::Severity::Corrected:
+        return "Corrected";
+      case MemErrorEvent::Severity::Uncorrectable:
+        return "Uncorrectable";
+    }
+    return "?";
+}
+
+const char *
+memErrorOriginName(MemErrorEvent::Origin origin)
+{
+    switch (origin) {
+      case MemErrorEvent::Origin::Access:
+        return "Access";
+      case MemErrorEvent::Origin::Scrub:
+        return "Scrub";
+    }
+    return "?";
+}
+
+void
+MemErrorLog::record(const MemErrorEvent &event)
+{
+    if (event.channel >= correctedPerCh_.size()) {
+        correctedPerCh_.resize(event.channel + 1, 0);
+        uncorrectablePerCh_.resize(event.channel + 1, 0);
+    }
+    if (event.severity == MemErrorEvent::Severity::Corrected) {
+        ++corrected_;
+        ++correctedPerCh_[event.channel];
+    } else {
+        ++uncorrectable_;
+        ++uncorrectablePerCh_[event.channel];
+    }
+    if (events_.size() >= maxEvents_)
+        events_.erase(events_.begin());
+    events_.push_back(event);
+    if (handler_)
+        handler_(event);
+}
+
+std::uint64_t
+MemErrorLog::correctedOn(unsigned channel) const
+{
+    return channel < correctedPerCh_.size() ? correctedPerCh_[channel] : 0;
+}
+
+std::uint64_t
+MemErrorLog::uncorrectableOn(unsigned channel) const
+{
+    return channel < uncorrectablePerCh_.size() ? uncorrectablePerCh_[channel]
+                                                : 0;
+}
+
+void
+MemErrorLog::clear()
+{
+    events_.clear();
+    std::fill(correctedPerCh_.begin(), correctedPerCh_.end(), 0);
+    std::fill(uncorrectablePerCh_.begin(), uncorrectablePerCh_.end(), 0);
+    corrected_ = 0;
+    uncorrectable_ = 0;
+}
+
+} // namespace pimsim

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Machine-check-style memory error reporting.
+ *
+ * Section VIII argues PIM must leverage the on-die ECC engine "even in
+ * PIM mode". This module is the software-visible half of that story:
+ * every ECC event observed anywhere in the device — host reads, PIM
+ * bank-operand fetches, scrubber sweeps — is raised as a MemErrorEvent
+ * into a per-system MemErrorLog instead of being silently swallowed.
+ * The runtime polls the log (or installs a handler) to drive its
+ * retry / host-fallback recovery policy.
+ */
+
+#ifndef PIMSIM_RELIABILITY_MEM_ERROR_H
+#define PIMSIM_RELIABILITY_MEM_ERROR_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.h"
+
+namespace pimsim {
+
+/** One ECC event, attributed to a device location and simulated time. */
+struct MemErrorEvent
+{
+    enum class Severity : std::uint8_t
+    {
+        Corrected,     ///< single-bit fault repaired in flight
+        Uncorrectable, ///< double-bit fault detected; data is suspect
+    };
+
+    enum class Origin : std::uint8_t
+    {
+        Access, ///< demand read (host RD or PIM bank-operand fetch)
+        Scrub,  ///< background scrubber sweep
+    };
+
+    Severity severity = Severity::Corrected;
+    Origin origin = Origin::Access;
+    unsigned channel = 0;
+    unsigned bank = 0;
+    unsigned row = 0;
+    unsigned col = 0;
+    Cycle cycle = 0;
+};
+
+const char *memErrorSeverityName(MemErrorEvent::Severity severity);
+const char *memErrorOriginName(MemErrorEvent::Origin origin);
+
+/** Callback invoked synchronously for every recorded event. */
+using MemErrorHandler = std::function<void(const MemErrorEvent &)>;
+
+/**
+ * System-wide error log: running counters per channel plus a bounded
+ * ring of the most recent events (so long fault campaigns cannot grow
+ * memory without bound).
+ */
+class MemErrorLog
+{
+  public:
+    explicit MemErrorLog(std::size_t max_events = 1024)
+        : maxEvents_(max_events)
+    {
+    }
+
+    void record(const MemErrorEvent &event);
+
+    /** Total corrected / uncorrectable events since the last clear. */
+    std::uint64_t corrected() const { return corrected_; }
+    std::uint64_t uncorrectable() const { return uncorrectable_; }
+
+    /** Per-channel counters (0 for channels never seen). */
+    std::uint64_t correctedOn(unsigned channel) const;
+    std::uint64_t uncorrectableOn(unsigned channel) const;
+
+    /** The most recent events, oldest first (bounded). */
+    const std::vector<MemErrorEvent> &recent() const { return events_; }
+
+    /** Install a synchronous observer (replaces any previous one). */
+    void setHandler(MemErrorHandler handler)
+    {
+        handler_ = std::move(handler);
+    }
+
+    void clear();
+
+  private:
+    std::size_t maxEvents_;
+    std::vector<MemErrorEvent> events_;
+    std::vector<std::uint64_t> correctedPerCh_;
+    std::vector<std::uint64_t> uncorrectablePerCh_;
+    std::uint64_t corrected_ = 0;
+    std::uint64_t uncorrectable_ = 0;
+    MemErrorHandler handler_;
+};
+
+} // namespace pimsim
+
+#endif // PIMSIM_RELIABILITY_MEM_ERROR_H

@@ -14,6 +14,7 @@ PimSystem::PimSystem(const SystemConfig &config)
         controllers_.push_back(std::make_unique<MemoryController>(
             config.geometry, config.timing, config.controller,
             config.withPim(), config.pim));
+        controllers_.back()->setErrorSink(&errorLog_, ch);
         nextTick_.push_back(0);
     }
 }
@@ -68,9 +69,16 @@ PimSystem::advance(Cycle cycles)
         for (unsigned ch = 0; ch < controllers_.size(); ++ch) {
             if (!controllers_[ch]->idle(now_))
                 target = std::min(target, std::max(nextTick_[ch], now_));
+            // Patrol-scrub steps ride on advance()'s explicit time
+            // budget (step()/runUntilIdle() must stay scrub-free or an
+            // enabled scrubber would keep them from ever going idle).
+            const Cycle scrub = controllers_[ch]->nextScrubDue();
+            if (scrub != kNoCycle)
+                target = std::min(target, std::max(scrub, now_));
         }
         now_ = target;
         for (unsigned ch = 0; ch < controllers_.size(); ++ch) {
+            controllers_[ch]->scrubTick(now_);
             if (controllers_[ch]->idle(now_))
                 continue;
             while (nextTick_[ch] <= now_) {
@@ -108,6 +116,15 @@ PimSystem::totalChannelStat(const std::string &stat) const
     std::uint64_t total = 0;
     for (const auto &c : controllers_)
         total += c->channel().stats().counter(stat);
+    return total;
+}
+
+std::uint64_t
+PimSystem::totalCtrlStat(const std::string &stat) const
+{
+    std::uint64_t total = 0;
+    for (const auto &c : controllers_)
+        total += c->stats().counter(stat);
     return total;
 }
 

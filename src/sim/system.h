@@ -19,6 +19,7 @@
 #include "common/stats.h"
 #include "dram/address.h"
 #include "mem/controller.h"
+#include "reliability/mem_error.h"
 #include "sim/system_config.h"
 
 namespace pimsim {
@@ -85,10 +86,21 @@ class PimSystem
     std::uint64_t totalChannelStat(const std::string &stat) const;
     /** Sum of a named counter over all channels' PIM stats. */
     std::uint64_t totalPimStat(const std::string &stat) const;
+    /** Sum of a named counter over all channels' controller stats. */
+    std::uint64_t totalCtrlStat(const std::string &stat) const;
+
+    /**
+     * System-wide machine-check log: every ECC event seen by any channel
+     * (demand access or scrub) lands here. The runtime polls it to
+     * decide whether a PIM kernel's data can be trusted.
+     */
+    MemErrorLog &errorLog() { return errorLog_; }
+    const MemErrorLog &errorLog() const { return errorLog_; }
 
   private:
     SystemConfig config_;
     AddressMapping mapping_;
+    MemErrorLog errorLog_;
     std::vector<std::unique_ptr<MemoryController>> controllers_;
     std::vector<Cycle> nextTick_;
     Cycle now_ = 0;

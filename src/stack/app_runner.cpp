@@ -20,6 +20,13 @@ accumulatePimActivity(AppRunResult &acc, const BlasTiming &t, double times)
     acc.pimBankAccesses +=
         static_cast<std::uint64_t>(t.pimBankAccesses * times);
     acc.pimOps += static_cast<std::uint64_t>(t.pimOps * times);
+    // Reliability outcomes are per-call facts, not rates: count them once
+    // per distinct kernel execution rather than scaling by repetitions
+    // (memoised replays of a timing do not re-run the device).
+    acc.pimRetries += t.retries;
+    acc.hostFallbacks += t.hostFallback ? 1 : 0;
+    acc.eccCorrected += t.eccCorrected;
+    acc.eccUncorrectable += t.eccUncorrectable;
 }
 
 } // namespace

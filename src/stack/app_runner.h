@@ -37,6 +37,12 @@ struct AppRunResult
     std::uint64_t pimTriggers = 0;  ///< AB-PIM column commands
     std::uint64_t pimBankAccesses = 0;
     std::uint64_t pimOps = 0;
+
+    // Reliability outcomes aggregated over all PIM kernels in the run.
+    std::uint64_t pimRetries = 0;       ///< kernel re-executions
+    std::uint64_t hostFallbacks = 0;    ///< kernels recomputed on the host
+    std::uint64_t eccCorrected = 0;     ///< ECC single-bit corrections
+    std::uint64_t eccUncorrectable = 0; ///< uncorrectable ECC events
 };
 
 /** Executes applications and microbenchmarks on one system. */

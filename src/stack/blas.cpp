@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "energy/probe.h"
 #include "pim/pim_channel.h"
+#include "stack/reference.h"
 
 namespace pimsim {
 
@@ -78,6 +79,43 @@ flagBurst(std::uint8_t value)
 }
 
 } // namespace
+
+bool
+PimBlas::anyUnitFaulted() const
+{
+    for (unsigned ch = 0; ch < system_.numChannels(); ++ch) {
+        const PimChannel *pim = system_.controller(ch).pim();
+        if (pim && pim->anyUnitFaulted())
+            return true;
+    }
+    return false;
+}
+
+void
+PimBlas::elementwiseGolden(PimOpcode op, bool relu_move, const Fp16Vector &a,
+                           const Fp16Vector *b, Fp16Vector &out) const
+{
+    if (op == PimOpcode::Add && b) {
+        out = refAdd(a, *b);
+    } else if (op == PimOpcode::Mul && b) {
+        out = refMul(a, *b);
+    } else if (op == PimOpcode::Mad) {
+        // Recover the scalar groups from the staged SRF payloads.
+        PIMSIM_ASSERT(srfM_ && srfA_, "BN fallback without SRF payloads");
+        const LaneVector gm = burstToLanes(*srfM_);
+        const LaneVector bt = burstToLanes(*srfA_);
+        Fp16Vector gamma(8), beta(8);
+        for (unsigned i = 0; i < 8; ++i) {
+            gamma[i] = gm[i];
+            beta[i] = bt[i];
+        }
+        const unsigned slots =
+            system_.numChannels() * system_.config().pim.unitsPerPch;
+        out = refBn(a, gamma, beta, slots);
+    } else {
+        out = relu_move ? refRelu(a) : a;
+    }
+}
 
 PimBlas::PimBlas(PimSystem &system) : system_(system), driver_(system)
 {
@@ -180,7 +218,17 @@ PimBlas::elementwise(PimOpcode op, bool relu_move, const Fp16Vector &a,
     const std::uint64_t groups = divCeil(chunks, chunks_per_group);
     const unsigned rows =
         static_cast<unsigned>(divCeil(groups, groups_per_row));
-    const PimRowBlock block = driver_.allocRows(rows);
+
+    BlasTiming timing;
+    PimRowBlock block;
+    if (driver_.allocRows(rows, block) != PimStatus::Ok) {
+        PIMSIM_WARN("element-wise kernel cannot allocate ", rows,
+                    " PIM rows (free ", driver_.freeRows(),
+                    "); computing on the host");
+        elementwiseGolden(op, relu_move, a, b, out);
+        timing.hostFallback = true;
+        return timing;
+    }
 
     auto place = [&](std::uint64_t q) {
         struct Loc
@@ -198,17 +246,6 @@ PimBlas::elementwise(PimOpcode op, bool relu_move, const Fp16Vector &a,
         loc.row = block.firstRow + group / groups_per_row;
         return loc;
     };
-
-    // Functional preload of the operands (already-resident data).
-    for (std::uint64_t q = 0; q < chunks; ++q) {
-        const auto loc = place(q);
-        driver_.preload(loc.ch, 2 * loc.unit, loc.row, loc.col,
-                        sliceBurst(a, q * kSimdLanes));
-        if (b) {
-            driver_.preload(loc.ch, 2 * loc.unit + 1, loc.row, loc.col,
-                            sliceBurst(*b, q * kSimdLanes));
-        }
-    }
 
     // Microkernel. AAM indices walk the GRF with the column address.
     const unsigned total_groups =
@@ -313,28 +350,75 @@ PimBlas::elementwise(PimOpcode op, bool relu_move, const Fp16Vector &a,
         builder.fence();
     appendEpilogue(builder);
 
-    ActivityProbe probe(system_);
-    const PimRunResult run =
-        runPimProgramReplicated(system_, prog, channels);
-    const ChannelActivity activity = probe.delta();
+    // Execute, retry on reported errors, fall back to the host when the
+    // retry budget is spent (the Section VIII recovery policy).
+    const std::uint64_t corr0 = system_.errorLog().corrected();
+    const std::uint64_t uc_start = system_.errorLog().uncorrectable();
+    for (unsigned attempt = 0; attempt <= maxRetries_; ++attempt) {
+        const std::uint64_t uc0 = system_.errorLog().uncorrectable();
 
-    // Functional readback (the result stays resident for the next layer;
-    // reading it back is verification, not timed kernel work).
-    for (std::uint64_t q = 0; q < chunks; ++q) {
-        const auto loc = place(q);
-        const Burst result =
-            driver_.peek(loc.ch, 2 * loc.unit, loc.row, 16 + loc.col);
-        unpackBurst(result, q * kSimdLanes, out);
+        // (Re)stage the operands. A retry rewrites them, which repairs
+        // any transient corruption the region accumulated; stuck-at
+        // defects survive the rewrite and keep the attempt failing.
+        for (std::uint64_t q = 0; q < chunks; ++q) {
+            const auto loc = place(q);
+            driver_.preload(loc.ch, 2 * loc.unit, loc.row, loc.col,
+                            sliceBurst(a, q * kSimdLanes));
+            if (b) {
+                driver_.preload(loc.ch, 2 * loc.unit + 1, loc.row, loc.col,
+                                sliceBurst(*b, q * kSimdLanes));
+            }
+        }
+
+        ActivityProbe probe(system_);
+        const PimRunResult run =
+            runPimProgramReplicated(system_, prog, channels);
+        const ChannelActivity activity = probe.delta();
+        timing.ns += run.ns;
+        timing.commands += run.commands;
+        timing.fences += run.fences;
+        timing.acts += activity.acts;
+        timing.pimTriggers += activity.pimTriggers;
+        timing.pimBankAccesses +=
+            activity.pimBankReads + activity.pimBankWrites;
+        timing.pimOps += activity.pimOps;
+
+        // Functional readback (the result stays resident for the next
+        // layer; reading it back is verification, not timed kernel
+        // work). The read passes through ECC, so result corruption that
+        // happened after the kernel is detected here and lands in the
+        // error log like any other demand access.
+        for (std::uint64_t q = 0; q < chunks; ++q) {
+            const auto loc = place(q);
+            const Burst result =
+                driver_.peek(loc.ch, 2 * loc.unit, loc.row, 16 + loc.col);
+            unpackBurst(result, q * kSimdLanes, out);
+        }
+
+        const bool faulted = anyUnitFaulted();
+        const bool new_uc = system_.errorLog().uncorrectable() > uc0;
+        if (!faulted && !new_uc) {
+            timing.eccCorrected = system_.errorLog().corrected() - corr0;
+            timing.eccUncorrectable =
+                system_.errorLog().uncorrectable() - uc_start;
+            return timing;
+        }
+        if (attempt < maxRetries_) {
+            ++timing.retries;
+            PIMSIM_WARN("element-wise PIM kernel reported ",
+                        faulted ? "a faulted unit"
+                                : "uncorrectable ECC errors",
+                        "; retry ", timing.retries, "/", maxRetries_);
+        }
     }
 
-    BlasTiming timing;
-    timing.ns = run.ns;
-    timing.commands = run.commands;
-    timing.fences = run.fences;
-    timing.acts = activity.acts;
-    timing.pimTriggers = activity.pimTriggers;
-    timing.pimBankAccesses = activity.pimBankReads + activity.pimBankWrites;
-    timing.pimOps = activity.pimOps;
+    PIMSIM_WARN("element-wise PIM kernel still failing after ",
+                maxRetries_, " retries; falling back to host execution");
+    elementwiseGolden(op, relu_move, a, b, out);
+    timing.hostFallback = true;
+    timing.eccCorrected = system_.errorLog().corrected() - corr0;
+    timing.eccUncorrectable =
+        system_.errorLog().uncorrectable() - uc_start;
     return timing;
 }
 
@@ -402,51 +486,66 @@ PimBlas::gemv(const Fp16Vector &w, unsigned m, unsigned n,
     // 8-column window; 4 blocks fit a 32-column row.
     const unsigned w_rows_per_pass = divCeil(blocks, 4);
     const unsigned out_rows = divCeil(passes, 32u);
-    const PimRowBlock wBlock =
-        driver_.allocRows(passes * w_rows_per_pass);
-    const PimRowBlock outBlock = driver_.allocRows(out_rows);
+
+    BlasTiming timing;
+    PimRowBlock wBlock;
+    PimRowBlock outBlock;
+    if (driver_.allocRows(passes * w_rows_per_pass, wBlock) !=
+            PimStatus::Ok ||
+        driver_.allocRows(out_rows, outBlock) != PimStatus::Ok) {
+        PIMSIM_WARN("GEMV cannot allocate ",
+                    passes * w_rows_per_pass + out_rows, " PIM rows (free ",
+                    driver_.freeRows(), "); computing on the host");
+        y = refGemv(w, m, n, x);
+        timing.hostFallback = true;
+        return timing;
+    }
 
     // ---- Functional preload of W ----
     // Global output row m' = 2 * (p * slots + slot) + k, slot = ch*U + u,
     // k = 0 (even bank) / 1 (odd bank). Block nb occupies columns
     // (nb % 4) * 8 .. +7 of W row (wBase + p*w_rows_per_pass + nb/4).
-    for (unsigned p = 0; p < passes; ++p) {
-        for (unsigned ch = 0; ch < channels; ++ch) {
-            for (unsigned u = 0; u < units; ++u) {
-                const unsigned slot = ch * units + u;
-                for (unsigned k = 0; k < 2; ++k) {
-                    const std::uint64_t mm =
-                        2ull * (std::uint64_t{p} * slots + slot) + k;
-                    if (mm >= m)
-                        continue;
-                    for (unsigned nb = 0; nb < blocks; ++nb) {
-                        const unsigned row = wBlock.firstRow +
-                                             p * w_rows_per_pass + nb / 4;
-                        for (unsigned j = 0; j < 8; ++j) {
-                            const std::uint64_t col_start =
-                                std::uint64_t{nb} * 128 + j * 16;
-                            Burst burst{};
-                            for (unsigned lane = 0; lane < kSimdLanes;
-                                 ++lane) {
-                                const std::uint64_t idx = col_start + lane;
-                                if (idx < n) {
-                                    const Fp16Bits bits =
-                                        w[mm * n + idx].bits();
-                                    burst[2 * lane] = static_cast<
-                                        std::uint8_t>(bits & 0xff);
-                                    burst[2 * lane + 1] =
-                                        static_cast<std::uint8_t>(bits >>
-                                                                  8);
+    auto preloadW = [&]() {
+        for (unsigned p = 0; p < passes; ++p) {
+            for (unsigned ch = 0; ch < channels; ++ch) {
+                for (unsigned u = 0; u < units; ++u) {
+                    const unsigned slot = ch * units + u;
+                    for (unsigned k = 0; k < 2; ++k) {
+                        const std::uint64_t mm =
+                            2ull * (std::uint64_t{p} * slots + slot) + k;
+                        if (mm >= m)
+                            continue;
+                        for (unsigned nb = 0; nb < blocks; ++nb) {
+                            const unsigned row = wBlock.firstRow +
+                                                 p * w_rows_per_pass +
+                                                 nb / 4;
+                            for (unsigned j = 0; j < 8; ++j) {
+                                const std::uint64_t col_start =
+                                    std::uint64_t{nb} * 128 + j * 16;
+                                Burst burst{};
+                                for (unsigned lane = 0; lane < kSimdLanes;
+                                     ++lane) {
+                                    const std::uint64_t idx =
+                                        col_start + lane;
+                                    if (idx < n) {
+                                        const Fp16Bits bits =
+                                            w[mm * n + idx].bits();
+                                        burst[2 * lane] = static_cast<
+                                            std::uint8_t>(bits & 0xff);
+                                        burst[2 * lane + 1] =
+                                            static_cast<std::uint8_t>(
+                                                bits >> 8);
+                                    }
                                 }
+                                driver_.preload(ch, 2 * u + k, row,
+                                                (nb % 4) * 8 + j, burst);
                             }
-                            driver_.preload(ch, 2 * u + k, row,
-                                            (nb % 4) * 8 + j, burst);
                         }
                     }
                 }
             }
         }
-    }
+    };
 
     // ---- Microkernel ----
     std::vector<PimInst> kernel;
@@ -552,43 +651,74 @@ PimBlas::gemv(const Fp16Vector &w, unsigned m, unsigned n,
         builder.fence();
     appendEpilogue(builder);
 
-    ActivityProbe probe(system_);
-    const PimRunResult run =
-        runPimProgramReplicated(system_, prog, channels);
-    const ChannelActivity activity = probe.delta();
-
-    // ---- Host readback and lane reduction ----
-    // Each output burst holds 16 FP16 partial sums; the host streams the
-    // partial buffers back (SB mode) and reduces. Timed analytically as
-    // a full-bandwidth stream plus negligible compute.
-    for (std::uint64_t mm = 0; mm < m; ++mm) {
-        const std::uint64_t pass_slot = mm / 2;
-        const unsigned p = static_cast<unsigned>(pass_slot / slots);
-        const unsigned slot = static_cast<unsigned>(pass_slot % slots);
-        const unsigned ch = slot / units;
-        const unsigned u = slot % units;
-        const unsigned k = static_cast<unsigned>(mm % 2);
-        const Burst partials =
-            driver_.peek(ch, 2 * u + k, outBlock.firstRow + p / 32, p % 32);
-        const LaneVector lanes = burstToLanes(partials);
-        double sum = 0.0;
-        for (const auto &lane : lanes)
-            sum += static_cast<double>(lane.toFloat());
-        y[mm] = Fp16(static_cast<float>(sum));
-    }
-
-    BlasTiming timing;
-    timing.ns = run.ns;
-    timing.commands = run.commands;
-    timing.fences = run.fences;
-    timing.acts = activity.acts;
-    timing.pimTriggers = activity.pimTriggers;
-    timing.pimBankAccesses = activity.pimBankReads + activity.pimBankWrites;
-    timing.pimOps = activity.pimOps;
     const double partial_bytes = static_cast<double>(m) * kBurstBytes;
     const double stream_bw =
         system_.config().offChipBandwidthGBs() * 0.8; // GB/s ~= B/ns
-    timing.readbackNs = partial_bytes / stream_bw;
+
+    const std::uint64_t corr0 = system_.errorLog().corrected();
+    const std::uint64_t uc_start = system_.errorLog().uncorrectable();
+    for (unsigned attempt = 0; attempt <= maxRetries_; ++attempt) {
+        const std::uint64_t uc0 = system_.errorLog().uncorrectable();
+        preloadW();
+
+        ActivityProbe probe(system_);
+        const PimRunResult run =
+            runPimProgramReplicated(system_, prog, channels);
+        const ChannelActivity activity = probe.delta();
+        timing.ns += run.ns;
+        timing.commands += run.commands;
+        timing.fences += run.fences;
+        timing.acts += activity.acts;
+        timing.pimTriggers += activity.pimTriggers;
+        timing.pimBankAccesses +=
+            activity.pimBankReads + activity.pimBankWrites;
+        timing.pimOps += activity.pimOps;
+
+        // ---- Host readback and lane reduction ----
+        // Each output burst holds 16 FP16 partial sums; the host streams
+        // the partial buffers back (SB mode) and reduces. Timed
+        // analytically as a full-bandwidth stream plus negligible
+        // compute. The read passes through ECC like any demand access.
+        for (std::uint64_t mm = 0; mm < m; ++mm) {
+            const std::uint64_t pass_slot = mm / 2;
+            const unsigned p = static_cast<unsigned>(pass_slot / slots);
+            const unsigned slot = static_cast<unsigned>(pass_slot % slots);
+            const unsigned ch = slot / units;
+            const unsigned u = slot % units;
+            const unsigned k = static_cast<unsigned>(mm % 2);
+            const Burst partials = driver_.peek(
+                ch, 2 * u + k, outBlock.firstRow + p / 32, p % 32);
+            const LaneVector lanes = burstToLanes(partials);
+            double sum = 0.0;
+            for (const auto &lane : lanes)
+                sum += static_cast<double>(lane.toFloat());
+            y[mm] = Fp16(static_cast<float>(sum));
+        }
+        timing.readbackNs += partial_bytes / stream_bw;
+
+        const bool faulted = anyUnitFaulted();
+        const bool new_uc = system_.errorLog().uncorrectable() > uc0;
+        if (!faulted && !new_uc) {
+            timing.eccCorrected = system_.errorLog().corrected() - corr0;
+            timing.eccUncorrectable =
+                system_.errorLog().uncorrectable() - uc_start;
+            return timing;
+        }
+        if (attempt < maxRetries_) {
+            ++timing.retries;
+            PIMSIM_WARN("GEMV PIM kernel reported ",
+                        faulted ? "a faulted unit"
+                                : "uncorrectable ECC errors",
+                        "; retry ", timing.retries, "/", maxRetries_);
+        }
+    }
+
+    PIMSIM_WARN("GEMV PIM kernel still failing after ", maxRetries_,
+                " retries; falling back to host execution");
+    y = refGemv(w, m, n, x);
+    timing.hostFallback = true;
+    timing.eccCorrected = system_.errorLog().corrected() - corr0;
+    timing.eccUncorrectable = system_.errorLog().uncorrectable() - uc_start;
     return timing;
 }
 

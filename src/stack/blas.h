@@ -40,6 +40,12 @@ struct BlasTiming
     std::uint64_t pimBankAccesses = 0;
     std::uint64_t pimOps = 0;        ///< executed PIM instructions
 
+    // Reliability outcome of the call.
+    unsigned retries = 0;        ///< PIM re-executions after reported errors
+    bool hostFallback = false;   ///< result came from the host golden path
+    std::uint64_t eccCorrected = 0;     ///< ECC corrections observed
+    std::uint64_t eccUncorrectable = 0; ///< uncorrectable ECC events seen
+
     double totalNs() const { return ns + readbackNs; }
 };
 
@@ -95,6 +101,15 @@ class PimBlas
     void setUseFences(bool use) { useFences_ = use; }
     bool useFences() const { return useFences_; }
 
+    /**
+     * PIM re-execution budget when a kernel's output is suspect (a unit
+     * faulted on a corrupted CRF, or uncorrectable ECC errors were
+     * reported during execution). After this many retries the call
+     * recomputes on the host golden path and flags hostFallback.
+     */
+    void setMaxRetries(unsigned retries) { maxRetries_ = retries; }
+    unsigned maxRetries() const { return maxRetries_; }
+
   private:
     /** Element-wise kernels share one engine (op selects the ALU). */
     BlasTiming elementwise(PimOpcode op, bool relu_move, const Fp16Vector &a,
@@ -108,9 +123,17 @@ class PimBlas
     /** Common epilogue: PIM_OP_MODE=0, AB -> SB. */
     void appendEpilogue(ProgramBuilder &builder);
 
+    /** Host golden computation for an element-wise call (fallback). */
+    void elementwiseGolden(PimOpcode op, bool relu_move, const Fp16Vector &a,
+                           const Fp16Vector *b, Fp16Vector &out) const;
+
+    /** True if any channel's PIM logic reports a faulted unit. */
+    bool anyUnitFaulted() const;
+
     PimSystem &system_;
     PimDriver driver_;
     bool useFences_ = true;
+    unsigned maxRetries_ = 2;
 
     /** SRF file payloads staged for the next kernel prologue (BN). */
     std::optional<Burst> srfM_;

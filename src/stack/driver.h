@@ -9,10 +9,17 @@
  * at the *same row index in every bank of every channel*, which is what
  * the AB-mode lock-step access pattern requires (one ACT opens the row
  * everywhere).
+ *
+ * Allocation is a first-fit free list over row extents, so blocks can
+ * be released and re-used mid-workload. Exhaustion is a recoverable
+ * status, not a fatal error: the runtime falls back to host execution
+ * when the PIM region cannot hold a kernel's operands.
  */
 
 #ifndef PIMSIM_STACK_DRIVER_H
 #define PIMSIM_STACK_DRIVER_H
+
+#include <vector>
 
 #include "common/types.h"
 #include "dram/datastore.h"
@@ -27,20 +34,43 @@ struct PimRowBlock
     unsigned numRows = 0;
 };
 
+/** Driver call outcomes. */
+enum class PimStatus
+{
+    Ok,           ///< request satisfied
+    OutOfRows,    ///< no free extent large enough
+    InvalidBlock, ///< block was not allocated by this driver (or freed twice)
+};
+
+const char *pimStatusName(PimStatus status);
+
 /** The kernel-side driver for PIM-HBM. */
 class PimDriver
 {
   public:
     explicit PimDriver(PimSystem &system);
 
-    /** Allocate `count` rows of PIM space (fatal on exhaustion). */
-    PimRowBlock allocRows(unsigned count);
+    /**
+     * Allocate `count` contiguous rows of PIM space (first fit).
+     * On success `out` holds the block; on failure `out` is zeroed and
+     * the caller decides how to degrade (host fallback, smaller tiles).
+     */
+    PimStatus allocRows(unsigned count, PimRowBlock &out);
+
+    /** Return a block to the free list (coalescing with neighbours). */
+    PimStatus freeBlock(const PimRowBlock &block);
 
     /** Release every allocation (end of workload). */
     void reset();
 
-    /** Rows still available. */
-    unsigned freeRows() const { return limitRow_ - nextRow_; }
+    /** Rows still available (across all free extents). */
+    unsigned freeRows() const;
+
+    /** Largest single allocation currently possible. */
+    unsigned largestFreeExtent() const;
+
+    /** Total rows the PIM region spans. */
+    unsigned capacityRows() const { return limitRow_; }
 
     /**
      * Functional preload: place a burst directly into DRAM. Models data
@@ -54,12 +84,26 @@ class PimDriver
     Burst peek(unsigned channel, unsigned flat_bank, unsigned row,
                unsigned col) const;
 
+    /** Functional readback that also reports the on-die ECC outcome. */
+    Burst peekChecked(unsigned channel, unsigned flat_bank, unsigned row,
+                      unsigned col, EccStatus *ecc) const;
+
     PimSystem &system() { return system_; }
 
   private:
+    /** A contiguous run of free rows. */
+    struct Extent
+    {
+        unsigned first = 0;
+        unsigned count = 0;
+    };
+
     PimSystem &system_;
-    unsigned nextRow_ = 0;
     unsigned limitRow_; ///< PIM_CONF rows live above this
+    /** Free extents, sorted by first row, never adjacent (coalesced). */
+    std::vector<Extent> free_;
+    /** Live allocations, for freeBlock() validation. */
+    std::vector<PimRowBlock> allocated_;
 };
 
 } // namespace pimsim

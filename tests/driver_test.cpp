@@ -1,0 +1,150 @@
+/**
+ * @file
+ * PIM driver row-allocator tests: status-returning allocation, free-list
+ * coalescing, exhaustion-and-recover, and invalid-free rejection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/logging.h"
+#include "stack/driver.h"
+
+namespace pimsim {
+namespace {
+
+SystemConfig
+tinyConfig()
+{
+    SystemConfig c = SystemConfig::pimHbmSystem();
+    c.numStacks = 1;
+    c.geometry.rowsPerBank = 256;
+    return c;
+}
+
+TEST(PimDriverAlloc, ZeroRowRequestSucceedsWithoutConsuming)
+{
+    PimSystem sys(tinyConfig());
+    PimDriver driver(sys);
+    const unsigned before = driver.freeRows();
+    PimRowBlock block;
+    EXPECT_EQ(driver.allocRows(0, block), PimStatus::Ok);
+    EXPECT_EQ(block.numRows, 0u);
+    EXPECT_EQ(driver.freeRows(), before);
+    EXPECT_EQ(driver.freeBlock(block), PimStatus::Ok);
+}
+
+TEST(PimDriverAlloc, ExhaustionReturnsStatusAndRecoversAfterFree)
+{
+    setQuiet(true);
+    PimSystem sys(tinyConfig());
+    PimDriver driver(sys);
+    const unsigned capacity = driver.capacityRows();
+    ASSERT_GT(capacity, 4u);
+
+    // Exhaust the region in fixed-size blocks.
+    std::vector<PimRowBlock> blocks;
+    PimRowBlock b;
+    while (driver.allocRows(4, b) == PimStatus::Ok)
+        blocks.push_back(b);
+    ASSERT_FALSE(blocks.empty());
+    EXPECT_LT(driver.freeRows(), 4u);
+
+    // Further requests fail with a status — no crash, no partial state.
+    PimRowBlock overflow;
+    EXPECT_EQ(driver.allocRows(4, overflow), PimStatus::OutOfRows);
+    EXPECT_EQ(overflow.numRows, 0u);
+
+    // Freeing one block makes exactly that much room again.
+    const PimRowBlock released = blocks.back();
+    blocks.pop_back();
+    EXPECT_EQ(driver.freeBlock(released), PimStatus::Ok);
+    PimRowBlock again;
+    EXPECT_EQ(driver.allocRows(4, again), PimStatus::Ok);
+    EXPECT_EQ(again.firstRow, released.firstRow); // first-fit reuses the hole
+}
+
+TEST(PimDriverAlloc, FreeCoalescesNeighbours)
+{
+    PimSystem sys(tinyConfig());
+    PimDriver driver(sys);
+    PimRowBlock a, b, c;
+    ASSERT_EQ(driver.allocRows(8, a), PimStatus::Ok);
+    ASSERT_EQ(driver.allocRows(8, b), PimStatus::Ok);
+    ASSERT_EQ(driver.allocRows(8, c), PimStatus::Ok);
+    const unsigned tail = driver.largestFreeExtent();
+
+    // Free the outer blocks: two separate extents, neither adjacent to
+    // the tail yet (b still sits between them).
+    EXPECT_EQ(driver.freeBlock(a), PimStatus::Ok);
+    EXPECT_EQ(driver.freeBlock(c), PimStatus::Ok);
+    EXPECT_EQ(driver.largestFreeExtent(), tail + 8);
+
+    // Freeing the middle block merges everything into one extent.
+    EXPECT_EQ(driver.freeBlock(b), PimStatus::Ok);
+    EXPECT_EQ(driver.largestFreeExtent(), driver.capacityRows());
+    EXPECT_EQ(driver.freeRows(), driver.capacityRows());
+}
+
+TEST(PimDriverAlloc, DoubleFreeAndForeignBlockAreRejected)
+{
+    PimSystem sys(tinyConfig());
+    PimDriver driver(sys);
+    PimRowBlock a;
+    ASSERT_EQ(driver.allocRows(6, a), PimStatus::Ok);
+    EXPECT_EQ(driver.freeBlock(a), PimStatus::Ok);
+    EXPECT_EQ(driver.freeBlock(a), PimStatus::InvalidBlock);
+
+    PimRowBlock bogus;
+    bogus.firstRow = 100;
+    bogus.numRows = 3;
+    EXPECT_EQ(driver.freeBlock(bogus), PimStatus::InvalidBlock);
+}
+
+TEST(PimDriverAlloc, FirstFitSkipsTooSmallHoles)
+{
+    PimSystem sys(tinyConfig());
+    PimDriver driver(sys);
+    PimRowBlock a, b, c;
+    ASSERT_EQ(driver.allocRows(2, a), PimStatus::Ok);
+    ASSERT_EQ(driver.allocRows(8, b), PimStatus::Ok);
+    ASSERT_EQ(driver.allocRows(2, c), PimStatus::Ok);
+    ASSERT_EQ(driver.freeBlock(b), PimStatus::Ok);
+
+    // A request larger than the hole must come from the tail.
+    PimRowBlock big;
+    ASSERT_EQ(driver.allocRows(16, big), PimStatus::Ok);
+    EXPECT_GE(big.firstRow, c.firstRow + c.numRows);
+
+    // A request that fits the hole lands in it.
+    PimRowBlock small;
+    ASSERT_EQ(driver.allocRows(8, small), PimStatus::Ok);
+    EXPECT_EQ(small.firstRow, b.firstRow);
+}
+
+TEST(PimDriverAlloc, ResetReclaimsEverythingIncludingLiveBlocks)
+{
+    PimSystem sys(tinyConfig());
+    PimDriver driver(sys);
+    PimRowBlock a, b;
+    ASSERT_EQ(driver.allocRows(10, a), PimStatus::Ok);
+    ASSERT_EQ(driver.allocRows(10, b), PimStatus::Ok);
+    driver.reset();
+    EXPECT_EQ(driver.freeRows(), driver.capacityRows());
+    // Blocks from before the reset are no longer valid.
+    EXPECT_EQ(driver.freeBlock(a), PimStatus::InvalidBlock);
+    // And the whole region is allocatable again in one piece.
+    PimRowBlock all;
+    EXPECT_EQ(driver.allocRows(driver.capacityRows(), all), PimStatus::Ok);
+}
+
+TEST(PimDriverAlloc, StatusNamesAreStable)
+{
+    EXPECT_STREQ(pimStatusName(PimStatus::Ok), "Ok");
+    EXPECT_STREQ(pimStatusName(PimStatus::OutOfRows), "OutOfRows");
+    EXPECT_STREQ(pimStatusName(PimStatus::InvalidBlock), "InvalidBlock");
+}
+
+} // namespace
+} // namespace pimsim

@@ -157,6 +157,91 @@ TEST(EccDataStore, ZeroColumnsOfWrittenRowsCheckClean)
     EXPECT_EQ(store.eccUncorrectable(), 0u);
 }
 
+TEST(EccDataStore, DoubleBitDetectedInEveryBurstWord)
+{
+    // A burst holds four independently-coded 64-bit words; a double
+    // fault in any one of them must be detected.
+    setQuiet(true);
+    for (unsigned word = 0; word < 4; ++word) {
+        DataStore store(eccGeom());
+        Burst data{};
+        data.fill(0x96);
+        store.write(0, 2, 1, data);
+        store.injectBitFlip(0, 2, 1, word * 64 + 5);
+        store.injectBitFlip(0, 2, 1, word * 64 + 41);
+        EccStatus ecc = EccStatus::Ok;
+        store.read(0, 2, 1, &ecc);
+        EXPECT_EQ(ecc, EccStatus::Uncorrectable) << "word " << word;
+        EXPECT_EQ(store.eccUncorrectable(), 1u) << "word " << word;
+    }
+}
+
+TEST(EccDataStore, ScrubRepairsSingleFaultInTheArray)
+{
+    DataStore store(eccGeom());
+    Burst data{};
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<std::uint8_t>(i + 1);
+    store.write(3, 4, 5, data);
+    store.injectBitFlip(3, 4, 5, 77);
+    ASSERT_NE(store.readRaw(3, 4, 5), data); // stored copy is corrupt
+
+    const ScrubOutcome outcome = store.scrubBurst(3, 4, 5);
+    EXPECT_EQ(outcome.corrected, 1u);
+    EXPECT_EQ(outcome.uncorrectable, 0u);
+    EXPECT_EQ(store.readRaw(3, 4, 5), data); // repaired in place
+
+    // The repaired burst reads clean — scrubbing prevented the single
+    // fault from aging into a double one.
+    EccStatus ecc = EccStatus::Corrected;
+    EXPECT_EQ(store.read(3, 4, 5, &ecc), data);
+    EXPECT_EQ(ecc, EccStatus::Ok);
+}
+
+TEST(EccDataStore, ScrubReportsButCannotRepairDoubleFault)
+{
+    setQuiet(true);
+    DataStore store(eccGeom());
+    Burst data{};
+    data.fill(0x0f);
+    store.write(1, 1, 1, data);
+    store.injectBitFlip(1, 1, 1, 8);
+    store.injectBitFlip(1, 1, 1, 9);
+    const Burst corrupt = store.readRaw(1, 1, 1);
+
+    const ScrubOutcome outcome = store.scrubBurst(1, 1, 1);
+    EXPECT_EQ(outcome.corrected, 0u);
+    EXPECT_EQ(outcome.uncorrectable, 1u);
+    EXPECT_EQ(store.readRaw(1, 1, 1), corrupt); // left untouched
+}
+
+TEST(EccDataStore, StuckBitSurvivesRewriteAndStaysCorrectable)
+{
+    DataStore store(eccGeom());
+    Burst data{};
+    store.write(0, 3, 2, data); // all zeros
+    store.setStuckBit(0, 3, 2, 12, true);
+    EXPECT_EQ(store.stuckBitCount(), 1u);
+
+    // The read corrects the defect (check bytes describe intent)...
+    EXPECT_EQ(store.read(0, 3, 2), data);
+    EXPECT_EQ(store.eccCorrected(), 1u);
+
+    // ...and rewriting the burst does not clear the cell.
+    store.write(0, 3, 2, data);
+    EXPECT_NE(store.readRaw(0, 3, 2), data);
+    EXPECT_EQ(store.read(0, 3, 2), data);
+
+    // Scrubbing cannot permanently repair it either: the cell re-sticks.
+    store.scrubBurst(0, 3, 2);
+    EXPECT_NE(store.readRaw(0, 3, 2), data);
+
+    store.clearStuckBits();
+    EXPECT_EQ(store.stuckBitCount(), 0u);
+    store.write(0, 3, 2, data);
+    EXPECT_EQ(store.readRaw(0, 3, 2), data);
+}
+
 TEST(EccPim, PimKernelComputesCorrectlyOverFaultyBank)
 {
     // Section VIII: PIM leverages the on-die ECC engine even in PIM

@@ -121,8 +121,9 @@ TEST(PimDriver, AllocatesDisjointRowBlocks)
 {
     PimSystem sys(tinyConfig());
     PimDriver driver(sys);
-    const PimRowBlock a = driver.allocRows(10);
-    const PimRowBlock c = driver.allocRows(5);
+    PimRowBlock a, c;
+    ASSERT_EQ(driver.allocRows(10, a), PimStatus::Ok);
+    ASSERT_EQ(driver.allocRows(5, c), PimStatus::Ok);
     EXPECT_EQ(a.numRows, 10u);
     EXPECT_GE(c.firstRow, a.firstRow + a.numRows);
 }
@@ -133,7 +134,8 @@ TEST(PimDriver, StaysBelowPimConfRows)
     PimDriver driver(sys);
     const auto conf = PimConfMap::forRows(256);
     const unsigned total = driver.freeRows();
-    const PimRowBlock block = driver.allocRows(total);
+    PimRowBlock block;
+    ASSERT_EQ(driver.allocRows(total, block), PimStatus::Ok);
     EXPECT_LE(block.firstRow + block.numRows, conf.firstReservedRow());
     EXPECT_EQ(driver.freeRows(), 0u);
 }
@@ -143,7 +145,8 @@ TEST(PimDriver, ResetReclaims)
     PimSystem sys(tinyConfig());
     PimDriver driver(sys);
     const unsigned before = driver.freeRows();
-    driver.allocRows(20);
+    PimRowBlock block;
+    ASSERT_EQ(driver.allocRows(20, block), PimStatus::Ok);
     driver.reset();
     EXPECT_EQ(driver.freeRows(), before);
 }
