@@ -139,14 +139,49 @@ printOffloadPlan(const AppSpec &app, unsigned batch)
 
 } // namespace
 
+void
+usage(const char *prog)
+{
+    std::fprintf(stderr,
+                 "usage: %s [APP [BATCH [INJECT_RATE]]]\n"
+                 "  APP          application name (e.g. GNMT, DS2)\n"
+                 "  BATCH        positive integer batch size (default 1)\n"
+                 "  INJECT_RATE  non-negative fault-injection rate "
+                 "(default 0)\n",
+                 prog);
+}
+
 int
 main(int argc, char **argv)
 {
     setQuiet(true);
     const char *which = argc > 1 ? argv[1] : nullptr;
-    const unsigned batch =
-        argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 1;
-    const double inject_rate = argc > 3 ? std::atof(argv[3]) : 0.0;
+
+    unsigned batch = 1;
+    if (argc > 2) {
+        char *end = nullptr;
+        const unsigned long parsed = std::strtoul(argv[2], &end, 10);
+        if (end == argv[2] || *end != '\0' || argv[2][0] == '-' ||
+            parsed == 0 || parsed > 4096) {
+            std::fprintf(stderr, "%s: bad BATCH '%s': expected an integer "
+                         "in [1, 4096]\n", argv[0], argv[2]);
+            usage(argv[0]);
+            return 2;
+        }
+        batch = static_cast<unsigned>(parsed);
+    }
+
+    double inject_rate = 0.0;
+    if (argc > 3) {
+        char *end = nullptr;
+        inject_rate = std::strtod(argv[3], &end);
+        if (end == argv[3] || *end != '\0' || !(inject_rate >= 0.0)) {
+            std::fprintf(stderr, "%s: bad INJECT_RATE '%s': expected a "
+                         "non-negative number\n", argv[0], argv[3]);
+            usage(argv[0]);
+            return 2;
+        }
+    }
 
     for (const auto &app : allApps()) {
         if (which && std::strcmp(which, app.name.c_str()) != 0)

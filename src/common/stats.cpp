@@ -59,6 +59,37 @@ Histogram::mean() const
                   : 0.0;
 }
 
+double
+Histogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0.0;
+    p = std::min(std::max(p, 0.0), 1.0);
+    // Rank of the percentile sample, 1-based (nearest-rank definition).
+    const std::uint64_t rank = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(p * static_cast<double>(count_) + 0.5));
+
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        if (buckets_[i] == 0)
+            continue;
+        if (cumulative + buckets_[i] >= rank) {
+            // Interpolate the rank's position within this bucket.
+            const double within =
+                static_cast<double>(rank - cumulative) /
+                static_cast<double>(buckets_[i]);
+            const double value =
+                static_cast<double>(i * bucketWidth_) +
+                within * static_cast<double>(bucketWidth_);
+            return std::min(std::max(value, static_cast<double>(min())),
+                            static_cast<double>(max_));
+        }
+        cumulative += buckets_[i];
+    }
+    // The rank fell into the overflow bucket.
+    return static_cast<double>(max_);
+}
+
 void
 Histogram::dump(std::ostream &os) const
 {

@@ -86,6 +86,20 @@ class Histogram
 
     std::uint64_t count() const { return count_; }
     double mean() const;
+
+    /**
+     * Approximate p-th percentile (p in (0, 1], e.g. 0.99) by linear
+     * interpolation inside the owning bucket, clamped to [min, max].
+     * Samples that landed in the overflow bucket resolve to max().
+     * An empty histogram reports 0.
+     */
+    double percentile(double p) const;
+
+    double p50() const { return percentile(0.50); }
+    double p95() const { return percentile(0.95); }
+    double p99() const { return percentile(0.99); }
+
+
     std::uint64_t min() const { return count_ ? min_ : 0; }
     std::uint64_t max() const { return max_; }
     const std::vector<std::uint64_t> &buckets() const { return buckets_; }

@@ -180,7 +180,7 @@ PseudoChannel::issue(const Command &cmd, Cycle now)
     PIMSIM_ASSERT(canIssue(cmd, now), "illegal issue of ",
                   commandTypeName(cmd.type), " at cycle ", now);
     if (trace_) {
-        *trace_ << now << ": " << cmd << (allBank_ ? " [AB]" : "")
+        *trace_ << now << ": " << cmd << " [" << modeLabel() << "]"
                 << "\n";
     }
     IssueResult result;

@@ -101,6 +101,21 @@ class PseudoChannel
     void setAllBankMode(bool enabled) { allBank_ = enabled; }
     bool allBankMode() const { return allBank_; }
 
+    /**
+     * PIM-execution flag for trace annotation: the PIM layer raises it
+     * while PIM_OP_MODE=1 so the command trace can distinguish an AB-PIM
+     * trigger from a plain AB access (the DRAM layer itself behaves
+     * identically either way).
+     */
+    void setPimModeActive(bool active) { pimModeActive_ = active; }
+    bool pimModeActive() const { return pimModeActive_; }
+
+    /** Current access-shape label: "SB", "AB" or "AB-PIM". */
+    const char *modeLabel() const
+    {
+        return allBank_ ? (pimModeActive_ ? "AB-PIM" : "AB") : "SB";
+    }
+
     /** Install the PIM-layer observer (may be nullptr). */
     void setInterceptor(ColumnInterceptor *interceptor)
     {
@@ -150,6 +165,7 @@ class PseudoChannel
     DataStore data_;
 
     bool allBank_ = false;
+    bool pimModeActive_ = false;
     ColumnInterceptor *interceptor_ = nullptr;
     std::ostream *trace_ = nullptr;
 

@@ -89,6 +89,7 @@ PimChannel::onRowCommand(const Command &cmd, Cycle cycle)
                       "AB->SB transition requires all rows precharged");
         mode_ = PimMode::Sb;
         pch_.setAllBankMode(false);
+        pch_.setPimModeActive(false);
         stats_.add("mode.enterSb");
     }
     pending_ = Pending::None;
@@ -109,6 +110,7 @@ PimChannel::setOpMode(bool pim_on)
                     "fast SB->AB-PIM requires data rows precharged");
             }
             pch_.setAllBankMode(true);
+            pch_.setPimModeActive(true);
             mode_ = PimMode::AbPim;
             for (auto &u : units_)
                 u->resetProgram();
@@ -119,6 +121,7 @@ PimChannel::setOpMode(bool pim_on)
                       "PIM_OP_MODE=1 requires AB mode");
         if (mode_ == PimMode::Ab) {
             mode_ = PimMode::AbPim;
+            pch_.setPimModeActive(true);
             for (auto &u : units_)
                 u->resetProgram();
             stats_.add("mode.enterAbPim");
@@ -128,10 +131,12 @@ PimChannel::setOpMode(bool pim_on)
             // Drop straight back to standard DRAM operation.
             mode_ = PimMode::Sb;
             pch_.setAllBankMode(false);
+            pch_.setPimModeActive(false);
             stats_.add("mode.fastExitAbPim");
             return;
         }
         mode_ = PimMode::Ab;
+        pch_.setPimModeActive(false);
         stats_.add("mode.exitAbPim");
     }
 }

@@ -1,0 +1,112 @@
+#include "serve/load_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <tuple>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace pimsim::serve {
+
+namespace {
+
+/** Per-tenant stream seed: decorrelate tenants under one campaign seed. */
+std::uint64_t
+streamSeed(std::uint64_t seed, unsigned tenant)
+{
+    return seed + 0x9e3779b97f4a7c15ULL * (std::uint64_t{tenant} + 1);
+}
+
+} // namespace
+
+std::vector<Arrival>
+poissonArrivals(const std::vector<ArrivalSpec> &specs, double horizon_ns,
+                std::uint64_t seed)
+{
+    PIMSIM_ASSERT(horizon_ns > 0.0, "empty arrival horizon");
+    std::vector<Arrival> arrivals;
+    for (const auto &spec : specs) {
+        if (spec.ratePerSec <= 0.0)
+            continue;
+        Rng rng(streamSeed(seed, spec.tenant));
+        const double mean_gap_ns = 1e9 / spec.ratePerSec;
+        double t = 0.0;
+        while (true) {
+            // Exponential inter-arrival via inverse transform; nextDouble
+            // is in [0, 1) so the log argument stays positive.
+            const double u = rng.nextDouble();
+            t += -std::log(1.0 - u) * mean_gap_ns;
+            if (t > horizon_ns)
+                break;
+            arrivals.push_back(Arrival{t, spec.tenant});
+        }
+    }
+    std::sort(arrivals.begin(), arrivals.end(),
+              [](const Arrival &a, const Arrival &b) {
+                  return std::tie(a.ns, a.tenant) < std::tie(b.ns, b.tenant);
+              });
+    return arrivals;
+}
+
+ServeReport
+runOpenLoop(ServingEngine &engine, const std::vector<Arrival> &arrivals)
+{
+    for (const auto &a : arrivals)
+        engine.submit(a.tenant, std::max(a.ns, engine.nowNs()));
+    engine.drain();
+    engine.takeCompletions();
+    return engine.report();
+}
+
+ServeReport
+runClosedLoop(ServingEngine &engine, unsigned concurrency,
+              std::uint64_t requests_per_tenant, double think_ns)
+{
+    PIMSIM_ASSERT(concurrency >= 1, "closed loop needs concurrency >= 1");
+    const unsigned tenants = engine.numTenants();
+
+    // (ns, tenant, seq) min-heap of scheduled submissions; seq keeps
+    // replay deterministic under exact-tie timestamps.
+    using Entry = std::tuple<double, unsigned, std::uint64_t>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+    std::uint64_t seq = 0;
+
+    std::vector<std::uint64_t> remaining(tenants, requests_per_tenant);
+    for (unsigned t = 0; t < tenants; ++t) {
+        for (unsigned c = 0; c < concurrency && remaining[t] > 0; ++c) {
+            heap.emplace(0.0, t, seq++);
+            --remaining[t];
+        }
+    }
+
+    while (true) {
+        if (!heap.empty()) {
+            const auto [ns, tenant, s] = heap.top();
+            heap.pop();
+            const bool admitted =
+                engine.submit(tenant, std::max(ns, engine.nowNs()));
+            PIMSIM_ASSERT(admitted,
+                          "closed-loop rejection: size the queue depth to "
+                          "at least concurrency x tenants (",
+                          concurrency, " x ", tenants, ")");
+        } else {
+            const double event = engine.nextEventNs();
+            if (event == kNoEventNs)
+                break;
+            engine.advanceTo(event);
+        }
+        for (const auto &done : engine.takeCompletions()) {
+            if (remaining[done.tenant] > 0) {
+                heap.emplace(done.completeNs + think_ns, done.tenant, seq++);
+                --remaining[done.tenant];
+            }
+        }
+    }
+    engine.drain();
+    engine.takeCompletions();
+    return engine.report();
+}
+
+} // namespace pimsim::serve

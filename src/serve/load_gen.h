@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Deterministic load generators for the serving engine.
+ *
+ * Two standard serving-bench shapes:
+ *
+ *  - Open loop: each tenant submits a Poisson stream (exponential
+ *    inter-arrivals from the repo's seeded Rng) regardless of how the
+ *    system keeps up. Saturation shows up as queueing delay and
+ *    admission rejections — the honest tail-latency methodology.
+ *  - Closed loop: a fixed concurrency per tenant; each completion
+ *    immediately (plus think time) triggers the next submission.
+ *    Measures sustainable throughput without unbounded queues.
+ *
+ * The same seed replays the same arrival sequence exactly.
+ */
+
+#ifndef PIMSIM_SERVE_LOAD_GEN_H
+#define PIMSIM_SERVE_LOAD_GEN_H
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/serving_engine.h"
+
+namespace pimsim::serve {
+
+/** One tenant's open-loop traffic description. */
+struct ArrivalSpec
+{
+    unsigned tenant = 0;
+    double ratePerSec = 0.0; ///< mean Poisson arrival rate
+};
+
+/** A scheduled submission. */
+struct Arrival
+{
+    double ns = 0.0;
+    unsigned tenant = 0;
+};
+
+/**
+ * Pre-draw Poisson arrival times for every tenant over `horizon_ns`,
+ * merged into one time-sorted sequence. Deterministic in `seed`; ties
+ * break by tenant id then draw order.
+ */
+std::vector<Arrival> poissonArrivals(const std::vector<ArrivalSpec> &specs,
+                                     double horizon_ns,
+                                     std::uint64_t seed);
+
+/**
+ * Feed a pre-drawn arrival sequence through `engine`, then drain it.
+ * @return the engine's final report.
+ */
+ServeReport runOpenLoop(ServingEngine &engine,
+                        const std::vector<Arrival> &arrivals);
+
+/**
+ * Closed-loop run: keep `concurrency` requests of each tenant in flight
+ * until each tenant has completed `requests_per_tenant`, resubmitting on
+ * completion after `think_ns` of client think time.
+ * @return the engine's final report.
+ */
+ServeReport runClosedLoop(ServingEngine &engine, unsigned concurrency,
+                          std::uint64_t requests_per_tenant,
+                          double think_ns = 0.0);
+
+} // namespace pimsim::serve
+
+#endif // PIMSIM_SERVE_LOAD_GEN_H

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Serving-layer request types.
+ *
+ * One ServeRequest is one inference invocation of a tenant's application
+ * (the tenant's AppSpec at batch 1); the batching scheduler may coalesce
+ * several into one AppRunner dispatch. All timestamps are virtual
+ * nanoseconds on the serving clock.
+ */
+
+#ifndef PIMSIM_SERVE_REQUEST_H
+#define PIMSIM_SERVE_REQUEST_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stack/workloads.h"
+
+namespace pimsim::serve {
+
+/** One tenant's standing configuration. */
+struct TenantSpec
+{
+    std::string name;
+    /** The application a request of this tenant runs (one AppSpec per
+     *  tenant keeps batches homogeneous by construction). */
+    AppSpec app;
+    /** Fair-share / shard-size weight (relative). */
+    double weight = 1.0;
+};
+
+/** One inference request travelling through the serving layer. */
+struct ServeRequest
+{
+    std::uint64_t id = 0; ///< global admission order (tie-breaker)
+    unsigned tenant = 0;
+
+    double arrivalNs = 0.0;  ///< submission time
+    double dispatchNs = 0.0; ///< left the queue for the device
+    double completeNs = 0.0; ///< result available
+
+    double queueNs() const { return dispatchNs - arrivalNs; }
+    double serviceNs() const { return completeNs - dispatchNs; }
+    double latencyNs() const { return completeNs - arrivalNs; }
+};
+
+/** A scheduler decision: requests of one tenant served as one dispatch. */
+struct Batch
+{
+    unsigned tenant = 0;
+    std::vector<ServeRequest> requests;
+
+    unsigned size() const
+    {
+        return static_cast<unsigned>(requests.size());
+    }
+};
+
+} // namespace pimsim::serve
+
+#endif // PIMSIM_SERVE_REQUEST_H

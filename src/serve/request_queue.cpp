@@ -1,0 +1,59 @@
+#include "serve/request_queue.h"
+
+#include "common/logging.h"
+
+namespace pimsim::serve {
+
+RequestQueue::RequestQueue(const QueueConfig &config, unsigned num_tenants)
+    : config_(config),
+      queues_(num_tenants),
+      admitted_(num_tenants, 0),
+      rejected_(num_tenants, 0)
+{
+}
+
+bool
+RequestQueue::tryPush(const ServeRequest &request)
+{
+    PIMSIM_ASSERT(request.tenant < queues_.size(), "bad tenant id ",
+                  request.tenant);
+    const bool global_full = total_ >= config_.depth;
+    const bool tenant_full =
+        config_.perTenantDepth != 0 &&
+        queues_[request.tenant].size() >= config_.perTenantDepth;
+    if (global_full || tenant_full) {
+        ++rejected_[request.tenant];
+        return false;
+    }
+    queues_[request.tenant].push_back(request);
+    ++admitted_[request.tenant];
+    ++total_;
+    return true;
+}
+
+ServeRequest
+RequestQueue::popFront(unsigned tenant)
+{
+    PIMSIM_ASSERT(!queues_[tenant].empty(), "pop from empty tenant queue ",
+                  tenant);
+    ServeRequest r = queues_[tenant].front();
+    queues_[tenant].pop_front();
+    --total_;
+    return r;
+}
+
+std::optional<unsigned>
+RequestQueue::oldestTenant(const std::vector<unsigned> &eligible) const
+{
+    std::optional<unsigned> best;
+    for (unsigned t : eligible) {
+        const ServeRequest *head = front(t);
+        if (!head)
+            continue;
+        if (!best || head->id < front(*best)->id)
+            best = t;
+    }
+    return best;
+}
+
+} // namespace pimsim::serve

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Bounded admission queue in front of the batching scheduler.
+ *
+ * Requests wait in per-tenant FIFOs under one global depth bound (plus
+ * an optional per-tenant bound so a flooding tenant cannot monopolise
+ * the queue). Admission control is a hard reject — the serving layer
+ * reports rejections instead of queueing unboundedly, which is what
+ * keeps the tail latency of admitted requests meaningful.
+ */
+
+#ifndef PIMSIM_SERVE_REQUEST_QUEUE_H
+#define PIMSIM_SERVE_REQUEST_QUEUE_H
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "serve/request.h"
+
+namespace pimsim::serve {
+
+/** Admission-control configuration. */
+struct QueueConfig
+{
+    /** Total queued requests across all tenants. */
+    unsigned depth = 64;
+    /** Per-tenant cap (0 = bounded only by the global depth). */
+    unsigned perTenantDepth = 0;
+};
+
+/** Bounded multi-tenant FIFO with rejection accounting. */
+class RequestQueue
+{
+  public:
+    RequestQueue(const QueueConfig &config, unsigned num_tenants);
+
+    /**
+     * Admit a request if the global and per-tenant bounds allow it.
+     * @return true when admitted; false counts as a rejection.
+     */
+    bool tryPush(const ServeRequest &request);
+
+    /** Pop the oldest request of one tenant (must be non-empty). */
+    ServeRequest popFront(unsigned tenant);
+
+    std::size_t size() const { return total_; }
+    bool empty() const { return total_ == 0; }
+    std::size_t sizeForTenant(unsigned tenant) const
+    {
+        return queues_[tenant].size();
+    }
+
+    /** Oldest queued request of a tenant (nullptr when empty). */
+    const ServeRequest *front(unsigned tenant) const
+    {
+        return queues_[tenant].empty() ? nullptr : &queues_[tenant].front();
+    }
+
+    /**
+     * Tenant owning the globally oldest queued request among `eligible`
+     * (admission id breaks ties); nullopt when all are empty.
+     */
+    std::optional<unsigned>
+    oldestTenant(const std::vector<unsigned> &eligible) const;
+
+    std::uint64_t admitted(unsigned tenant) const
+    {
+        return admitted_[tenant];
+    }
+    std::uint64_t rejected(unsigned tenant) const
+    {
+        return rejected_[tenant];
+    }
+
+  private:
+    QueueConfig config_;
+    std::vector<std::deque<ServeRequest>> queues_;
+    std::vector<std::uint64_t> admitted_;
+    std::vector<std::uint64_t> rejected_;
+    std::size_t total_ = 0;
+};
+
+} // namespace pimsim::serve
+
+#endif // PIMSIM_SERVE_REQUEST_QUEUE_H

@@ -1,0 +1,181 @@
+#include "serve/scheduler.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace pimsim::serve {
+
+const char *
+schedPolicyName(SchedPolicy policy)
+{
+    switch (policy) {
+      case SchedPolicy::Fcfs:
+        return "fcfs";
+      case SchedPolicy::BatchTimeout:
+        return "batch";
+      case SchedPolicy::FairShare:
+        return "fair";
+    }
+    return "?";
+}
+
+double
+Scheduler::nextReadyNs(const RequestQueue &, const std::vector<unsigned> &,
+                       double) const
+{
+    // Work-conserving policies dispatch immediately or not at all.
+    return kNoEventNs;
+}
+
+void
+Scheduler::onDispatched(const Batch &, double)
+{
+}
+
+namespace {
+
+/** Pop up to `limit` requests of one tenant into a batch. */
+Batch
+takeBatch(RequestQueue &queue, unsigned tenant, unsigned limit)
+{
+    Batch batch;
+    batch.tenant = tenant;
+    while (batch.size() < limit && queue.sizeForTenant(tenant) > 0)
+        batch.requests.push_back(queue.popFront(tenant));
+    return batch;
+}
+
+class FcfsScheduler : public Scheduler
+{
+  public:
+    std::optional<Batch> pick(RequestQueue &queue,
+                              const std::vector<unsigned> &eligible,
+                              double) override
+    {
+        const auto tenant = queue.oldestTenant(eligible);
+        if (!tenant)
+            return std::nullopt;
+        return takeBatch(queue, *tenant, 1);
+    }
+};
+
+class BatchTimeoutScheduler : public Scheduler
+{
+  public:
+    explicit BatchTimeoutScheduler(const SchedulerConfig &config)
+        : config_(config)
+    {
+    }
+
+    std::optional<Batch> pick(RequestQueue &queue,
+                              const std::vector<unsigned> &eligible,
+                              double now) override
+    {
+        // A full batch dispatches immediately; prefer the oldest head so
+        // FCFS order is kept among equally-ready tenants.
+        std::optional<unsigned> full;
+        std::optional<unsigned> expired;
+        for (unsigned t : eligible) {
+            const ServeRequest *head = queue.front(t);
+            if (!head)
+                continue;
+            if (queue.sizeForTenant(t) >= config_.maxBatch &&
+                (!full || head->id < queue.front(*full)->id)) {
+                full = t;
+            }
+            // Written as arrival + timeout <= now so the comparison is
+            // bit-identical to the nextReadyNs() timer (a rearranged
+            // form can round differently and miss the timer instant).
+            if (head->arrivalNs + config_.batchTimeoutNs <= now &&
+                (!expired || head->id < queue.front(*expired)->id)) {
+                expired = t;
+            }
+        }
+        if (full)
+            return takeBatch(queue, *full, config_.maxBatch);
+        if (expired)
+            return takeBatch(queue, *expired, config_.maxBatch);
+        return std::nullopt;
+    }
+
+    double nextReadyNs(const RequestQueue &queue,
+                       const std::vector<unsigned> &eligible,
+                       double) const override
+    {
+        double ready = kNoEventNs;
+        for (unsigned t : eligible) {
+            const ServeRequest *head = queue.front(t);
+            if (head)
+                ready = std::min(ready,
+                                 head->arrivalNs + config_.batchTimeoutNs);
+        }
+        return ready;
+    }
+
+  private:
+    SchedulerConfig config_;
+};
+
+class FairShareScheduler : public Scheduler
+{
+  public:
+    FairShareScheduler(const SchedulerConfig &config,
+                       const std::vector<double> &weights)
+        : config_(config), weights_(weights), servedNs_(weights.size(), 0.0)
+    {
+        for (auto &w : weights_)
+            w = w > 0.0 ? w : 1.0;
+    }
+
+    std::optional<Batch> pick(RequestQueue &queue,
+                              const std::vector<unsigned> &eligible,
+                              double) override
+    {
+        // Least normalised service first (start-time fairness); ties go
+        // to the lower tenant id for determinism.
+        std::optional<unsigned> best;
+        for (unsigned t : eligible) {
+            if (queue.sizeForTenant(t) == 0)
+                continue;
+            if (!best ||
+                servedNs_[t] / weights_[t] <
+                    servedNs_[*best] / weights_[*best]) {
+                best = t;
+            }
+        }
+        if (!best)
+            return std::nullopt;
+        return takeBatch(queue, *best, config_.maxBatch);
+    }
+
+    void onDispatched(const Batch &batch, double service_ns) override
+    {
+        servedNs_[batch.tenant] += service_ns;
+    }
+
+  private:
+    SchedulerConfig config_;
+    std::vector<double> weights_;
+    std::vector<double> servedNs_;
+};
+
+} // namespace
+
+std::unique_ptr<Scheduler>
+Scheduler::make(const SchedulerConfig &config,
+                const std::vector<double> &weights)
+{
+    PIMSIM_ASSERT(config.maxBatch >= 1, "maxBatch must be >= 1");
+    switch (config.policy) {
+      case SchedPolicy::Fcfs:
+        return std::make_unique<FcfsScheduler>();
+      case SchedPolicy::BatchTimeout:
+        return std::make_unique<BatchTimeoutScheduler>(config);
+      case SchedPolicy::FairShare:
+        return std::make_unique<FairShareScheduler>(config, weights);
+    }
+    PIMSIM_PANIC("bad scheduling policy");
+}
+
+} // namespace pimsim::serve

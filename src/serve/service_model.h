@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Per-shard service-time model.
+ *
+ * The serving engine needs serviceNs(app, batch) for a tenant pinned to
+ * a g-channel shard. PIM latency is deterministic (the architecture's
+ * core property), so each distinct (app, batch) is executed once on a
+ * shard-sized system through the real AppRunner/PimBlas command-level
+ * path and memoised; the queueing simulation then replays the measured
+ * number. A cross-engine cache lets benchmark sweeps share measurements
+ * between policy/rate cells instead of re-simulating identical kernels.
+ */
+
+#ifndef PIMSIM_SERVE_SERVICE_MODEL_H
+#define PIMSIM_SERVE_SERVICE_MODEL_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "host/host_model.h"
+#include "sim/system.h"
+#include "stack/app_runner.h"
+#include "stack/blas.h"
+
+namespace pimsim::serve {
+
+/** Shared (shard channels, app name, batch) -> service ns memo. */
+class ServiceTimeCache
+{
+  public:
+    using Key = std::tuple<unsigned, std::string, unsigned>;
+
+    const double *find(const Key &key) const
+    {
+        const auto it = memo_.find(key);
+        return it == memo_.end() ? nullptr : &it->second;
+    }
+
+    void insert(const Key &key, double ns) { memo_[key] = ns; }
+
+    std::size_t size() const { return memo_.size(); }
+
+  private:
+    std::map<Key, double> memo_;
+};
+
+/** Timing oracle for one shard size. */
+class ShardServiceModel
+{
+  public:
+    /**
+     * @param base      the serving system's configuration; geometry and
+     *                  timing are inherited, only the channel count is
+     *                  replaced by the shard's
+     * @param channels  pseudo channels in the shard (power of two)
+     * @param cache     optional cross-engine memo (may be nullptr)
+     */
+    ShardServiceModel(const SystemConfig &base, unsigned channels,
+                      std::shared_ptr<ServiceTimeCache> cache);
+
+    /** End-to-end service time of one dispatch of `app` at `batch`. */
+    double serviceNs(const AppSpec &app, unsigned batch);
+
+    unsigned channels() const { return channels_; }
+
+  private:
+    /** The measurement system is built on first miss only. */
+    void ensureRunner();
+
+    SystemConfig config_;
+    unsigned channels_;
+    std::shared_ptr<ServiceTimeCache> cache_;
+
+    std::unique_ptr<PimSystem> system_;
+    std::unique_ptr<HostModel> host_;
+    std::unique_ptr<PimBlas> blas_;
+    std::unique_ptr<AppRunner> runner_;
+};
+
+} // namespace pimsim::serve
+
+#endif // PIMSIM_SERVE_SERVICE_MODEL_H

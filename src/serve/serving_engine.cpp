@@ -1,0 +1,314 @@
+#include "serve/serving_engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "pim/pim_config.h"
+
+namespace pimsim::serve {
+
+namespace {
+
+std::vector<double>
+tenantWeights(const std::vector<TenantSpec> &tenants)
+{
+    std::vector<double> w;
+    w.reserve(tenants.size());
+    for (const auto &t : tenants)
+        w.push_back(t.weight > 0.0 ? t.weight : 1.0);
+    return w;
+}
+
+std::uint64_t
+toNsSample(double ns)
+{
+    return ns <= 0.0 ? 0
+                     : static_cast<std::uint64_t>(std::llround(ns));
+}
+
+LatencySummary
+summariseHistogram(const Histogram &h)
+{
+    LatencySummary s;
+    s.meanNs = h.mean();
+    s.p50Ns = h.p50();
+    s.p95Ns = h.p95();
+    s.p99Ns = h.p99();
+    s.maxNs = static_cast<double>(h.max());
+    return s;
+}
+
+} // namespace
+
+ServingEngine::ServingEngine(const ServeConfig &config)
+    : config_(config),
+      system_(std::make_unique<PimSystem>(config.system)),
+      plan_(ShardPlan::shared(0, 0, 0)),
+      queue_(config.queue,
+             static_cast<unsigned>(config.tenants.size()))
+{
+    PIMSIM_ASSERT(!config.tenants.empty(), "serving needs >= 1 tenant");
+    PIMSIM_ASSERT(config.system.withPim(),
+                  "the serving layer drives a PIM-HBM system");
+
+    const unsigned pim_rows =
+        PimConfMap::forRows(config.system.geometry.rowsPerBank)
+            .firstReservedRow();
+    const auto weights = tenantWeights(config.tenants);
+    plan_ = config.shardChannels
+                ? ShardPlan::sharded(system_->numChannels(), pim_rows,
+                                     weights)
+                : ShardPlan::shared(system_->numChannels(), pim_rows,
+                                    static_cast<unsigned>(
+                                        config.tenants.size()));
+
+    if (plan_.isSharded()) {
+        for (unsigned t = 0; t < config.tenants.size(); ++t) {
+            const ShardSpec &spec = plan_.shard(plan_.shardOf(t));
+            drivers_.push_back(std::make_unique<PimDriver>(
+                *system_, spec.firstRow, spec.numRows));
+        }
+    } else {
+        drivers_.push_back(std::make_unique<PimDriver>(*system_));
+    }
+
+    for (unsigned s = 0; s < plan_.numShards(); ++s) {
+        models_.push_back(std::make_unique<ShardServiceModel>(
+            config.system, floorPow2(plan_.shard(s).numChannels),
+            config.timingCache));
+    }
+    servers_.resize(plan_.numShards());
+
+    sched_ = Scheduler::make(config.sched, weights);
+
+    for (const auto &spec : config.tenants) {
+        TenantState state{spec,
+                          0,
+                          0,
+                          0,
+                          0.0,
+                          Histogram(config.histBucketNs, config.histBuckets),
+                          Histogram(config.histBucketNs, config.histBuckets),
+                          Histogram(config.histBucketNs, config.histBuckets)};
+        tenants_.push_back(std::move(state));
+    }
+}
+
+PimDriver &
+ServingEngine::tenantDriver(unsigned tenant)
+{
+    PIMSIM_ASSERT(tenant < tenants_.size(), "bad tenant id ", tenant);
+    return plan_.isSharded() ? *drivers_[tenant] : *drivers_[0];
+}
+
+bool
+ServingEngine::submit(unsigned tenant, double arrival_ns)
+{
+    PIMSIM_ASSERT(tenant < tenants_.size(), "bad tenant id ", tenant);
+    PIMSIM_ASSERT(arrival_ns >= nowNs_,
+                  "submission in the past: ", arrival_ns, " < ", nowNs_);
+    advanceTo(arrival_ns);
+
+    ServeRequest request;
+    request.id = nextId_++;
+    request.tenant = tenant;
+    request.arrivalNs = arrival_ns;
+
+    auto &state = tenants_[tenant];
+    ++state.submitted;
+    auto &stats = system_->serveStats();
+    stats.add("tenant." + state.spec.name + ".submitted");
+    if (!queue_.tryPush(request)) {
+        stats.add("tenant." + state.spec.name + ".rejected");
+        return false;
+    }
+    stats.add("tenant." + state.spec.name + ".admitted");
+    dispatchAll();
+    return true;
+}
+
+double
+ServingEngine::nextEventNs() const
+{
+    double next = kNoEventNs;
+    for (unsigned s = 0; s < servers_.size(); ++s) {
+        if (servers_[s].busy) {
+            next = std::min(next, servers_[s].freeNs);
+        } else {
+            next = std::min(next, sched_->nextReadyNs(
+                                      queue_, plan_.tenantsOf(s), nowNs_));
+        }
+    }
+    return next;
+}
+
+void
+ServingEngine::advanceTo(double ns)
+{
+    while (true) {
+        const double event = nextEventNs();
+        if (event > ns) // also catches kNoEventNs
+            break;
+        nowNs_ = std::max(nowNs_, event);
+        completeDue();
+        dispatchAll();
+    }
+    nowNs_ = std::max(nowNs_, ns);
+}
+
+void
+ServingEngine::drain()
+{
+    while (true) {
+        const double event = nextEventNs();
+        if (event == kNoEventNs)
+            break;
+        advanceTo(event);
+    }
+}
+
+void
+ServingEngine::completeDue()
+{
+    for (unsigned s = 0; s < servers_.size(); ++s) {
+        if (servers_[s].busy && servers_[s].freeNs <= nowNs_)
+            finishBatch(s);
+    }
+}
+
+void
+ServingEngine::dispatchAll()
+{
+    for (unsigned s = 0; s < servers_.size(); ++s) {
+        while (!servers_[s].busy) {
+            auto batch =
+                sched_->pick(queue_, plan_.tenantsOf(s), nowNs_);
+            if (!batch)
+                break;
+            const double service_ns = models_[s]->serviceNs(
+                tenants_[batch->tenant].spec.app, batch->size());
+            sched_->onDispatched(*batch, service_ns);
+            for (auto &r : batch->requests)
+                r.dispatchNs = nowNs_;
+            servers_[s].busy = true;
+            servers_[s].freeNs = nowNs_ + service_ns;
+            servers_[s].serviceNs = service_ns;
+            servers_[s].inFlight = std::move(*batch);
+        }
+    }
+}
+
+void
+ServingEngine::finishBatch(unsigned shard)
+{
+    Server &server = servers_[shard];
+    const unsigned tenant = server.inFlight.tenant;
+    auto &state = tenants_[tenant];
+
+    for (auto &r : server.inFlight.requests) {
+        r.completeNs = server.freeNs;
+        state.queueH.sample(toNsSample(r.queueNs()));
+        state.serviceH.sample(toNsSample(r.serviceNs()));
+        state.e2eH.sample(toNsSample(r.latencyNs()));
+        ++state.completed;
+        completions_.push_back(r);
+    }
+    ++state.batches;
+    state.servedNs += server.serviceNs;
+
+    auto &stats = system_->serveStats();
+    stats.add("tenant." + state.spec.name + ".completed",
+              server.inFlight.size());
+    stats.add("tenant." + state.spec.name + ".batches");
+
+    server.busy = false;
+    server.inFlight = Batch{};
+}
+
+std::vector<ServeRequest>
+ServingEngine::takeCompletions()
+{
+    std::vector<ServeRequest> out;
+    out.swap(completions_);
+    return out;
+}
+
+TenantReport
+ServingEngine::summarise(const TenantState &t, double horizon_ns) const
+{
+    TenantReport r;
+    r.name = t.spec.name;
+    r.submitted = t.submitted;
+    r.completed = t.completed;
+    r.batches = t.batches;
+    r.servedNs = t.servedNs;
+    r.throughputRps =
+        horizon_ns > 0.0
+            ? static_cast<double>(t.completed) / (horizon_ns * 1e-9)
+            : 0.0;
+    r.queue = summariseHistogram(t.queueH);
+    r.service = summariseHistogram(t.serviceH);
+    r.e2e = summariseHistogram(t.e2eH);
+    return r;
+}
+
+ServeReport
+ServingEngine::report() const
+{
+    ServeReport report;
+    report.horizonNs = nowNs_;
+    report.total.name = "total";
+    for (unsigned t = 0; t < tenants_.size(); ++t) {
+        TenantReport r = summarise(tenants_[t], nowNs_);
+        r.admitted = queue_.admitted(t);
+        r.rejected = queue_.rejected(t);
+        report.total.submitted += r.submitted;
+        report.total.admitted += r.admitted;
+        report.total.rejected += r.rejected;
+        report.total.completed += r.completed;
+        report.total.batches += r.batches;
+        report.total.servedNs += r.servedNs;
+        report.tenants.push_back(std::move(r));
+    }
+    report.total.throughputRps =
+        nowNs_ > 0.0
+            ? static_cast<double>(report.total.completed) / (nowNs_ * 1e-9)
+            : 0.0;
+
+    // Aggregate latency summaries: weighted mean, worst-tenant tails
+    // (per-tenant histograms are not mergeable sample-exactly; the
+    // conservative max keeps the headline honest).
+    auto aggregate = [&](auto pick_member) {
+        LatencySummary s;
+        std::uint64_t n = 0;
+        for (unsigned t = 0; t < tenants_.size(); ++t) {
+            const LatencySummary &src = pick_member(report.tenants[t]);
+            const std::uint64_t c = report.tenants[t].completed;
+            s.meanNs += src.meanNs * static_cast<double>(c);
+            n += c;
+            s.p50Ns = std::max(s.p50Ns, src.p50Ns);
+            s.p95Ns = std::max(s.p95Ns, src.p95Ns);
+            s.p99Ns = std::max(s.p99Ns, src.p99Ns);
+            s.maxNs = std::max(s.maxNs, src.maxNs);
+        }
+        if (n)
+            s.meanNs /= static_cast<double>(n);
+        return s;
+    };
+    report.total.queue =
+        aggregate([](const TenantReport &r) -> const LatencySummary & {
+            return r.queue;
+        });
+    report.total.service =
+        aggregate([](const TenantReport &r) -> const LatencySummary & {
+            return r.service;
+        });
+    report.total.e2e =
+        aggregate([](const TenantReport &r) -> const LatencySummary & {
+            return r.e2e;
+        });
+    return report;
+}
+
+} // namespace pimsim::serve

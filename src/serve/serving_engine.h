@@ -1,0 +1,180 @@
+/**
+ * @file
+ * The multi-tenant serving engine: queue -> scheduler -> sharded device.
+ *
+ * The engine is a discrete-event simulation on a virtual nanosecond
+ * clock. Requests are submitted with an arrival time, pass admission
+ * control (bounded RequestQueue), wait for the batching scheduler, and
+ * occupy their tenant's shard for the service time the ShardServiceModel
+ * measured on the real command-level simulator. Each shard serves one
+ * batch at a time (a PIM kernel owns its channels' lock-step AB mode);
+ * distinct shards serve concurrently.
+ *
+ * Everything is deterministic: the same configuration and the same
+ * submission sequence replay to bit-identical statistics.
+ */
+
+#ifndef PIMSIM_SERVE_SERVING_ENGINE_H
+#define PIMSIM_SERVE_SERVING_ENGINE_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "serve/request.h"
+#include "serve/request_queue.h"
+#include "serve/scheduler.h"
+#include "serve/service_model.h"
+#include "serve/shard.h"
+#include "sim/system.h"
+#include "stack/driver.h"
+
+namespace pimsim::serve {
+
+/** Full serving-layer configuration. */
+struct ServeConfig
+{
+    /** The served system (channel count, geometry, PIM config). */
+    SystemConfig system = SystemConfig::pimHbmSystem();
+    QueueConfig queue;
+    SchedulerConfig sched;
+    std::vector<TenantSpec> tenants;
+    /** Pin each tenant to its own channel/row shard. */
+    bool shardChannels = false;
+    /** Latency histogram shape (values in ns). */
+    std::uint64_t histBucketNs = 20'000;
+    std::size_t histBuckets = 8192;
+    /** Optional cross-engine service-time memo (benchmark sweeps). */
+    std::shared_ptr<ServiceTimeCache> timingCache;
+};
+
+/** Latency distribution summary extracted from a Histogram. */
+struct LatencySummary
+{
+    double meanNs = 0.0;
+    double p50Ns = 0.0;
+    double p95Ns = 0.0;
+    double p99Ns = 0.0;
+    double maxNs = 0.0;
+};
+
+/** Per-tenant (or aggregate) serving outcome. */
+struct TenantReport
+{
+    std::string name;
+    std::uint64_t submitted = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t batches = 0;
+    double servedNs = 0.0; ///< device time consumed
+    double throughputRps = 0.0;
+    LatencySummary queue;   ///< arrival -> dispatch
+    LatencySummary service; ///< dispatch -> completion
+    LatencySummary e2e;     ///< arrival -> completion
+};
+
+/** Whole-run serving outcome. */
+struct ServeReport
+{
+    double horizonNs = 0.0; ///< virtual time covered
+    std::vector<TenantReport> tenants;
+    TenantReport total; ///< all tenants aggregated
+};
+
+/** The request-serving system on top of one PIM-HBM configuration. */
+class ServingEngine
+{
+  public:
+    explicit ServingEngine(const ServeConfig &config);
+
+    unsigned numTenants() const
+    {
+        return static_cast<unsigned>(tenants_.size());
+    }
+
+    /**
+     * Submit one request of `tenant` arriving at `arrival_ns` (must not
+     * precede the engine clock; time never runs backwards).
+     * @return false when admission control rejected it.
+     */
+    bool submit(unsigned tenant, double arrival_ns);
+
+    /** Advance the virtual clock, serving everything due by `ns`. */
+    void advanceTo(double ns);
+
+    /** Serve until queue and shards are empty. */
+    void drain();
+
+    /** Next internal event (completion or batch timeout); kNoEventNs
+     *  when the engine is fully idle. */
+    double nextEventNs() const;
+
+    /** Requests completed since the last call (closed-loop feedback). */
+    std::vector<ServeRequest> takeCompletions();
+
+    double nowNs() const { return nowNs_; }
+
+    /** The shard layout in force. */
+    const ShardPlan &plan() const { return plan_; }
+
+    /**
+     * The row allocator serving a tenant's weight residency. Sharded
+     * engines return the tenant's partitioned driver (disjoint row
+     * ranges); shared engines return the common driver.
+     */
+    PimDriver &tenantDriver(unsigned tenant);
+
+    /** The primary system (shard plan, drivers, serve stats). */
+    PimSystem &system() { return *system_; }
+
+    /** Aggregate statistics over everything served so far. */
+    ServeReport report() const;
+
+  private:
+    struct TenantState
+    {
+        TenantSpec spec;
+        std::uint64_t submitted = 0;
+        std::uint64_t completed = 0;
+        std::uint64_t batches = 0;
+        double servedNs = 0.0;
+        Histogram queueH;
+        Histogram serviceH;
+        Histogram e2eH;
+    };
+
+    struct Server
+    {
+        bool busy = false;
+        double freeNs = 0.0;
+        Batch inFlight;
+        double serviceNs = 0.0;
+    };
+
+    /** Complete every in-flight batch due by the current clock. */
+    void completeDue();
+    /** Dispatch as many batches as idle shards and policy allow. */
+    void dispatchAll();
+    void finishBatch(unsigned shard);
+    TenantReport summarise(const TenantState &t, double horizon_ns) const;
+
+    ServeConfig config_;
+    std::unique_ptr<PimSystem> system_;
+    ShardPlan plan_;
+    std::vector<std::unique_ptr<PimDriver>> drivers_; ///< per tenant
+    std::vector<std::unique_ptr<ShardServiceModel>> models_; ///< per shard
+    std::vector<Server> servers_;                            ///< per shard
+    RequestQueue queue_;
+    std::unique_ptr<Scheduler> sched_;
+    std::vector<TenantState> tenants_;
+
+    std::vector<ServeRequest> completions_;
+    double nowNs_ = 0.0;
+    std::uint64_t nextId_ = 0;
+};
+
+} // namespace pimsim::serve
+
+#endif // PIMSIM_SERVE_SERVING_ENGINE_H

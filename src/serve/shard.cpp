@@ -1,0 +1,81 @@
+#include "serve/shard.h"
+
+#include "common/logging.h"
+
+namespace pimsim::serve {
+
+unsigned
+floorPow2(unsigned n)
+{
+    PIMSIM_ASSERT(n >= 1, "floorPow2 of 0");
+    unsigned p = 1;
+    while (p * 2 <= n)
+        p *= 2;
+    return p;
+}
+
+ShardPlan
+ShardPlan::shared(unsigned total_channels, unsigned pim_rows,
+                  unsigned num_tenants)
+{
+    ShardPlan plan;
+    plan.shards_.push_back(
+        ShardSpec{0, total_channels, 0, pim_rows});
+    plan.shardOf_.assign(num_tenants, 0);
+    plan.sharded_ = false;
+    return plan;
+}
+
+ShardPlan
+ShardPlan::sharded(unsigned total_channels, unsigned pim_rows,
+                   const std::vector<double> &weights)
+{
+    PIMSIM_ASSERT(!weights.empty(), "sharded plan needs tenants");
+    double total_weight = 0.0;
+    for (double w : weights)
+        total_weight += w > 0.0 ? w : 1.0;
+
+    ShardPlan plan;
+    plan.sharded_ = true;
+    unsigned channel_cursor = 0;
+    unsigned row_cursor = 0;
+    for (std::size_t t = 0; t < weights.size(); ++t) {
+        const double w = weights[t] > 0.0 ? weights[t] : 1.0;
+        const double frac = w / total_weight;
+
+        ShardSpec spec;
+        const unsigned fair_channels = static_cast<unsigned>(
+            static_cast<double>(total_channels) * frac);
+        spec.numChannels = floorPow2(fair_channels >= 1 ? fair_channels : 1);
+        spec.firstChannel = channel_cursor;
+        PIMSIM_ASSERT(channel_cursor + spec.numChannels <= total_channels,
+                      "shard plan overflows ", total_channels, " channels");
+        channel_cursor += spec.numChannels;
+
+        // Rows split exactly (no power-of-two constraint); the last
+        // tenant absorbs the rounding remainder.
+        spec.firstRow = row_cursor;
+        spec.numRows =
+            t + 1 == weights.size()
+                ? pim_rows - row_cursor
+                : static_cast<unsigned>(static_cast<double>(pim_rows) * frac);
+        row_cursor += spec.numRows;
+
+        plan.shardOf_.push_back(static_cast<unsigned>(plan.shards_.size()));
+        plan.shards_.push_back(spec);
+    }
+    return plan;
+}
+
+std::vector<unsigned>
+ShardPlan::tenantsOf(unsigned s) const
+{
+    std::vector<unsigned> tenants;
+    for (unsigned t = 0; t < shardOf_.size(); ++t) {
+        if (shardOf_[t] == s)
+            tenants.push_back(t);
+    }
+    return tenants;
+}
+
+} // namespace pimsim::serve

@@ -97,10 +97,19 @@ class PimSystem
     MemErrorLog &errorLog() { return errorLog_; }
     const MemErrorLog &errorLog() const { return errorLog_; }
 
+    /**
+     * Serving-layer statistics (admissions, rejections, completions per
+     * tenant). The ServingEngine publishes its counters here so system-
+     * level dumps include serving behaviour next to device stats.
+     */
+    StatGroup &serveStats() { return serveStats_; }
+    const StatGroup &serveStats() const { return serveStats_; }
+
   private:
     SystemConfig config_;
     AddressMapping mapping_;
     MemErrorLog errorLog_;
+    StatGroup serveStats_{"serve"};
     std::vector<std::unique_ptr<MemoryController>> controllers_;
     std::vector<Cycle> nextTick_;
     Cycle now_ = 0;

@@ -22,11 +22,23 @@ pimStatusName(PimStatus status)
 }
 
 PimDriver::PimDriver(PimSystem &system)
-    : system_(system),
-      limitRow_(PimConfMap::forRows(system.config().geometry.rowsPerBank)
+    : PimDriver(system, 0,
+                PimConfMap::forRows(system.config().geometry.rowsPerBank)
                     .firstReservedRow())
 {
-    free_.push_back(Extent{0, limitRow_});
+}
+
+PimDriver::PimDriver(PimSystem &system, unsigned first_row,
+                     unsigned row_count)
+    : system_(system)
+{
+    const unsigned limit =
+        PimConfMap::forRows(system.config().geometry.rowsPerBank)
+            .firstReservedRow();
+    baseRow_ = std::min(first_row, limit);
+    spanRows_ = std::min(row_count, limit - baseRow_);
+    if (spanRows_)
+        free_.push_back(Extent{baseRow_, spanRows_});
 }
 
 PimStatus
@@ -90,7 +102,8 @@ void
 PimDriver::reset()
 {
     free_.clear();
-    free_.push_back(Extent{0, limitRow_});
+    if (spanRows_)
+        free_.push_back(Extent{baseRow_, spanRows_});
     allocated_.clear();
 }
 

@@ -51,6 +51,15 @@ class PimDriver
     explicit PimDriver(PimSystem &system);
 
     /**
+     * Partitioned driver: allocations are confined to the row range
+     * [first_row, first_row + row_count), clamped to the PIM-operable
+     * region. Disjoint partitions over one system give tenants hard
+     * allocation isolation (the serving layer's channel/row sharding):
+     * exhausting one partition can never spill into another.
+     */
+    PimDriver(PimSystem &system, unsigned first_row, unsigned row_count);
+
+    /**
      * Allocate `count` contiguous rows of PIM space (first fit).
      * On success `out` holds the block; on failure `out` is zeroed and
      * the caller decides how to degrade (host fallback, smaller tiles).
@@ -69,8 +78,11 @@ class PimDriver
     /** Largest single allocation currently possible. */
     unsigned largestFreeExtent() const;
 
-    /** Total rows the PIM region spans. */
-    unsigned capacityRows() const { return limitRow_; }
+    /** Total rows this driver's partition spans. */
+    unsigned capacityRows() const { return spanRows_; }
+
+    /** First row of this driver's partition. */
+    unsigned baseRow() const { return baseRow_; }
 
     /**
      * Functional preload: place a burst directly into DRAM. Models data
@@ -99,7 +111,8 @@ class PimDriver
     };
 
     PimSystem &system_;
-    unsigned limitRow_; ///< PIM_CONF rows live above this
+    unsigned baseRow_;  ///< first row of this driver's partition
+    unsigned spanRows_; ///< rows in the partition (PIM_CONF lives above)
     /** Free extents, sorted by first row, never adjacent (coalesced). */
     std::vector<Extent> free_;
     /** Live allocations, for freeBlock() validation. */

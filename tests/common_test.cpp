@@ -204,6 +204,38 @@ TEST(Histogram, EmptyIsSane)
     EXPECT_EQ(h.count(), 0u);
     EXPECT_DOUBLE_EQ(h.mean(), 0.0);
     EXPECT_EQ(h.min(), 0u);
+    EXPECT_DOUBLE_EQ(h.percentile(0.99), 0.0);
+}
+
+TEST(Histogram, PercentilesInterpolateWithinBuckets)
+{
+    // 100 uniform samples 0..99 over 10-wide buckets: the interpolated
+    // nearest-rank percentiles land on the exact sample values.
+    Histogram h(10, 10);
+    for (std::uint64_t v = 0; v < 100; ++v)
+        h.sample(v);
+    EXPECT_DOUBLE_EQ(h.p50(), 50.0);
+    EXPECT_DOUBLE_EQ(h.p95(), 95.0);
+    EXPECT_DOUBLE_EQ(h.p99(), 99.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 99.0); // clamped to max
+}
+
+TEST(Histogram, PercentileOverflowResolvesToMax)
+{
+    Histogram h(10, 2);
+    h.sample(5);
+    h.sample(15);
+    h.sample(1000); // overflow bucket
+    EXPECT_DOUBLE_EQ(h.p99(), 1000.0);
+    EXPECT_DOUBLE_EQ(h.p50(), 20.0); // top of the second bucket
+}
+
+TEST(Histogram, PercentileSingleSampleClampsToThatValue)
+{
+    Histogram h(10, 4);
+    h.sample(7);
+    EXPECT_DOUBLE_EQ(h.p50(), 7.0);
+    EXPECT_DOUBLE_EQ(h.p99(), 7.0);
 }
 
 } // namespace

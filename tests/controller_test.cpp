@@ -172,6 +172,43 @@ TEST(Controller, OrderedRequestsStayInOrderAcrossRows)
     EXPECT_EQ(responses[1].id, 3u);
 }
 
+TEST(Controller, WriteStreakDrainsBeforeSwitchingToReads)
+{
+    PimSystem sys(tinyConfig(MemoryKind::Hbm));
+
+    // Open two rows in distinct banks and finish on a write, so the
+    // controller's bus direction is "write" when the mix arrives.
+    ASSERT_TRUE(sys.tryEnqueue(0, readReq(0, 1, 2, 0, 1)));
+    sys.runUntilIdle();
+    sys.drain(0);
+    Burst data{};
+    data[0] = 0xab;
+    ASSERT_TRUE(sys.tryEnqueue(0, writeReq(0, 0, 1, 0, 2, data)));
+    sys.runUntilIdle();
+    sys.drain(0);
+
+    // Two interleaved independent streams of row hits: reads to
+    // (bank 1, row 2), writes to (bank 0, row 1), arriving R/W/R/W/R/W.
+    ASSERT_TRUE(sys.tryEnqueue(0, readReq(0, 1, 2, 1, 10)));
+    ASSERT_TRUE(sys.tryEnqueue(0, writeReq(0, 0, 1, 1, 11, data)));
+    ASSERT_TRUE(sys.tryEnqueue(0, readReq(0, 1, 2, 2, 12)));
+    ASSERT_TRUE(sys.tryEnqueue(0, writeReq(0, 0, 1, 2, 13, data)));
+    ASSERT_TRUE(sys.tryEnqueue(0, readReq(0, 1, 2, 3, 14)));
+    ASSERT_TRUE(sys.tryEnqueue(0, writeReq(0, 0, 1, 3, 15, data)));
+    sys.runUntilIdle();
+    const auto responses = sys.drain(0);
+    ASSERT_EQ(responses.size(), 6u);
+
+    // FR-FCFS with streak preference: the write streak continues (one
+    // bus turnaround total), each stream in FIFO order within itself.
+    EXPECT_EQ(responses[0].id, 11u);
+    EXPECT_EQ(responses[1].id, 13u);
+    EXPECT_EQ(responses[2].id, 15u);
+    EXPECT_EQ(responses[3].id, 10u);
+    EXPECT_EQ(responses[4].id, 12u);
+    EXPECT_EQ(responses[5].id, 14u);
+}
+
 TEST(Controller, ActivatePrechargeRequestsDriveRows)
 {
     PimSystem sys(tinyConfig(MemoryKind::Hbm));

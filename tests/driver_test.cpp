@@ -146,5 +146,52 @@ TEST(PimDriverAlloc, StatusNamesAreStable)
     EXPECT_STREQ(pimStatusName(PimStatus::InvalidBlock), "InvalidBlock");
 }
 
+TEST(PimDriverPartition, ConfinesAllocationsToItsRowRange)
+{
+    PimSystem sys(tinyConfig());
+    PimDriver whole(sys);
+    const unsigned total = whole.capacityRows();
+    ASSERT_GE(total, 8u);
+
+    PimDriver low(sys, 0, total / 2);
+    PimDriver high(sys, total / 2, total - total / 2);
+    EXPECT_EQ(low.capacityRows() + high.capacityRows(), total);
+    EXPECT_EQ(high.baseRow(), total / 2);
+
+    PimRowBlock a{};
+    ASSERT_EQ(low.allocRows(low.capacityRows(), a), PimStatus::Ok);
+    EXPECT_EQ(a.firstRow, 0u);
+    PimRowBlock b{};
+    EXPECT_EQ(low.allocRows(1, b), PimStatus::OutOfRows);
+
+    // The sibling partition is unaffected and stays in its own range.
+    ASSERT_EQ(high.allocRows(4, b), PimStatus::Ok);
+    EXPECT_GE(b.firstRow, total / 2);
+    EXPECT_EQ(high.freeRows(), high.capacityRows() - 4);
+
+    // reset() restores the partition, not the whole region.
+    high.reset();
+    EXPECT_EQ(high.freeRows(), high.capacityRows());
+    EXPECT_EQ(high.largestFreeExtent(), high.capacityRows());
+}
+
+TEST(PimDriverPartition, OutOfRangeRequestsAreClamped)
+{
+    PimSystem sys(tinyConfig());
+    PimDriver whole(sys);
+    const unsigned total = whole.capacityRows();
+
+    // A span reaching past the PIM region is clamped to it.
+    PimDriver tail(sys, total - 2, 100);
+    EXPECT_EQ(tail.capacityRows(), 2u);
+
+    // A base beyond the region yields an empty (always-exhausted)
+    // partition rather than touching reserved config rows.
+    PimDriver empty(sys, total + 10, 5);
+    EXPECT_EQ(empty.capacityRows(), 0u);
+    PimRowBlock block{};
+    EXPECT_EQ(empty.allocRows(1, block), PimStatus::OutOfRows);
+}
+
 } // namespace
 } // namespace pimsim

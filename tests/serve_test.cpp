@@ -1,0 +1,475 @@
+/**
+ * @file
+ * Serving-layer tests: admission control, batching schedulers, fair
+ * share, channel/row sharding isolation, and deterministic replay.
+ */
+
+#include <gtest/gtest.h>
+
+#include "serve/load_gen.h"
+#include "serve/request_queue.h"
+#include "serve/scheduler.h"
+#include "serve/serving_engine.h"
+#include "serve/shard.h"
+
+namespace pimsim::serve {
+namespace {
+
+SystemConfig
+smallSystem()
+{
+    SystemConfig c = SystemConfig::pimHbmSystem();
+    c.numStacks = 1; // 16 channels keeps tests fast
+    c.geometry.rowsPerBank = 512;
+    return c;
+}
+
+/** One small FC layer: a real PIM GEMV, but cheap to simulate. */
+AppSpec
+tinyApp(const std::string &name, unsigned dim = 256)
+{
+    LayerSpec fc;
+    fc.kind = LayerSpec::Kind::Fc;
+    fc.hidden = dim;
+    fc.input = dim;
+    fc.steps = 1;
+    fc.pimEligible = true;
+
+    AppSpec app;
+    app.name = name;
+    app.layers = {fc};
+    return app;
+}
+
+ServeRequest
+req(std::uint64_t id, unsigned tenant, double arrival_ns = 0.0)
+{
+    ServeRequest r;
+    r.id = id;
+    r.tenant = tenant;
+    r.arrivalNs = arrival_ns;
+    return r;
+}
+
+// ------------------------------------------------------------------
+// Admission queue
+// ------------------------------------------------------------------
+
+TEST(RequestQueue, RejectsWhenFull)
+{
+    QueueConfig config;
+    config.depth = 4;
+    config.perTenantDepth = 2;
+    RequestQueue q(config, 2);
+
+    EXPECT_TRUE(q.tryPush(req(0, 0)));
+    EXPECT_TRUE(q.tryPush(req(1, 0)));
+    EXPECT_FALSE(q.tryPush(req(2, 0))); // per-tenant bound
+    EXPECT_TRUE(q.tryPush(req(3, 1)));
+    EXPECT_TRUE(q.tryPush(req(4, 1)));
+    EXPECT_FALSE(q.tryPush(req(5, 1))); // per-tenant bound again
+
+    EXPECT_EQ(q.size(), 4u);
+    EXPECT_EQ(q.admitted(0), 2u);
+    EXPECT_EQ(q.rejected(0), 1u);
+    EXPECT_EQ(q.admitted(1), 2u);
+    EXPECT_EQ(q.rejected(1), 1u);
+
+    // Draining tenant 0 reopens its per-tenant and global slots.
+    q.popFront(0);
+    q.popFront(0);
+    EXPECT_TRUE(q.tryPush(req(6, 0)));
+}
+
+TEST(RequestQueue, GlobalDepthBindsAcrossTenants)
+{
+    QueueConfig config;
+    config.depth = 3;
+    RequestQueue q(config, 2);
+    EXPECT_TRUE(q.tryPush(req(0, 0)));
+    EXPECT_TRUE(q.tryPush(req(1, 0)));
+    EXPECT_TRUE(q.tryPush(req(2, 1)));
+    EXPECT_FALSE(q.tryPush(req(3, 1))); // global depth
+    EXPECT_EQ(q.rejected(1), 1u);
+}
+
+TEST(RequestQueue, OldestTenantHonoursEligibility)
+{
+    RequestQueue q(QueueConfig{}, 3);
+    EXPECT_TRUE(q.tryPush(req(0, 2)));
+    EXPECT_TRUE(q.tryPush(req(1, 0)));
+
+    EXPECT_EQ(q.oldestTenant({0, 1, 2}).value(), 2u);
+    EXPECT_EQ(q.oldestTenant({0, 1}).value(), 0u);
+    EXPECT_FALSE(q.oldestTenant({1}).has_value());
+}
+
+// ------------------------------------------------------------------
+// Schedulers (unit level, no device)
+// ------------------------------------------------------------------
+
+TEST(Scheduler, FcfsPicksOldestAcrossTenantsBatchOne)
+{
+    RequestQueue q(QueueConfig{}, 2);
+    EXPECT_TRUE(q.tryPush(req(0, 1)));
+    EXPECT_TRUE(q.tryPush(req(1, 0)));
+
+    auto sched = Scheduler::make(SchedulerConfig{}, {1.0, 1.0});
+    auto batch = sched->pick(q, {0, 1}, 0.0);
+    ASSERT_TRUE(batch.has_value());
+    EXPECT_EQ(batch->tenant, 1u);
+    EXPECT_EQ(batch->size(), 1u);
+
+    batch = sched->pick(q, {0, 1}, 0.0);
+    ASSERT_TRUE(batch.has_value());
+    EXPECT_EQ(batch->tenant, 0u);
+    EXPECT_TRUE(q.empty());
+    EXPECT_FALSE(sched->pick(q, {0, 1}, 0.0).has_value());
+}
+
+TEST(Scheduler, BatchTimeoutWaitsForCompanionsThenFlushes)
+{
+    SchedulerConfig config;
+    config.policy = SchedPolicy::BatchTimeout;
+    config.maxBatch = 4;
+    config.batchTimeoutNs = 1000.0;
+    auto sched = Scheduler::make(config, {1.0});
+
+    RequestQueue q(QueueConfig{}, 1);
+    EXPECT_TRUE(q.tryPush(req(0, 0, 0.0)));
+    EXPECT_TRUE(q.tryPush(req(1, 0, 10.0)));
+
+    // Two of four queued, head not timed out: hold.
+    EXPECT_FALSE(sched->pick(q, {0}, 500.0).has_value());
+    EXPECT_DOUBLE_EQ(sched->nextReadyNs(q, {0}, 500.0), 1000.0);
+
+    // Head timed out: flush the partial batch.
+    auto batch = sched->pick(q, {0}, 1000.0);
+    ASSERT_TRUE(batch.has_value());
+    EXPECT_EQ(batch->size(), 2u);
+
+    // A full batch dispatches immediately, no timeout wait.
+    for (std::uint64_t i = 0; i < 5; ++i)
+        EXPECT_TRUE(q.tryPush(req(10 + i, 0, 2000.0)));
+    batch = sched->pick(q, {0}, 2000.0);
+    ASSERT_TRUE(batch.has_value());
+    EXPECT_EQ(batch->size(), 4u);
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(Scheduler, FairShareTracksWeightedServedTime)
+{
+    SchedulerConfig config;
+    config.policy = SchedPolicy::FairShare;
+    config.maxBatch = 1;
+    auto sched = Scheduler::make(config, {3.0, 1.0});
+
+    RequestQueue q(QueueConfig{1000, 0}, 2);
+    std::uint64_t id = 0;
+    for (unsigned i = 0; i < 100; ++i) {
+        EXPECT_TRUE(q.tryPush(req(id++, 0)));
+        EXPECT_TRUE(q.tryPush(req(id++, 1)));
+    }
+
+    // Saturated queue, equal per-dispatch cost: dispatch counts must
+    // follow the 3:1 weights exactly.
+    unsigned dispatched[2] = {0, 0};
+    for (unsigned i = 0; i < 80; ++i) {
+        auto batch = sched->pick(q, {0, 1}, 0.0);
+        ASSERT_TRUE(batch.has_value());
+        sched->onDispatched(*batch, 1000.0);
+        ++dispatched[batch->tenant];
+    }
+    EXPECT_EQ(dispatched[0], 60u);
+    EXPECT_EQ(dispatched[1], 20u);
+}
+
+TEST(Scheduler, FairShareIsWorkConserving)
+{
+    SchedulerConfig config;
+    config.policy = SchedPolicy::FairShare;
+    config.maxBatch = 2;
+    auto sched = Scheduler::make(config, {8.0, 1.0});
+
+    // Only the light tenant has work: it must still dispatch.
+    RequestQueue q(QueueConfig{}, 2);
+    EXPECT_TRUE(q.tryPush(req(0, 1)));
+    auto batch = sched->pick(q, {0, 1}, 0.0);
+    ASSERT_TRUE(batch.has_value());
+    EXPECT_EQ(batch->tenant, 1u);
+}
+
+// ------------------------------------------------------------------
+// Shard plan
+// ------------------------------------------------------------------
+
+TEST(ShardPlan, EqualWeightsSplitChannelsAndRowsDisjointly)
+{
+    const ShardPlan plan = ShardPlan::sharded(16, 400, {1.0, 1.0});
+    ASSERT_EQ(plan.numShards(), 2u);
+    EXPECT_TRUE(plan.isSharded());
+
+    const ShardSpec &a = plan.shard(plan.shardOf(0));
+    const ShardSpec &b = plan.shard(plan.shardOf(1));
+    EXPECT_EQ(a.numChannels, 8u);
+    EXPECT_EQ(b.numChannels, 8u);
+    EXPECT_EQ(a.firstChannel + a.numChannels, b.firstChannel);
+    EXPECT_EQ(a.numRows + b.numRows, 400u);
+    EXPECT_EQ(a.firstRow + a.numRows, b.firstRow);
+}
+
+TEST(ShardPlan, SkewedWeightsRoundChannelsToPowerOfTwo)
+{
+    const ShardPlan plan = ShardPlan::sharded(16, 400, {3.0, 1.0});
+    const ShardSpec &heavy = plan.shard(plan.shardOf(0));
+    const ShardSpec &light = plan.shard(plan.shardOf(1));
+    EXPECT_EQ(heavy.numChannels, 8u); // floorPow2(12)
+    EXPECT_EQ(light.numChannels, 4u); // floorPow2(4)
+    EXPECT_EQ(heavy.numRows, 300u);
+    EXPECT_EQ(light.numRows, 100u);
+}
+
+// ------------------------------------------------------------------
+// Engine end to end
+// ------------------------------------------------------------------
+
+ServeConfig
+oneTenantConfig()
+{
+    ServeConfig config;
+    config.system = smallSystem();
+    config.tenants = {TenantSpec{"a", tinyApp("tiny-a"), 1.0}};
+    return config;
+}
+
+TEST(ServingEngine, SingleRequestCompletesWithServiceLatency)
+{
+    ServingEngine engine(oneTenantConfig());
+    EXPECT_TRUE(engine.submit(0, 0.0));
+    engine.drain();
+
+    const auto done = engine.takeCompletions();
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_GT(done[0].serviceNs(), 0.0);
+    EXPECT_DOUBLE_EQ(done[0].queueNs(), 0.0);
+    EXPECT_DOUBLE_EQ(done[0].latencyNs(), done[0].serviceNs());
+
+    const ServeReport report = engine.report();
+    EXPECT_EQ(report.total.completed, 1u);
+    EXPECT_EQ(report.total.rejected, 0u);
+    EXPECT_GT(report.total.service.p50Ns, 0.0);
+    EXPECT_EQ(engine.system().serveStats().counter("tenant.a.completed"),
+              1u);
+}
+
+TEST(ServingEngine, AdmissionRejectsBurstBeyondQueueDepth)
+{
+    ServeConfig config = oneTenantConfig();
+    config.queue.depth = 4;
+    ServingEngine engine(config);
+
+    unsigned admitted = 0;
+    for (unsigned i = 0; i < 10; ++i)
+        admitted += engine.submit(0, 0.0) ? 1 : 0;
+    // The first dispatches immediately, four queue, five bounce.
+    EXPECT_EQ(admitted, 5u);
+    engine.drain();
+
+    const ServeReport report = engine.report();
+    EXPECT_EQ(report.total.submitted, 10u);
+    EXPECT_EQ(report.total.admitted, 5u);
+    EXPECT_EQ(report.total.rejected, 5u);
+    EXPECT_EQ(report.total.completed, 5u);
+    EXPECT_EQ(engine.system().serveStats().counter("tenant.a.rejected"),
+              5u);
+}
+
+ServeConfig
+twoTenantConfig(bool sharded)
+{
+    ServeConfig config;
+    config.system = smallSystem();
+    config.tenants = {TenantSpec{"alpha", tinyApp("tiny-alpha"), 1.0},
+                      TenantSpec{"beta", tinyApp("tiny-beta"), 1.0}};
+    config.shardChannels = sharded;
+    return config;
+}
+
+TEST(ServingEngine, ShardedDriversAreRowDisjointAndExhaustIndependently)
+{
+    ServingEngine engine(twoTenantConfig(true));
+    ASSERT_TRUE(engine.plan().isSharded());
+
+    PimDriver &a = engine.tenantDriver(0);
+    PimDriver &b = engine.tenantDriver(1);
+
+    // Disjoint row partitions covering distinct ranges.
+    EXPECT_NE(&a, &b);
+    const unsigned a_end = a.baseRow() + a.capacityRows();
+    EXPECT_LE(a_end, b.baseRow());
+
+    // Exhaust tenant a's partition entirely.
+    PimRowBlock all{};
+    ASSERT_EQ(a.allocRows(a.capacityRows(), all), PimStatus::Ok);
+    EXPECT_GE(all.firstRow, a.baseRow());
+    EXPECT_LE(all.firstRow + all.numRows, a_end);
+    PimRowBlock more{};
+    EXPECT_EQ(a.allocRows(1, more), PimStatus::OutOfRows);
+
+    // Tenant b is untouched: full capacity still available, and every
+    // block it hands out stays inside its own partition.
+    EXPECT_EQ(b.freeRows(), b.capacityRows());
+    PimRowBlock bb{};
+    ASSERT_EQ(b.allocRows(8, bb), PimStatus::Ok);
+    EXPECT_GE(bb.firstRow, b.baseRow());
+    EXPECT_LT(bb.firstRow, b.baseRow() + b.capacityRows());
+    EXPECT_GE(bb.firstRow, a_end); // never inside tenant a's shard
+}
+
+TEST(ServingEngine, ShardedChannelGroupsAreDisjoint)
+{
+    ServingEngine engine(twoTenantConfig(true));
+    const ShardSpec &a = engine.plan().shard(engine.plan().shardOf(0));
+    const ShardSpec &b = engine.plan().shard(engine.plan().shardOf(1));
+    EXPECT_EQ(a.numChannels + b.numChannels, 16u);
+    EXPECT_LE(a.firstChannel + a.numChannels, b.firstChannel);
+}
+
+TEST(ServingEngine, FairShareServesWeightedThroughputUnderSaturation)
+{
+    ServeConfig config = twoTenantConfig(false);
+    config.tenants[0].weight = 3.0;
+    config.tenants[1].weight = 1.0;
+    config.sched.policy = SchedPolicy::FairShare;
+    config.sched.maxBatch = 1;
+    config.queue.depth = 1000;
+    auto cache = std::make_shared<ServiceTimeCache>();
+    config.timingCache = cache;
+    ServingEngine engine(config);
+
+    // Saturate: everything arrives up-front, the scheduler decides who
+    // gets the device.
+    for (unsigned i = 0; i < 40; ++i) {
+        ASSERT_TRUE(engine.submit(0, 0.0));
+        ASSERT_TRUE(engine.submit(1, 0.0));
+    }
+    // Stop mid-backlog: advance until ~half the work is done, then
+    // compare served device time (the fair-share currency).
+    engine.drain();
+
+    const ServeReport report = engine.report();
+    EXPECT_EQ(report.total.completed, 80u);
+    // Both tenants run the same app, so served time per weight equal
+    // means tenant 0 finished (nearly) 3x tenant 1's work before the
+    // queues emptied; over the whole drain both complete everything,
+    // so assert on queueing delay instead: the heavy tenant waited
+    // less on average.
+    const double wait0 = report.tenants[0].queue.meanNs;
+    const double wait1 = report.tenants[1].queue.meanNs;
+    EXPECT_LT(wait0, wait1);
+    // And served-time accounting matches completions.
+    EXPECT_GT(report.tenants[0].servedNs, 0.0);
+    EXPECT_NEAR(report.tenants[0].servedNs, report.tenants[1].servedNs,
+                report.tenants[0].servedNs * 0.05);
+}
+
+TEST(ServingEngine, DeterministicReplaySameSeedSameReport)
+{
+    const std::vector<ArrivalSpec> specs = {{0, 2000.0}, {1, 1000.0}};
+    const double horizon = 5.0e7; // 50 ms
+    const auto arrivals1 = poissonArrivals(specs, horizon, 42);
+    const auto arrivals2 = poissonArrivals(specs, horizon, 42);
+    ASSERT_EQ(arrivals1.size(), arrivals2.size());
+    for (std::size_t i = 0; i < arrivals1.size(); ++i) {
+        EXPECT_DOUBLE_EQ(arrivals1[i].ns, arrivals2[i].ns);
+        EXPECT_EQ(arrivals1[i].tenant, arrivals2[i].tenant);
+    }
+    const auto arrivals3 = poissonArrivals(specs, horizon, 43);
+    bool identical = arrivals1.size() == arrivals3.size();
+    for (std::size_t i = 0; identical && i < arrivals1.size(); ++i)
+        identical = arrivals1[i].ns == arrivals3[i].ns &&
+                    arrivals1[i].tenant == arrivals3[i].tenant;
+    EXPECT_FALSE(identical); // a different seed draws a different stream
+
+    auto cache = std::make_shared<ServiceTimeCache>();
+    ServeConfig config = twoTenantConfig(false);
+    config.sched.policy = SchedPolicy::BatchTimeout;
+    config.timingCache = cache;
+
+    ServingEngine engine1(config);
+    const ServeReport r1 = runOpenLoop(engine1, arrivals1);
+    ServingEngine engine2(config);
+    const ServeReport r2 = runOpenLoop(engine2, arrivals2);
+
+    EXPECT_DOUBLE_EQ(r1.horizonNs, r2.horizonNs);
+    EXPECT_EQ(r1.total.completed, r2.total.completed);
+    EXPECT_EQ(r1.total.rejected, r2.total.rejected);
+    EXPECT_EQ(r1.total.batches, r2.total.batches);
+    ASSERT_EQ(r1.tenants.size(), r2.tenants.size());
+    for (std::size_t t = 0; t < r1.tenants.size(); ++t) {
+        EXPECT_EQ(r1.tenants[t].completed, r2.tenants[t].completed);
+        EXPECT_DOUBLE_EQ(r1.tenants[t].e2e.p50Ns, r2.tenants[t].e2e.p50Ns);
+        EXPECT_DOUBLE_EQ(r1.tenants[t].e2e.p95Ns, r2.tenants[t].e2e.p95Ns);
+        EXPECT_DOUBLE_EQ(r1.tenants[t].e2e.p99Ns, r2.tenants[t].e2e.p99Ns);
+        EXPECT_DOUBLE_EQ(r1.tenants[t].throughputRps,
+                         r2.tenants[t].throughputRps);
+    }
+}
+
+TEST(ServingEngine, BatchingBeatsFcfsThroughputUnderSaturation)
+{
+    auto cache = std::make_shared<ServiceTimeCache>();
+
+    // Calibrate: the per-request service time at batch 1.
+    ShardServiceModel probe(smallSystem(), 16, cache);
+    const double svc1 = probe.serviceNs(tinyApp("tiny-a"), 1);
+    ASSERT_GT(svc1, 0.0);
+
+    // Offer 2x the FCFS capacity for ~100 service times.
+    const double rate = 2.0e9 / svc1;
+    const double horizon = 100.0 * svc1;
+    const auto arrivals =
+        poissonArrivals({{0, rate}}, horizon, 7);
+
+    ServeConfig fcfs;
+    fcfs.system = smallSystem();
+    fcfs.tenants = {TenantSpec{"a", tinyApp("tiny-a"), 1.0}};
+    fcfs.timingCache = cache;
+    fcfs.sched.policy = SchedPolicy::Fcfs;
+
+    ServeConfig batched = fcfs;
+    batched.sched.policy = SchedPolicy::BatchTimeout;
+    batched.sched.maxBatch = 8;
+    batched.sched.batchTimeoutNs = svc1;
+
+    ServingEngine engineF(fcfs);
+    const ServeReport rf = runOpenLoop(engineF, arrivals);
+    ServingEngine engineB(batched);
+    const ServeReport rb = runOpenLoop(engineB, arrivals);
+
+    // Same offered load; batching amortises the kernel-launch overhead
+    // so it must admit and complete more and sustain higher throughput.
+    EXPECT_GT(rb.total.completed, rf.total.completed);
+    EXPECT_LT(rb.total.rejected, rf.total.rejected);
+    EXPECT_GT(rb.total.throughputRps, rf.total.throughputRps);
+    EXPECT_LT(rb.total.batches, rb.total.completed); // real coalescing
+}
+
+TEST(ServingEngine, ClosedLoopCompletesExactlyTheRequestedCount)
+{
+    ServeConfig config = twoTenantConfig(false);
+    config.sched.policy = SchedPolicy::BatchTimeout;
+    config.queue.depth = 64;
+    auto cache = std::make_shared<ServiceTimeCache>();
+    config.timingCache = cache;
+    ServingEngine engine(config);
+
+    const ServeReport report = runClosedLoop(engine, 4, 20, 0.0);
+    EXPECT_EQ(report.total.completed, 40u);
+    EXPECT_EQ(report.total.rejected, 0u);
+    EXPECT_EQ(report.tenants[0].completed, 20u);
+    EXPECT_EQ(report.tenants[1].completed, 20u);
+}
+
+} // namespace
+} // namespace pimsim::serve

@@ -8,7 +8,9 @@
 
 #include <gtest/gtest.h>
 
+#include "common/rng.h"
 #include "dram/pseudo_channel.h"
+#include "stack/blas.h"
 
 namespace pimsim {
 namespace {
@@ -55,6 +57,79 @@ TEST(Trace, MarksAllBankMode)
     Cycle now = pch.earliestIssue(Command::act(0, 0, 1), 0);
     pch.issue(Command::act(0, 0, 1), now);
     EXPECT_NE(trace.str().find("[AB]"), std::string::npos);
+}
+
+TEST(Trace, MarksSbModeOnPlainCommands)
+{
+    HbmGeometry geom;
+    geom.rowsPerBank = 64;
+    HbmTiming timing;
+    PseudoChannel pch(geom, timing);
+    std::ostringstream trace;
+    pch.setTrace(&trace);
+
+    const Cycle t = pch.earliestIssue(Command::act(0, 0, 1), 0);
+    pch.issue(Command::act(0, 0, 1), t);
+    EXPECT_NE(trace.str().find("[SB]"), std::string::npos);
+    EXPECT_EQ(trace.str().find("[AB"), std::string::npos);
+}
+
+TEST(Trace, DistinguishesAbFromAbPim)
+{
+    HbmGeometry geom;
+    geom.rowsPerBank = 64;
+    HbmTiming timing;
+    PseudoChannel pch(geom, timing);
+    std::ostringstream trace;
+    pch.setTrace(&trace);
+    pch.setAllBankMode(true);
+
+    Cycle now = pch.earliestIssue(Command::act(0, 0, 1), 0);
+    pch.issue(Command::act(0, 0, 1), now);
+    EXPECT_NE(trace.str().find("[AB]"), std::string::npos);
+    EXPECT_EQ(trace.str().find("[AB-PIM]"), std::string::npos);
+
+    // With the PIM-execution flag raised the label changes.
+    pch.setPimModeActive(true);
+    trace.str("");
+    now = pch.earliestIssue(Command::rd(0, 0, 2), now);
+    pch.issue(Command::rd(0, 0, 2), now);
+    EXPECT_NE(trace.str().find("[AB-PIM]"), std::string::npos);
+
+    // Dropping back to SB clears both flags' labelling.
+    pch.setPimModeActive(false);
+    pch.setAllBankMode(false);
+    trace.str("");
+    now = pch.earliestIssue(Command::rd(0, 0, 3), now);
+    pch.issue(Command::rd(0, 0, 3), now);
+    EXPECT_NE(trace.str().find("[SB]"), std::string::npos);
+}
+
+TEST(Trace, KernelExecutionShowsAllThreeModes)
+{
+    // End to end: a PIM elementwise kernel must drive the channel
+    // through SB (staging), AB (mode-switch / config writes) and AB-PIM
+    // (the computation itself), and the trace labels each phase.
+    SystemConfig cfg = SystemConfig::pimHbmSystem();
+    cfg.numStacks = 1;
+    cfg.geometry.rowsPerBank = 512;
+    PimSystem sys(cfg);
+    std::ostringstream trace;
+    sys.controller(0).channel().setTrace(&trace);
+
+    PimBlas blas(sys);
+    Rng rng(1);
+    Fp16Vector a(4096), b(4096), out;
+    for (auto &x : a)
+        x = rng.nextFp16();
+    for (auto &x : b)
+        x = rng.nextFp16();
+    blas.add(a, b, out);
+
+    const std::string log = trace.str();
+    EXPECT_NE(log.find("[SB]"), std::string::npos);
+    EXPECT_NE(log.find("[AB]"), std::string::npos);
+    EXPECT_NE(log.find("[AB-PIM]"), std::string::npos);
 }
 
 TEST(Trace, DisabledByDefault)
