@@ -14,9 +14,13 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <cstring>
+#include <fstream>
 #include <map>
+#include <string>
 
 #include "bench_common.h"
+#include "common/json.h"
 #include "stack/workloads.h"
 
 using namespace pimsim;
@@ -112,6 +116,48 @@ printFig10()
         printRow({"B" + std::to_string(b), fmt(g)});
 }
 
+/** Machine-readable Fig. 10 results (BENCH_fig10.json at the repo root). */
+void
+writeJsonReport(const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os) {
+        PIMSIM_WARN("cannot open bench output '", path, "'");
+        return;
+    }
+    JsonWriter w(os, /*pretty=*/true);
+    w.beginObject();
+    w.field("bench", "fig10");
+    w.key("rows").beginArray();
+    for (const auto &row : g_rows) {
+        w.beginObject();
+        w.field("workload", row.name);
+        w.key("batches").beginArray();
+        for (const auto &[b, speedup] : row.speedup) {
+            w.beginObject();
+            w.field("batch", b);
+            w.field("speedup", speedup);
+            w.field("hbm_llc_miss", row.missRate.at(b));
+            w.field("hbm_ns", row.hbmNs.at(b));
+            w.field("pim_ns", row.pimNs.at(b));
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+    w.key("nofence_geomean").beginArray();
+    for (const auto &[b, g] : g_nofence_geomean) {
+        w.beginObject();
+        w.field("batch", b);
+        w.field("gain", g);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << "\n";
+}
+
 void
 BM_Fig10(benchmark::State &state)
 {
@@ -132,6 +178,17 @@ BM_Fig10(benchmark::State &state)
 int
 main(int argc, char **argv)
 {
+    // Strip our flags before google/benchmark sees (and rejects) them.
+    std::string json_out = "BENCH_fig10.json";
+    int kept = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--json-out=", 11) == 0)
+            json_out = argv[i] + 11;
+        else
+            argv[kept++] = argv[i];
+    }
+    argc = kept;
+
     runFig10();
     for (std::size_t i = 0; i < g_rows.size(); ++i) {
         benchmark::RegisterBenchmark(("Fig10/" + g_rows[i].name).c_str(),
@@ -142,5 +199,7 @@ main(int argc, char **argv)
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     printFig10();
+    if (!json_out.empty())
+        writeJsonReport(json_out);
     return 0;
 }

@@ -20,10 +20,13 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "bench_common.h"
+#include "common/json.h"
 #include "serve/load_gen.h"
 #include "serve/serving_engine.h"
 
@@ -237,6 +240,76 @@ printResults()
 }
 
 void
+writeLatency(JsonWriter &w, const char *key, const LatencySummary &s)
+{
+    w.key(key).beginObject();
+    w.field("mean_ns", s.meanNs);
+    w.field("p50_ns", s.p50Ns);
+    w.field("p95_ns", s.p95Ns);
+    w.field("p99_ns", s.p99Ns);
+    w.field("max_ns", s.maxNs);
+    w.endObject();
+}
+
+void
+writeTenant(JsonWriter &w, const TenantReport &t)
+{
+    w.beginObject();
+    w.field("name", t.name);
+    w.field("submitted", t.submitted);
+    w.field("admitted", t.admitted);
+    w.field("rejected", t.rejected);
+    w.field("completed", t.completed);
+    w.field("batches", t.batches);
+    w.field("throughput_rps", t.throughputRps);
+    writeLatency(w, "queue", t.queue);
+    writeLatency(w, "e2e", t.e2e);
+    w.endObject();
+}
+
+/** Machine-readable sweep results (BENCH_serving.json at the repo root). */
+void
+writeJsonReport(const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os) {
+        PIMSIM_WARN("cannot open bench output '", path, "'");
+        return;
+    }
+    JsonWriter w(os, /*pretty=*/true);
+    w.beginObject();
+    w.field("bench", "serving");
+    w.field("seed", kSeed);
+    w.field("capacity_rps", g_capacityRps);
+    w.key("open_loop").beginArray();
+    for (const auto &c : g_cells) {
+        w.beginObject();
+        w.field("policy", schedPolicyName(c.policy));
+        w.field("load_factor", c.loadFactor);
+        w.field("offered_rps", c.offeredRps);
+        w.key("total");
+        writeTenant(w, c.report.total);
+        w.key("tenants").beginArray();
+        for (const auto &t : c.report.tenants)
+            writeTenant(w, t);
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+    w.key("closed_loop").beginArray();
+    for (const auto &c : g_closed) {
+        w.beginObject();
+        w.field("concurrency", c.concurrency);
+        w.key("total");
+        writeTenant(w, c.report.total);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << "\n";
+}
+
+void
 BM_Serving(benchmark::State &state)
 {
     for (auto _ : state)
@@ -258,6 +331,17 @@ BM_Serving(benchmark::State &state)
 int
 main(int argc, char **argv)
 {
+    // Strip our flags before google/benchmark sees (and rejects) them.
+    std::string json_out = "BENCH_serving.json";
+    int kept = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--json-out=", 11) == 0)
+            json_out = argv[i] + 11;
+        else
+            argv[kept++] = argv[i];
+    }
+    argc = kept;
+
     runSweep();
     for (std::size_t i = 0; i < g_cells.size(); ++i) {
         const auto &c = g_cells[i];
@@ -272,5 +356,7 @@ main(int argc, char **argv)
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     printResults();
+    if (!json_out.empty())
+        writeJsonReport(json_out);
     return 0;
 }

@@ -16,8 +16,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "common/logging.h"
+#include "common/trace.h"
 #include "host/host_model.h"
 #include "reliability/fault_injector.h"
 #include "stack/app_runner.h"
@@ -29,7 +33,8 @@ using namespace pimsim;
 namespace {
 
 void
-runOne(const AppSpec &app, unsigned batch, double inject_rate)
+runOne(const AppSpec &app, unsigned batch, double inject_rate,
+       TraceSession *trace, const std::string &stats_json)
 {
     PimSystem hbm_sys(SystemConfig::hbmSystem());
     HostModel hbm_host(hbm_sys);
@@ -46,6 +51,9 @@ runOne(const AppSpec &app, unsigned batch, double inject_rate)
     HostModel pim_host(pim_sys);
     PimBlas blas(pim_sys);
     AppRunner pim(pim_host, &blas);
+    pim_sys.setTraceSession(trace);
+    blas.setTrace(trace);
+    pim.setTrace(trace);
 
     if (inject_rate > 0) {
         // Seed the PIM region with one small kernel so DRAM faults have
@@ -93,6 +101,14 @@ runOne(const AppSpec &app, unsigned batch, double inject_rate)
                     static_cast<unsigned long long>(p.hostFallbacks));
     }
     std::printf("  speedup: %.2fx\n\n", h.ns / p.ns);
+
+    if (!stats_json.empty()) {
+        std::ofstream os(stats_json);
+        if (!os) {
+            PIMSIM_FATAL("cannot open stats output '", stats_json, "'");
+        }
+        pim_sys.dumpStatsJson(os);
+    }
 }
 
 void
@@ -143,11 +159,15 @@ void
 usage(const char *prog)
 {
     std::fprintf(stderr,
-                 "usage: %s [APP [BATCH [INJECT_RATE]]]\n"
+                 "usage: %s [OPTIONS] [APP [BATCH [INJECT_RATE]]]\n"
                  "  APP          application name (e.g. GNMT, DS2)\n"
                  "  BATCH        positive integer batch size (default 1)\n"
                  "  INJECT_RATE  non-negative fault-injection rate "
-                 "(default 0)\n",
+                 "(default 0)\n"
+                 "  --stats-json=PATH  dump PIM-system stats registry as "
+                 "JSON (last app run)\n"
+                 "  --trace-out=PATH   write a Chrome-trace timeline "
+                 "(chrome://tracing, ui.perfetto.dev)\n",
                  prog);
 }
 
@@ -155,16 +175,38 @@ int
 main(int argc, char **argv)
 {
     setQuiet(true);
-    const char *which = argc > 1 ? argv[1] : nullptr;
+
+    std::string stats_json;
+    std::string trace_out;
+    std::vector<const char *> positional;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "--stats-json=", 13) == 0) {
+            stats_json = arg + 13;
+        } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+            trace_out = arg + 12;
+        } else if (std::strcmp(arg, "--help") == 0) {
+            usage(argv[0]);
+            return 0;
+        } else if (std::strncmp(arg, "--", 2) == 0) {
+            std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0], arg);
+            usage(argv[0]);
+            return 2;
+        } else {
+            positional.push_back(arg);
+        }
+    }
+
+    const char *which = !positional.empty() ? positional[0] : nullptr;
 
     unsigned batch = 1;
-    if (argc > 2) {
+    if (positional.size() > 1) {
         char *end = nullptr;
-        const unsigned long parsed = std::strtoul(argv[2], &end, 10);
-        if (end == argv[2] || *end != '\0' || argv[2][0] == '-' ||
+        const unsigned long parsed = std::strtoul(positional[1], &end, 10);
+        if (end == positional[1] || *end != '\0' || positional[1][0] == '-' ||
             parsed == 0 || parsed > 4096) {
             std::fprintf(stderr, "%s: bad BATCH '%s': expected an integer "
-                         "in [1, 4096]\n", argv[0], argv[2]);
+                         "in [1, 4096]\n", argv[0], positional[1]);
             usage(argv[0]);
             return 2;
         }
@@ -172,23 +214,27 @@ main(int argc, char **argv)
     }
 
     double inject_rate = 0.0;
-    if (argc > 3) {
+    if (positional.size() > 2) {
         char *end = nullptr;
-        inject_rate = std::strtod(argv[3], &end);
-        if (end == argv[3] || *end != '\0' || !(inject_rate >= 0.0)) {
+        inject_rate = std::strtod(positional[2], &end);
+        if (end == positional[2] || *end != '\0' || !(inject_rate >= 0.0)) {
             std::fprintf(stderr, "%s: bad INJECT_RATE '%s': expected a "
-                         "non-negative number\n", argv[0], argv[3]);
+                         "non-negative number\n", argv[0], positional[2]);
             usage(argv[0]);
             return 2;
         }
     }
 
+    TraceSession trace;
     for (const auto &app : allApps()) {
         if (which && std::strcmp(which, app.name.c_str()) != 0)
             continue;
         if (which)
             printOffloadPlan(app, batch);
-        runOne(app, batch, inject_rate);
+        runOne(app, batch, inject_rate,
+               trace_out.empty() ? nullptr : &trace, stats_json);
     }
+    if (!trace_out.empty() && !trace.writeFile(trace_out))
+        return 1;
     return 0;
 }

@@ -16,9 +16,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "common/logging.h"
+#include "common/trace.h"
 #include "serve/load_gen.h"
 #include "serve/serving_engine.h"
 
@@ -33,11 +35,16 @@ usage(const char *prog)
     std::fprintf(stderr,
                  "usage: %s [--policy fcfs|batch|fair] [--shard] "
                  "[--load FACTOR] [--seed N]\n"
+                 "          [--stats-json=PATH] [--trace-out=PATH]\n"
                  "  --policy  scheduling policy (default batch)\n"
                  "  --shard   pin tenants to disjoint channel/row shards\n"
                  "  --load    offered load relative to batch-1 capacity, "
                  "> 0 (default 1.0)\n"
-                 "  --seed    arrival-stream seed (default 1)\n",
+                 "  --seed    arrival-stream seed (default 1)\n"
+                 "  --stats-json=PATH  dump the system stats registry "
+                 "(serving counters, latency histograms) as JSON\n"
+                 "  --trace-out=PATH   write a Chrome-trace timeline of "
+                 "batch dispatches per shard\n",
                  prog);
 }
 
@@ -71,10 +78,16 @@ main(int argc, char **argv)
     bool shard = false;
     double load = 1.0;
     std::uint64_t seed = 1;
+    std::string stats_json;
+    std::string trace_out;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg == "--shard") {
+        if (arg.rfind("--stats-json=", 0) == 0) {
+            stats_json = arg.substr(13);
+        } else if (arg.rfind("--trace-out=", 0) == 0) {
+            trace_out = arg.substr(12);
+        } else if (arg == "--shard") {
             shard = true;
         } else if (arg == "--policy" && i + 1 < argc) {
             const std::string p = argv[++i];
@@ -142,6 +155,9 @@ main(int argc, char **argv)
     const double capacity_rps = 1e9 / mean_svc_ns;
 
     ServingEngine engine(config);
+    TraceSession trace;
+    if (!trace_out.empty())
+        engine.setTrace(&trace);
 
     std::printf("serving %zu tenants on %u channels, policy %s%s\n",
                 config.tenants.size(), engine.system().numChannels(),
@@ -184,5 +200,15 @@ main(int argc, char **argv)
     for (const auto &t : report.tenants)
         std::printf("%s %.2fs  ", t.name.c_str(), t.servedNs / 1e9);
     std::printf("\n");
+
+    if (!stats_json.empty()) {
+        std::ofstream os(stats_json);
+        if (!os) {
+            PIMSIM_FATAL("cannot open stats output '", stats_json, "'");
+        }
+        engine.system().dumpStatsJson(os);
+    }
+    if (!trace_out.empty() && !trace.writeFile(trace_out))
+        return 1;
     return 0;
 }

@@ -1,0 +1,467 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace pimsim {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::newline()
+{
+    if (!pretty_)
+        return;
+    os_ << "\n";
+    for (std::size_t i = 0; i < stack_.size(); ++i)
+        os_ << "  ";
+}
+
+void
+JsonWriter::prepareValue()
+{
+    if (pendingKey_) {
+        pendingKey_ = false;
+        return;
+    }
+    if (!stack_.empty()) {
+        PIMSIM_ASSERT(!stack_.back().isObject,
+                      "JSON object member needs key()");
+        if (stack_.back().hasItems)
+            os_ << ",";
+        stack_.back().hasItems = true;
+        newline();
+    }
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    prepareValue();
+    os_ << "{";
+    stack_.push_back(Level{true, false});
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    PIMSIM_ASSERT(!stack_.empty() && stack_.back().isObject && !pendingKey_,
+                  "unbalanced endObject");
+    const bool had = stack_.back().hasItems;
+    stack_.pop_back();
+    if (had)
+        newline();
+    os_ << "}";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    prepareValue();
+    os_ << "[";
+    stack_.push_back(Level{false, false});
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    PIMSIM_ASSERT(!stack_.empty() && !stack_.back().isObject,
+                  "unbalanced endArray");
+    const bool had = stack_.back().hasItems;
+    stack_.pop_back();
+    if (had)
+        newline();
+    os_ << "]";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &name)
+{
+    PIMSIM_ASSERT(!stack_.empty() && stack_.back().isObject && !pendingKey_,
+                  "key() outside an object");
+    if (stack_.back().hasItems)
+        os_ << ",";
+    stack_.back().hasItems = true;
+    newline();
+    os_ << "\"" << jsonEscape(name) << (pretty_ ? "\": " : "\":");
+    pendingKey_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &v)
+{
+    prepareValue();
+    os_ << "\"" << jsonEscape(v) << "\"";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    prepareValue();
+    // NaN/Inf are not representable in JSON; clamp to null.
+    if (std::isnan(v) || std::isinf(v)) {
+        os_ << "null";
+        return *this;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+    os_ << buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    prepareValue();
+    os_ << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    prepareValue();
+    os_ << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    prepareValue();
+    os_ << (v ? "true" : "false");
+    return *this;
+}
+
+namespace {
+
+/** Recursive-descent JSON syntax checker. */
+class Validator
+{
+  public:
+    explicit Validator(const std::string &text) : text_(text) {}
+
+    bool
+    run(std::string *error)
+    {
+        skipWs();
+        if (!parseValue()) {
+            fail(error);
+            return false;
+        }
+        skipWs();
+        if (pos_ != text_.size()) {
+            msg_ = "trailing content";
+            fail(error);
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    void
+    fail(std::string *error)
+    {
+        if (error) {
+            *error = msg_.empty() ? "malformed JSON" : msg_;
+            *error += " at byte " + std::to_string(pos_);
+        }
+    }
+
+    bool
+    eof() const
+    {
+        return pos_ >= text_.size();
+    }
+
+    char
+    peek() const
+    {
+        return text_[pos_];
+    }
+
+    void
+    skipWs()
+    {
+        while (!eof() && (peek() == ' ' || peek() == '\t' ||
+                          peek() == '\n' || peek() == '\r')) {
+            ++pos_;
+        }
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const std::size_t len = std::string(word).size();
+        if (text_.compare(pos_, len, word) != 0) {
+            msg_ = "bad literal";
+            return false;
+        }
+        pos_ += len;
+        return true;
+    }
+
+    bool
+    parseString()
+    {
+        if (eof() || peek() != '"') {
+            msg_ = "expected string";
+            return false;
+        }
+        ++pos_;
+        while (!eof()) {
+            const unsigned char c =
+                static_cast<unsigned char>(text_[pos_]);
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (c < 0x20) {
+                msg_ = "unescaped control character in string";
+                return false;
+            }
+            if (c == '\\') {
+                ++pos_;
+                if (eof()) {
+                    msg_ = "truncated escape";
+                    return false;
+                }
+                const char e = text_[pos_];
+                if (e == 'u') {
+                    for (int i = 1; i <= 4; ++i) {
+                        if (pos_ + i >= text_.size() ||
+                            !std::isxdigit(static_cast<unsigned char>(
+                                text_[pos_ + i]))) {
+                            msg_ = "bad \\u escape";
+                            return false;
+                        }
+                    }
+                    pos_ += 4;
+                } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                           e != 'f' && e != 'n' && e != 'r' && e != 't') {
+                    msg_ = "bad escape character";
+                    return false;
+                }
+            }
+            ++pos_;
+        }
+        msg_ = "unterminated string";
+        return false;
+    }
+
+    bool
+    parseNumber()
+    {
+        const std::size_t start = pos_;
+        if (!eof() && peek() == '-')
+            ++pos_;
+        if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+            msg_ = "bad number";
+            return false;
+        }
+        if (peek() == '0') {
+            ++pos_;
+        } else {
+            while (!eof() &&
+                   std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos_;
+        }
+        if (!eof() && peek() == '.') {
+            ++pos_;
+            if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+                msg_ = "bad fraction";
+                return false;
+            }
+            while (!eof() &&
+                   std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos_;
+        }
+        if (!eof() && (peek() == 'e' || peek() == 'E')) {
+            ++pos_;
+            if (!eof() && (peek() == '+' || peek() == '-'))
+                ++pos_;
+            if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+                msg_ = "bad exponent";
+                return false;
+            }
+            while (!eof() &&
+                   std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos_;
+        }
+        return pos_ > start;
+    }
+
+    bool
+    parseValue()
+    {
+        if (++depth_ > 512) {
+            msg_ = "nesting too deep";
+            return false;
+        }
+        skipWs();
+        if (eof()) {
+            msg_ = "unexpected end of input";
+            return false;
+        }
+        bool ok = false;
+        switch (peek()) {
+          case '{':
+            ok = parseObject();
+            break;
+          case '[':
+            ok = parseArray();
+            break;
+          case '"':
+            ok = parseString();
+            break;
+          case 't':
+            ok = literal("true");
+            break;
+          case 'f':
+            ok = literal("false");
+            break;
+          case 'n':
+            ok = literal("null");
+            break;
+          default:
+            ok = parseNumber();
+            break;
+        }
+        --depth_;
+        return ok;
+    }
+
+    bool
+    parseObject()
+    {
+        ++pos_; // '{'
+        skipWs();
+        if (!eof() && peek() == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!parseString())
+                return false;
+            skipWs();
+            if (eof() || peek() != ':') {
+                msg_ = "expected ':'";
+                return false;
+            }
+            ++pos_;
+            if (!parseValue())
+                return false;
+            skipWs();
+            if (eof()) {
+                msg_ = "unterminated object";
+                return false;
+            }
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos_;
+                return true;
+            }
+            msg_ = "expected ',' or '}'";
+            return false;
+        }
+    }
+
+    bool
+    parseArray()
+    {
+        ++pos_; // '['
+        skipWs();
+        if (!eof() && peek() == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            if (!parseValue())
+                return false;
+            skipWs();
+            if (eof()) {
+                msg_ = "unterminated array";
+                return false;
+            }
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos_;
+                return true;
+            }
+            msg_ = "expected ',' or ']'";
+            return false;
+        }
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+    int depth_ = 0;
+    std::string msg_;
+};
+
+} // namespace
+
+bool
+validateJson(const std::string &text, std::string *error)
+{
+    return Validator(text).run(error);
+}
+
+} // namespace pimsim

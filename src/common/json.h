@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Minimal JSON emission and validation.
+ *
+ * The observability layer (stats dumps, Chrome traces, bench result
+ * files) emits machine-readable JSON; JsonWriter keeps that emission
+ * structurally correct (balanced containers, comma placement, string
+ * escaping) without pulling in an external dependency. validateJson()
+ * is a strict syntax checker used by tests and smoke runs to prove an
+ * emitted file parses.
+ */
+
+#ifndef PIMSIM_COMMON_JSON_H
+#define PIMSIM_COMMON_JSON_H
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pimsim {
+
+/** Escape a string for inclusion in a JSON document (adds no quotes). */
+std::string jsonEscape(const std::string &s);
+
+/**
+ * Streaming JSON writer with automatic comma/indent management.
+ *
+ *   JsonWriter w(os);
+ *   w.beginObject();
+ *   w.key("counters").beginObject();
+ *   w.field("rd", 42);
+ *   w.endObject();
+ *   w.endObject();
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os, bool pretty = true)
+        : os_(os), pretty_(pretty)
+    {
+    }
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emit an object key; must be followed by exactly one value. */
+    JsonWriter &key(const std::string &name);
+
+    JsonWriter &value(const std::string &v);
+    JsonWriter &value(const char *v) { return value(std::string(v)); }
+    JsonWriter &value(double v);
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(std::int64_t v);
+    JsonWriter &value(unsigned v) { return value(std::uint64_t{v}); }
+    JsonWriter &value(int v) { return value(std::int64_t{v}); }
+    JsonWriter &value(bool v);
+
+    template <typename T>
+    JsonWriter &
+    field(const std::string &name, const T &v)
+    {
+        key(name);
+        return value(v);
+    }
+
+  private:
+    void prepareValue();
+    void newline();
+
+    struct Level
+    {
+        bool isObject = false;
+        bool hasItems = false;
+    };
+
+    std::ostream &os_;
+    bool pretty_;
+    bool pendingKey_ = false;
+    std::vector<Level> stack_;
+};
+
+/**
+ * Strict JSON syntax check (RFC 8259 grammar; no extensions).
+ * On failure returns false and, if `error` is non-null, a message with
+ * the byte offset of the first violation.
+ */
+bool validateJson(const std::string &text, std::string *error = nullptr);
+
+} // namespace pimsim
+
+#endif // PIMSIM_COMMON_JSON_H

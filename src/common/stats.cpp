@@ -6,12 +6,29 @@
 namespace pimsim {
 
 void
+StatGroup::registerHistogram(const std::string &stat, Histogram *hist)
+{
+    histograms_[stat] = hist;
+}
+
+Histogram *
+StatGroup::histogram(const std::string &stat) const
+{
+    auto it = histograms_.find(stat);
+    return it == histograms_.end() ? nullptr : it->second;
+}
+
+void
 StatGroup::reset()
 {
     for (auto &kv : counters_)
         kv.second = 0;
     for (auto &kv : scalars_)
         kv.second = 0.0;
+    for (auto &kv : histograms_) {
+        if (kv.second)
+            kv.second->reset();
+    }
 }
 
 void
@@ -36,6 +53,17 @@ StatGroup::dump(std::ostream &os) const
 Histogram::Histogram(std::uint64_t bucket_width, std::size_t num_buckets)
     : bucketWidth_(bucket_width ? bucket_width : 1), buckets_(num_buckets, 0)
 {
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    overflow_ = 0;
+    count_ = 0;
+    sum_ = 0;
+    min_ = ~std::uint64_t{0};
+    max_ = 0;
 }
 
 void

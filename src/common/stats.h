@@ -53,7 +53,21 @@ class StatGroup
         return it == scalars_.end() ? 0.0 : it->second;
     }
 
-    /** Reset all counters and scalars to zero (names are kept). */
+    /**
+     * Register a histogram the group reports alongside its counters.
+     * Non-owning: the histogram must outlive the group (or be
+     * re-registered). reset() clears registered histograms too, so a
+     * long-lived engine can reuse one group across measurement windows.
+     */
+    void registerHistogram(const std::string &stat, class Histogram *hist);
+
+    /** A registered histogram by name (nullptr if absent). */
+    class Histogram *histogram(const std::string &stat) const;
+
+    /**
+     * Reset all counters and scalars to zero and clear every registered
+     * histogram (names are kept).
+     */
     void reset();
 
     /** Merge another group's stats into this one (sums). */
@@ -65,6 +79,10 @@ class StatGroup
         return counters_;
     }
     const std::map<std::string, double> &scalars() const { return scalars_; }
+    const std::map<std::string, class Histogram *> &histograms() const
+    {
+        return histograms_;
+    }
 
     /** Print "group.stat value" lines in sorted order. */
     void dump(std::ostream &os) const;
@@ -73,6 +91,7 @@ class StatGroup
     std::string name_;
     std::map<std::string, std::uint64_t> counters_;
     std::map<std::string, double> scalars_;
+    std::map<std::string, class Histogram *> histograms_;
 };
 
 /** Simple fixed-bucket histogram for latency distributions. */
@@ -83,6 +102,13 @@ class Histogram
     Histogram(std::uint64_t bucket_width, std::size_t num_buckets);
 
     void sample(std::uint64_t value);
+
+    /**
+     * Forget every sample (bucket counts, overflow, min/max/sum); the
+     * bucket shape is kept. Long-lived engines reuse histograms across
+     * measurement windows — without this, stale samples accumulate.
+     */
+    void reset();
 
     std::uint64_t count() const { return count_; }
     double mean() const;

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Chrome trace-event timeline recording.
+ *
+ * TraceSession collects duration ("X") and instant ("i") events on
+ * (pid, tid) tracks and serialises them in the Chrome trace-event JSON
+ * format, loadable in chrome://tracing and https://ui.perfetto.dev.
+ * Recording is opt-in: components hold a TraceSession pointer that is
+ * nullptr by default, so the simulator pays nothing when tracing is
+ * off.
+ *
+ * Track convention (kept stable so traces from different tools line up):
+ *   pid 1 "device"   — one tid per pseudo channel (DRAM command spans)
+ *   pid 2 "runtime"  — tid 0: application layers, tid 1: PIM BLAS
+ *                      kernels
+ *   pid 3 "serving"  — one tid per shard (batch occupancy spans)
+ */
+
+#ifndef PIMSIM_COMMON_TRACE_H
+#define PIMSIM_COMMON_TRACE_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pimsim {
+
+/** Stable pids for the standard tracks (see file comment). */
+inline constexpr int kTracePidDevice = 1;
+inline constexpr int kTracePidRuntime = 2;
+inline constexpr int kTracePidServing = 3;
+
+/** One recorded trace event. */
+struct TraceEvent
+{
+    enum class Phase
+    {
+        Complete, ///< "X": a span with a duration
+        Instant,  ///< "i": a point event
+    };
+
+    Phase phase = Phase::Complete;
+    int pid = 0;
+    int tid = 0;
+    double tsUs = 0.0;  ///< start timestamp, microseconds
+    double durUs = 0.0; ///< duration, microseconds (Complete only)
+    std::string name;
+    std::string cat;
+    /** Optional flat string args rendered as the event's "args" object. */
+    std::vector<std::pair<std::string, std::string>> args;
+};
+
+/** An opt-in recording of one simulation's timeline. */
+class TraceSession
+{
+  public:
+    /**
+     * @param max_events  hard cap on recorded events; recording beyond
+     *                    it increments droppedEvents() instead of
+     *                    growing without bound.
+     */
+    explicit TraceSession(std::size_t max_events = 4'000'000)
+        : maxEvents_(max_events)
+    {
+    }
+
+    /** Record a duration span. Times are nanoseconds of simulated time. */
+    void span(int pid, int tid, const std::string &name,
+              const std::string &cat, double start_ns, double dur_ns);
+
+    /** Record a duration span with one "args" annotation. */
+    void span(int pid, int tid, const std::string &name,
+              const std::string &cat, double start_ns, double dur_ns,
+              const std::string &arg_key, const std::string &arg_value);
+
+    /** Record a point event. */
+    void instant(int pid, int tid, const std::string &name,
+                 const std::string &cat, double ts_ns);
+
+    /** Name a process / thread track (emitted as metadata events). */
+    void setProcessName(int pid, const std::string &name);
+    void setThreadName(int pid, int tid, const std::string &name);
+
+    const std::vector<TraceEvent> &events() const { return events_; }
+    std::uint64_t droppedEvents() const { return dropped_; }
+
+    /**
+     * Serialise as a Chrome trace-event JSON object:
+     * {"traceEvents": [...], "displayTimeUnit": "ns"}.
+     */
+    void write(std::ostream &os) const;
+
+    /** write() to a file; returns false (and warns) on I/O failure. */
+    bool writeFile(const std::string &path) const;
+
+  private:
+    bool admit();
+
+    std::size_t maxEvents_;
+    std::uint64_t dropped_ = 0;
+    std::vector<TraceEvent> events_;
+    std::map<int, std::string> processNames_;
+    std::map<std::pair<int, int>, std::string> threadNames_;
+};
+
+} // namespace pimsim
+
+#endif // PIMSIM_COMMON_TRACE_H

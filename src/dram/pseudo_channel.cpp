@@ -4,6 +4,7 @@
 #include <ostream>
 
 #include "common/logging.h"
+#include "common/trace.h"
 
 namespace pimsim {
 
@@ -183,6 +184,34 @@ PseudoChannel::issue(const Command &cmd, Cycle now)
         *trace_ << now << ": " << cmd << " [" << modeLabel() << "]"
                 << "\n";
     }
+    if (traceSession_) {
+        // Span length: how long the command keeps its resource occupied
+        // (row turnaround for ACT/PRE, data phase for columns, tRFC for
+        // refresh) so the viewer shows real channel occupancy.
+        Cycle dur = 1;
+        switch (cmd.type) {
+          case CommandType::Act:
+            dur = timing_.tRCDRD;
+            break;
+          case CommandType::Pre:
+          case CommandType::PreA:
+            dur = timing_.tRP;
+            break;
+          case CommandType::Rd:
+            dur = timing_.tCL + timing_.tBL;
+            break;
+          case CommandType::Wr:
+            dur = timing_.tCWL + timing_.tBL;
+            break;
+          case CommandType::Ref:
+            dur = timing_.tRFC;
+            break;
+        }
+        traceSession_->span(
+            kTracePidDevice, traceTid_, commandTypeName(cmd.type),
+            modeLabel(), static_cast<double>(now) * timing_.tCKns,
+            static_cast<double>(dur) * timing_.tCKns);
+    }
     IssueResult result;
     const auto targets = targetBanks(cmd);
 
@@ -227,10 +256,12 @@ PseudoChannel::issue(const Command &cmd, Cycle now)
             if (intercepted) {
                 result.data = rd_data;
                 stats_.add("pimCol");
+                stats_.add("pimBusCycles", timing_.tBL);
             } else {
                 // Data leaves the die: bus is occupied.
                 busBusyUntil_ = now + timing_.tCL + timing_.tBL;
                 lastRdDataEnd_ = busBusyUntil_;
+                stats_.add("busCycles", timing_.tBL);
                 const unsigned src =
                     cmd.flatBank(geom_.banksPerBankGroup);
                 result.data = data_.read(src, banks_[src].openRow, cmd.col,
@@ -242,8 +273,10 @@ PseudoChannel::issue(const Command &cmd, Cycle now)
             if (intercepted) {
                 result.dataCycle = now + timing_.tCWL + timing_.tBL;
                 stats_.add("pimCol");
+                stats_.add("pimBusCycles", timing_.tBL);
             } else {
                 busBusyUntil_ = now + timing_.tCWL + timing_.tBL;
+                stats_.add("busCycles", timing_.tBL);
                 for (unsigned b : targets)
                     data_.write(b, banks_[b].openRow, cmd.col, cmd.data);
                 result.dataCycle = now + timing_.tCWL + timing_.tBL;

@@ -35,6 +35,8 @@
 
 namespace pimsim {
 
+class TraceSession;
+
 /** Result of issuing a command. */
 struct IssueResult
 {
@@ -146,6 +148,16 @@ class PseudoChannel
      */
     void setTrace(std::ostream *os) { trace_ = os; }
 
+    /**
+     * Record issued commands as timeline spans on the given track of a
+     * Chrome-trace session; nullptr disables (the default).
+     */
+    void setTraceSession(TraceSession *session, int track_tid)
+    {
+        traceSession_ = session;
+        traceTid_ = track_tid;
+    }
+
   private:
     Cycle earliestAct(unsigned flat_bank, Cycle now) const;
     Cycle earliestPre(unsigned flat_bank, Cycle now) const;
@@ -168,6 +180,8 @@ class PseudoChannel
     bool pimModeActive_ = false;
     ColumnInterceptor *interceptor_ = nullptr;
     std::ostream *trace_ = nullptr;
+    TraceSession *traceSession_ = nullptr;
+    int traceTid_ = 0;
 
     // Channel-global timing state.
     Cycle busBusyUntil_ = 0;               ///< data-bus occupancy

@@ -111,8 +111,11 @@ void
 MemoryController::enqueue(const MemRequest &request)
 {
     PIMSIM_ASSERT(canEnqueue(), "enqueue on full controller queue");
-    queue_.push_back(Queued{request, 0});
+    queue_.push_back(Queued{request, 0, false});
     stats_.add("enqueued");
+    // Arrival-sampled queue depth: queueDepthSum / enqueued = mean depth
+    // an arriving request finds ahead of it.
+    stats_.add("queueDepthSum", queue_.size() - 1);
 }
 
 bool
@@ -383,6 +386,14 @@ MemoryController::tick(Cycle now)
 
     const bool is_column =
         cmd.type == CommandType::Rd || cmd.type == CommandType::Wr;
+
+    // A PRE or ACT issued on behalf of a column request marks it as a
+    // row-buffer miss; the hit/miss verdict is recorded when its column
+    // command finally issues.
+    if (!is_column && (entry.request.type == RequestType::Read ||
+                       entry.request.type == RequestType::Write)) {
+        entry.rowMissed = true;
+    }
     const bool request_done =
         is_column ||
         (r.type == RequestType::Activate && cmd.type == CommandType::Act) ||
@@ -393,8 +404,14 @@ MemoryController::tick(Cycle now)
     if (is_column) {
         lastColWasWrite_ = cmd.type == CommandType::Wr;
         stats_.add("colIssued");
-        if (result.intercepted)
+        stats_.add(entry.rowMissed ? "rowMiss" : "rowHit");
+        if (result.intercepted) {
             stats_.add("pimIssued");
+            // Command-mix bucket for AB-PIM triggers (a RD/WR column
+            // the PIM logic consumed): cmd.RD/cmd.WR count the bus
+            // command, cmd.RD-PIM separates the PIM-executing subset.
+            stats_.add("cmd.RD-PIM");
+        }
     }
 
     if (request_done) {

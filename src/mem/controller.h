@@ -145,6 +145,8 @@ class MemoryController
     {
         MemRequest request;
         Cycle arrival;
+        /** Set when the request needed a PRE/ACT (row-buffer miss). */
+        bool rowMissed = false;
     };
 
     /** The command a queued request needs next, given bank state. */

@@ -138,6 +138,7 @@ class FairShareScheduler : public Scheduler
         for (unsigned t : eligible) {
             if (queue.sizeForTenant(t) == 0)
                 continue;
+            ensureTenant(t);
             if (!best ||
                 servedNs_[t] / weights_[t] <
                     servedNs_[*best] / weights_[*best]) {
@@ -151,10 +152,25 @@ class FairShareScheduler : public Scheduler
 
     void onDispatched(const Batch &batch, double service_ns) override
     {
+        ensureTenant(batch.tenant);
         servedNs_[batch.tenant] += service_ns;
     }
 
   private:
+    /**
+     * Grow the accounting arrays to cover tenant id `t`. Callers may
+     * construct the scheduler with fewer weights than tenants (or none);
+     * unspecified tenants get the default weight 1.0 instead of an
+     * out-of-bounds read.
+     */
+    void ensureTenant(unsigned t)
+    {
+        if (t < weights_.size())
+            return;
+        weights_.resize(t + 1, 1.0);
+        servedNs_.resize(t + 1, 0.0);
+    }
+
     SchedulerConfig config_;
     std::vector<double> weights_;
     std::vector<double> servedNs_;

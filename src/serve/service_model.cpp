@@ -13,6 +13,12 @@ ShardServiceModel::ShardServiceModel(const SystemConfig &base,
     // Rebuild the stack/channel split for the shard's channel count; the
     // per-channel geometry, timing and host model stay the base's.
     if (channels_ >= config_.geometry.pchPerStack) {
+        // A truncating divide here would silently model a smaller shard
+        // (e.g. 24 channels on 16-pch stacks would drop 8 channels).
+        PIMSIM_ASSERT(channels_ % config_.geometry.pchPerStack == 0,
+                      "shard channel count ", channels_,
+                      " is not a multiple of pchPerStack ",
+                      config_.geometry.pchPerStack);
         config_.numStacks = channels_ / config_.geometry.pchPerStack;
     } else {
         config_.numStacks = 1;

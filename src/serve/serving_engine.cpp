@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/trace.h"
 #include "pim/pim_config.h"
 
 namespace pimsim::serve {
@@ -92,6 +93,29 @@ ServingEngine::ServingEngine(const ServeConfig &config)
                           Histogram(config.histBucketNs, config.histBuckets),
                           Histogram(config.histBucketNs, config.histBuckets)};
         tenants_.push_back(std::move(state));
+    }
+
+    // Register the latency histograms only once tenants_ has its final
+    // size: a later push_back would reallocate and dangle the pointers.
+    auto &registry = system_->statsRegistry();
+    for (auto &t : tenants_) {
+        const std::string base = "serve.tenant." + t.spec.name;
+        registry.addHistogram(base + ".queueNs", &t.queueH);
+        registry.addHistogram(base + ".serviceNs", &t.serviceH);
+        registry.addHistogram(base + ".e2eNs", &t.e2eH);
+    }
+}
+
+void
+ServingEngine::setTrace(TraceSession *session)
+{
+    trace_ = session;
+    if (!trace_)
+        return;
+    trace_->setProcessName(kTracePidServing, "serving");
+    for (unsigned s = 0; s < plan_.numShards(); ++s) {
+        trace_->setThreadName(kTracePidServing, static_cast<int>(s),
+                              "shard" + std::to_string(s));
     }
 }
 
@@ -191,6 +215,15 @@ ServingEngine::dispatchAll()
             sched_->onDispatched(*batch, service_ns);
             for (auto &r : batch->requests)
                 r.dispatchNs = nowNs_;
+            auto &stats = system_->serveStats();
+            stats.add("batchesDispatched");
+            stats.add("queueDepthSum", queue_.size());
+            if (trace_) {
+                trace_->span(kTracePidServing, static_cast<int>(s),
+                             tenants_[batch->tenant].spec.name + " b" +
+                                 std::to_string(batch->size()),
+                             "batch", nowNs_, service_ns);
+            }
             servers_[s].busy = true;
             servers_[s].freeNs = nowNs_ + service_ns;
             servers_[s].serviceNs = service_ns;

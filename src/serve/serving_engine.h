@@ -30,6 +30,10 @@
 #include "sim/system.h"
 #include "stack/driver.h"
 
+namespace pimsim {
+class TraceSession;
+}
+
 namespace pimsim::serve {
 
 /** Full serving-layer configuration. */
@@ -132,6 +136,13 @@ class ServingEngine
     /** Aggregate statistics over everything served so far. */
     ServeReport report() const;
 
+    /**
+     * Record batch dispatches on the serving track of a Chrome-trace
+     * session (nullptr disables): one span per batch on its shard's
+     * timeline, from dispatch to completion.
+     */
+    void setTrace(TraceSession *session);
+
   private:
     struct TenantState
     {
@@ -171,6 +182,7 @@ class ServingEngine
     std::vector<TenantState> tenants_;
 
     std::vector<ServeRequest> completions_;
+    TraceSession *trace_ = nullptr;
     double nowNs_ = 0.0;
     std::uint64_t nextId_ = 0;
 };

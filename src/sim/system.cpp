@@ -1,8 +1,10 @@
 #include "sim/system.h"
 
 #include <algorithm>
+#include <string>
 
 #include "common/logging.h"
+#include "common/trace.h"
 
 namespace pimsim {
 
@@ -16,6 +18,73 @@ PimSystem::PimSystem(const SystemConfig &config)
             config.withPim(), config.pim));
         controllers_.back()->setErrorSink(&errorLog_, ch);
         nextTick_.push_back(0);
+
+        auto &ctrl = *controllers_.back();
+        const std::string base = "ch" + std::to_string(ch);
+        registry_.addGroup(base + ".ctrl", &ctrl.stats());
+        registry_.addGroup(base + ".pch", &ctrl.channel().stats());
+        if (ctrl.pim())
+            registry_.addGroup(base + ".pim", &ctrl.pim()->stats());
+    }
+    registry_.addGroup("serve", &serveStats_);
+}
+
+void
+PimSystem::updateDerivedStats()
+{
+    const double cycles = static_cast<double>(now_);
+    for (auto &c : controllers_) {
+        StatGroup &ctrl = c->stats();
+        const std::uint64_t hits = ctrl.counter("rowHit");
+        const std::uint64_t misses = ctrl.counter("rowMiss");
+        if (hits + misses) {
+            ctrl.set("rowHitRate", static_cast<double>(hits) /
+                                       static_cast<double>(hits + misses));
+        }
+        const std::uint64_t enq = ctrl.counter("enqueued");
+        if (enq) {
+            ctrl.set("meanQueueDepth",
+                     static_cast<double>(ctrl.counter("queueDepthSum")) /
+                         static_cast<double>(enq));
+        }
+        StatGroup &pch = c->channel().stats();
+        if (cycles > 0.0) {
+            pch.set("busUtil",
+                    static_cast<double>(pch.counter("busCycles")) / cycles);
+            pch.set("pimBusUtil",
+                    static_cast<double>(pch.counter("pimBusCycles")) /
+                        cycles);
+        }
+    }
+}
+
+void
+PimSystem::dumpStats(std::ostream &os)
+{
+    updateDerivedStats();
+    registry_.dumpText(os);
+}
+
+void
+PimSystem::dumpStatsJson(std::ostream &os)
+{
+    updateDerivedStats();
+    registry_.dumpJson(os);
+}
+
+void
+PimSystem::setTraceSession(TraceSession *session)
+{
+    if (session) {
+        session->setProcessName(kTracePidDevice, "device");
+        for (unsigned ch = 0; ch < controllers_.size(); ++ch) {
+            session->setThreadName(kTracePidDevice, static_cast<int>(ch),
+                                   "ch" + std::to_string(ch));
+        }
+    }
+    for (unsigned ch = 0; ch < controllers_.size(); ++ch) {
+        controllers_[ch]->channel().setTraceSession(session,
+                                                    static_cast<int>(ch));
     }
 }
 

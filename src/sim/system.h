@@ -13,16 +13,20 @@
 #define PIMSIM_SIM_SYSTEM_H
 
 #include <functional>
+#include <iosfwd>
 #include <memory>
 #include <vector>
 
 #include "common/stats.h"
+#include "common/stats_registry.h"
 #include "dram/address.h"
 #include "mem/controller.h"
 #include "reliability/mem_error.h"
 #include "sim/system_config.h"
 
 namespace pimsim {
+
+class TraceSession;
 
 /** One host + memory system instance. */
 class PimSystem
@@ -105,10 +109,38 @@ class PimSystem
     StatGroup &serveStats() { return serveStats_; }
     const StatGroup &serveStats() const { return serveStats_; }
 
+    /**
+     * The system-wide stats registry. Every controller ("ch<N>.ctrl"),
+     * pseudo channel ("ch<N>.pch"), PIM channel ("ch<N>.pim") and the
+     * serving group ("serve") are registered at construction; higher
+     * layers (serving engine, benches) add their own entries.
+     */
+    StatsRegistry &statsRegistry() { return registry_; }
+    const StatsRegistry &statsRegistry() const { return registry_; }
+
+    /**
+     * Refresh derived scalars (per-channel row-buffer hit rate, bus
+     * utilisation against the current clock, mean arrival queue depth)
+     * so a following dump reports rates next to raw counters.
+     */
+    void updateDerivedStats();
+
+    /** updateDerivedStats() + registry text/JSON dump. */
+    void dumpStats(std::ostream &os);
+    void dumpStatsJson(std::ostream &os);
+
+    /**
+     * Attach (or detach, with nullptr) a Chrome-trace session: every
+     * pseudo channel records its command spans on a per-channel device
+     * track.
+     */
+    void setTraceSession(TraceSession *session);
+
   private:
     SystemConfig config_;
     AddressMapping mapping_;
     MemErrorLog errorLog_;
+    StatsRegistry registry_;
     StatGroup serveStats_{"serve"};
     std::vector<std::unique_ptr<MemoryController>> controllers_;
     std::vector<Cycle> nextTick_;

@@ -4,12 +4,31 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/trace.h"
 #include "stack/reference.h"
 
 namespace pimsim {
 
 
 namespace {
+
+const char *
+layerKindName(LayerSpec::Kind kind)
+{
+    switch (kind) {
+      case LayerSpec::Kind::Conv:
+        return "conv";
+      case LayerSpec::Kind::Lstm:
+        return "lstm";
+      case LayerSpec::Kind::Fc:
+        return "fc";
+      case LayerSpec::Kind::Residual:
+        return "residual";
+      case LayerSpec::Kind::BatchNorm:
+        return "bn";
+    }
+    return "?";
+}
 
 /** Accumulate a kernel's device activity, repeated `times`, into acc. */
 void
@@ -227,15 +246,35 @@ AppRunResult
 AppRunner::runApp(const AppSpec &app, unsigned batch)
 {
     AppRunResult acc;
+    const double app_start = traceCursorNs_;
     unsigned host_layers = 0;
+    unsigned index = 0;
     for (const auto &layer : app.layers) {
         const double before = acc.avgLlcMissRate;
+        const double ns_before = acc.ns;
         runLayer(layer, batch, acc);
         if (acc.avgLlcMissRate != before)
             ++host_layers;
+        if (trace_) {
+            const bool pim = usesPim() && layer.pimEligible;
+            trace_->span(kTracePidRuntime, 0,
+                         std::string(layerKindName(layer.kind)) + "[" +
+                             std::to_string(index) + "]",
+                         pim ? "layer-pim" : "layer-host",
+                         app_start + ns_before, acc.ns - ns_before);
+        }
+        ++index;
     }
     if (host_layers)
         acc.avgLlcMissRate /= host_layers;
+    if (trace_) {
+        trace_->setProcessName(kTracePidRuntime, "runtime");
+        trace_->setThreadName(kTracePidRuntime, 0, "app-layers");
+        trace_->span(kTracePidRuntime, 0,
+                     app.name + " b" + std::to_string(batch), "app",
+                     app_start, acc.ns);
+        traceCursorNs_ = app_start + acc.ns;
+    }
     return acc;
 }
 
@@ -283,6 +322,14 @@ AppRunner::runMicro(const MicroSpec &micro, unsigned batch)
         acc.launchNs = launch_ns;
         break;
       }
+    }
+    if (trace_) {
+        trace_->setProcessName(kTracePidRuntime, "runtime");
+        trace_->setThreadName(kTracePidRuntime, 0, "app-layers");
+        trace_->span(kTracePidRuntime, 0,
+                     micro.name + " b" + std::to_string(batch), "micro",
+                     traceCursorNs_, acc.ns);
+        traceCursorNs_ += acc.ns;
     }
     return acc;
 }

@@ -21,6 +21,8 @@
 
 namespace pimsim {
 
+class TraceSession;
+
 /** Result of one end-to-end application run. */
 struct AppRunResult
 {
@@ -64,6 +66,13 @@ class AppRunner
 
     bool usesPim() const { return blas_ != nullptr; }
 
+    /**
+     * Record application/layer spans on the runtime track of a Chrome-
+     * trace session (nullptr disables). Successive runs append on a
+     * monotonically advancing virtual timeline.
+     */
+    void setTrace(TraceSession *session) { trace_ = session; }
+
   private:
     /** Timed PIM GEMV for a shape, memoised (weights are resident). */
     BlasTiming pimGemv(unsigned m, unsigned n);
@@ -75,6 +84,9 @@ class AppRunner
 
     HostModel &host_;
     PimBlas *blas_;
+    TraceSession *trace_ = nullptr;
+    /** Virtual-time cursor for the runtime track (ns). */
+    double traceCursorNs_ = 0.0;
 
     std::map<std::pair<unsigned, unsigned>, BlasTiming> gemvCache_;
     std::map<std::pair<int, std::uint64_t>, BlasTiming> elemCache_;

@@ -4,6 +4,7 @@
 
 #include "common/bits.h"
 #include "common/logging.h"
+#include "common/trace.h"
 #include "energy/probe.h"
 #include "pim/pim_channel.h"
 #include "stack/reference.h"
@@ -422,12 +423,26 @@ PimBlas::elementwise(PimOpcode op, bool relu_move, const Fp16Vector &a,
     return timing;
 }
 
+void
+PimBlas::traceKernel(const std::string &name, double start_ns)
+{
+    if (!trace_)
+        return;
+    trace_->setProcessName(kTracePidRuntime, "runtime");
+    trace_->setThreadName(kTracePidRuntime, 1, "pim-kernels");
+    trace_->span(kTracePidRuntime, 1, name, "blas", start_ns,
+                 system_.nowNs() - start_ns);
+}
+
 BlasTiming
 PimBlas::add(const Fp16Vector &a, const Fp16Vector &b, Fp16Vector &out)
 {
     srfM_.reset();
     srfA_.reset();
-    return elementwise(PimOpcode::Add, false, a, &b, out);
+    const double start = system_.nowNs();
+    const BlasTiming t = elementwise(PimOpcode::Add, false, a, &b, out);
+    traceKernel("blas.add n" + std::to_string(a.size()), start);
+    return t;
 }
 
 BlasTiming
@@ -435,7 +450,10 @@ PimBlas::mul(const Fp16Vector &a, const Fp16Vector &b, Fp16Vector &out)
 {
     srfM_.reset();
     srfA_.reset();
-    return elementwise(PimOpcode::Mul, false, a, &b, out);
+    const double start = system_.nowNs();
+    const BlasTiming t = elementwise(PimOpcode::Mul, false, a, &b, out);
+    traceKernel("blas.mul n" + std::to_string(a.size()), start);
+    return t;
 }
 
 BlasTiming
@@ -443,7 +461,10 @@ PimBlas::relu(const Fp16Vector &a, Fp16Vector &out)
 {
     srfM_.reset();
     srfA_.reset();
-    return elementwise(PimOpcode::Mov, true, a, nullptr, out);
+    const double start = system_.nowNs();
+    const BlasTiming t = elementwise(PimOpcode::Mov, true, a, nullptr, out);
+    traceKernel("blas.relu n" + std::to_string(a.size()), start);
+    return t;
 }
 
 BlasTiming
@@ -454,7 +475,10 @@ PimBlas::bn(const Fp16Vector &a, const Fp16Vector &gamma,
                   "bn expects 8 scalar groups (replicate smaller sets)");
     srfM_ = packSrf(gamma);
     srfA_ = packSrf(beta);
-    return elementwise(PimOpcode::Mad, false, a, nullptr, out);
+    const double start = system_.nowNs();
+    const BlasTiming t = elementwise(PimOpcode::Mad, false, a, nullptr, out);
+    traceKernel("blas.bn n" + std::to_string(a.size()), start);
+    return t;
 }
 
 BlasTiming
@@ -466,6 +490,9 @@ PimBlas::gemv(const Fp16Vector &w, unsigned m, unsigned n,
     y.assign(m, Fp16());
     if (m == 0 || n == 0)
         return {};
+    const double start = system_.nowNs();
+    const std::string span_name =
+        "blas.gemv m" + std::to_string(m) + " n" + std::to_string(n);
 
     driver_.reset();
 
@@ -498,6 +525,7 @@ PimBlas::gemv(const Fp16Vector &w, unsigned m, unsigned n,
                     driver_.freeRows(), "); computing on the host");
         y = refGemv(w, m, n, x);
         timing.hostFallback = true;
+        traceKernel(span_name, start);
         return timing;
     }
 
@@ -702,6 +730,7 @@ PimBlas::gemv(const Fp16Vector &w, unsigned m, unsigned n,
             timing.eccCorrected = system_.errorLog().corrected() - corr0;
             timing.eccUncorrectable =
                 system_.errorLog().uncorrectable() - uc_start;
+            traceKernel(span_name, start);
             return timing;
         }
         if (attempt < maxRetries_) {
@@ -719,6 +748,7 @@ PimBlas::gemv(const Fp16Vector &w, unsigned m, unsigned n,
     timing.hostFallback = true;
     timing.eccCorrected = system_.errorLog().corrected() - corr0;
     timing.eccUncorrectable = system_.errorLog().uncorrectable() - uc_start;
+    traceKernel(span_name, start);
     return timing;
 }
 

@@ -26,6 +26,8 @@
 
 namespace pimsim {
 
+class TraceSession;
+
 /** Timing and traffic results of one PIM BLAS call. */
 struct BlasTiming
 {
@@ -110,7 +112,17 @@ class PimBlas
     void setMaxRetries(unsigned retries) { maxRetries_ = retries; }
     unsigned maxRetries() const { return maxRetries_; }
 
+    /**
+     * Record each BLAS call as a kernel span on the runtime track of a
+     * Chrome-trace session (nullptr disables). Spans sit on the
+     * system's real device clock, so they line up with the per-channel
+     * command spans.
+     */
+    void setTrace(TraceSession *session) { trace_ = session; }
+
   private:
+    /** Emit a kernel span [start_ns, now) if tracing is on. */
+    void traceKernel(const std::string &name, double start_ns);
     /** Element-wise kernels share one engine (op selects the ALU). */
     BlasTiming elementwise(PimOpcode op, bool relu_move, const Fp16Vector &a,
                            const Fp16Vector *b, Fp16Vector &out);
@@ -134,6 +146,7 @@ class PimBlas
     PimDriver driver_;
     bool useFences_ = true;
     unsigned maxRetries_ = 2;
+    TraceSession *trace_ = nullptr;
 
     /** SRF file payloads staged for the next kernel prologue (BN). */
     std::optional<Burst> srfM_;

@@ -238,5 +238,86 @@ TEST(Histogram, PercentileSingleSampleClampsToThatValue)
     EXPECT_DOUBLE_EQ(h.p99(), 7.0);
 }
 
+TEST(Histogram, PercentileAllOverflowResolvesToMax)
+{
+    // Every sample past the last bucket: any percentile is max().
+    Histogram h(10, 2);
+    h.sample(500);
+    h.sample(900);
+    EXPECT_DOUBLE_EQ(h.percentile(0.01), 900.0);
+    EXPECT_DOUBLE_EQ(h.p50(), 900.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 900.0);
+}
+
+TEST(Histogram, PercentileClampsPArgumentToValidRange)
+{
+    Histogram h(10, 10);
+    for (std::uint64_t v = 0; v < 100; ++v)
+        h.sample(v);
+    // p <= 0 clamps to the first-ranked sample, never below min().
+    EXPECT_GE(h.percentile(0.0), static_cast<double>(h.min()));
+    EXPECT_DOUBLE_EQ(h.percentile(-1.0), h.percentile(0.0));
+    // p > 1 clamps to the last-ranked sample, never above max().
+    EXPECT_DOUBLE_EQ(h.percentile(2.0), h.percentile(1.0));
+    EXPECT_LE(h.percentile(2.0), static_cast<double>(h.max()));
+}
+
+TEST(Histogram, PercentileBucketBoundaryInterpolation)
+{
+    // One sample per bucket boundary value: the interpolated position
+    // of each rank is the top of its bucket, clamped to [min, max].
+    Histogram h(10, 4);
+    h.sample(10);
+    h.sample(20);
+    EXPECT_DOUBLE_EQ(h.p50(), 20.0); // rank 1 -> top of [10,20)
+    EXPECT_DOUBLE_EQ(h.p99(), 20.0); // rank 2, clamped to max
+    EXPECT_DOUBLE_EQ(h.percentile(0.25), 20.0);
+}
+
+TEST(Histogram, ResetForgetsSamplesButKeepsShape)
+{
+    Histogram h(10, 4);
+    for (std::uint64_t v : {3u, 17u, 1000u})
+        h.sample(v);
+    ASSERT_EQ(h.count(), 3u);
+    ASSERT_EQ(h.overflow(), 1u);
+
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(h.p99(), 0.0);
+    for (std::uint64_t b : h.buckets())
+        EXPECT_EQ(b, 0u);
+
+    // The bucket shape survives: samples land where they used to.
+    h.sample(17);
+    EXPECT_EQ(h.buckets()[1], 1u);
+    EXPECT_EQ(h.min(), 17u);
+    EXPECT_EQ(h.max(), 17u);
+}
+
+TEST(StatGroup, ResetClearsRegisteredHistograms)
+{
+    StatGroup g("grp");
+    Histogram h(10, 4);
+    g.registerHistogram("latency", &h);
+    EXPECT_EQ(g.histogram("latency"), &h);
+    EXPECT_EQ(g.histogram("absent"), nullptr);
+
+    g.add("count", 3);
+    g.set("rate", 0.5);
+    h.sample(25);
+    ASSERT_EQ(h.count(), 1u);
+
+    g.reset();
+    EXPECT_EQ(g.counter("count"), 0u);
+    EXPECT_DOUBLE_EQ(g.scalar("rate"), 0.0);
+    EXPECT_EQ(h.count(), 0u); // reset reached the registered histogram
+    EXPECT_EQ(g.histogram("latency"), &h); // registration survives
+}
+
 } // namespace
 } // namespace pimsim

@@ -1,0 +1,363 @@
+/**
+ * @file
+ * Observability-layer tests: JSON emission/validation, the system-wide
+ * stats registry, command-mix counter reconciliation against the
+ * cycle-level device, and the Chrome-trace exporter.
+ */
+
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "common/rng.h"
+#include "common/stats_registry.h"
+#include "common/trace.h"
+#include "stack/blas.h"
+
+namespace pimsim {
+namespace {
+
+SystemConfig
+smallPimSystem()
+{
+    SystemConfig c = SystemConfig::pimHbmSystem();
+    c.numStacks = 1; // 16 channels keeps tests fast
+    c.geometry.rowsPerBank = 512;
+    return c;
+}
+
+Fp16Vector
+randomVector(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Fp16Vector v(n);
+    for (auto &x : v)
+        x = rng.nextFp16();
+    return v;
+}
+
+// ------------------------------------------------------------------
+// JSON writer / validator
+// ------------------------------------------------------------------
+
+TEST(Json, WriterEmitsValidDocument)
+{
+    std::ostringstream os;
+    JsonWriter w(os, /*pretty=*/true);
+    w.beginObject();
+    w.field("name", "a \"quoted\"\nstring\t\\");
+    w.field("count", std::uint64_t{42});
+    w.field("neg", -7);
+    w.field("rate", 0.25);
+    w.field("flag", true);
+    w.key("list").beginArray();
+    w.value(1).value(2).value("three");
+    w.beginObject().field("nested", false).endObject();
+    w.endArray();
+    w.key("empty").beginObject().endObject();
+    w.endObject();
+
+    std::string error;
+    EXPECT_TRUE(validateJson(os.str(), &error)) << error << "\n" << os.str();
+}
+
+TEST(Json, WriterClampsNonFiniteToNull)
+{
+    std::ostringstream os;
+    JsonWriter w(os, /*pretty=*/false);
+    w.beginObject();
+    w.field("nan", std::nan(""));
+    w.field("inf", 1e308 * 10);
+    w.endObject();
+    EXPECT_TRUE(validateJson(os.str(), nullptr)) << os.str();
+    EXPECT_NE(os.str().find("null"), std::string::npos);
+}
+
+TEST(Json, ValidatorRejectsMalformedDocuments)
+{
+    for (const char *bad :
+         {"", "{", "[1,]", "{\"a\":}", "{\"a\" 1}", "{'a': 1}",
+          "[1 2]", "{\"a\": 01}", "nul", "\"unterminated",
+          "{\"a\": 1} trailing", "[+1]", "[.5]", "{\"a\": NaN}"}) {
+        std::string error;
+        EXPECT_FALSE(validateJson(bad, &error)) << bad;
+        EXPECT_FALSE(error.empty()) << bad;
+    }
+    for (const char *good :
+         {"null", "true", "-1.5e-3", "\"\"", "[]", "{}",
+          "{\"a\": [1, {\"b\": null}]}", "\"\\u00e9\\n\""}) {
+        std::string error;
+        EXPECT_TRUE(validateJson(good, &error)) << good << ": " << error;
+    }
+}
+
+// ------------------------------------------------------------------
+// Stats registry
+// ------------------------------------------------------------------
+
+TEST(StatsRegistry, CounterTotalMatchesDottedSuffixesOnly)
+{
+    StatGroup a("a"), b("b"), c("c");
+    a.add("rd", 3);
+    b.add("rd", 5);
+    c.add("rd", 100);
+
+    StatsRegistry reg;
+    reg.addGroup("ch0.pch", &a);
+    reg.addGroup("ch1.pch", &b);
+    reg.addGroup("mismatchpch", &c); // not a dotted ".pch" suffix
+
+    EXPECT_EQ(reg.counterTotal("pch", "rd"), 8u);
+    EXPECT_EQ(reg.counterTotal("ch0.pch", "rd"), 3u);
+    EXPECT_EQ(reg.counterTotal("mismatchpch", "rd"), 100u); // exact match
+    EXPECT_EQ(reg.group("ch1.pch"), &b);
+    EXPECT_EQ(reg.group("absent"), nullptr);
+}
+
+TEST(StatsRegistry, ResetCoversGroupsAndHistograms)
+{
+    StatGroup g("g");
+    g.add("n", 9);
+    Histogram h(10, 8);
+    h.sample(42);
+
+    StatsRegistry reg;
+    reg.addGroup("g", &g);
+    reg.addHistogram("g.lat", &h);
+    reg.reset();
+    EXPECT_EQ(g.counter("n"), 0u);
+    EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(StatsRegistry, DumpsValidJsonWithHistogramSummaries)
+{
+    StatGroup g("g");
+    g.add("events", 4);
+    g.set("ratio", 0.5);
+    Histogram h(10, 8);
+    h.sample(15);
+    h.sample(25);
+
+    StatsRegistry reg;
+    reg.addGroup("layer.g", &g);
+    reg.addHistogram("layer.lat", &h);
+
+    std::ostringstream os;
+    reg.dumpJson(os);
+    std::string error;
+    ASSERT_TRUE(validateJson(os.str(), &error)) << error << "\n" << os.str();
+    EXPECT_NE(os.str().find("\"layer.g\""), std::string::npos);
+    EXPECT_NE(os.str().find("\"layer.lat\""), std::string::npos);
+    EXPECT_NE(os.str().find("\"events\""), std::string::npos);
+    EXPECT_NE(os.str().find("\"p99\""), std::string::npos);
+
+    std::ostringstream text;
+    reg.dumpText(text);
+    EXPECT_NE(text.str().find("layer.g.events 4"), std::string::npos);
+    EXPECT_NE(text.str().find("layer.lat.count 2"), std::string::npos);
+}
+
+// ------------------------------------------------------------------
+// Counter reconciliation against the cycle-level device
+// ------------------------------------------------------------------
+
+TEST(Observability, GemvCommandMixReconcilesAcrossLayers)
+{
+    PimSystem sys(smallPimSystem());
+    PimBlas blas(sys);
+
+    const unsigned m = 128, n = 256;
+    const Fp16Vector w = randomVector(std::size_t{m} * n, 0xabc);
+    const Fp16Vector x = randomVector(n, 0xdef);
+    Fp16Vector y;
+    blas.gemv(w, m, n, x, y);
+
+    std::uint64_t total_rd_pim = 0;
+    for (unsigned ch = 0; ch < sys.numChannels(); ++ch) {
+        auto &ctrl = sys.controller(ch);
+        const StatGroup &cs = ctrl.stats();
+        const StatGroup &ps = ctrl.channel().stats();
+
+        // Every column request the controller issued reached the device
+        // as a host RD, a host WR, or a PIM-intercepted column command.
+        EXPECT_EQ(cs.counter("colIssued"),
+                  ps.counter("rd") + ps.counter("wr") + ps.counter("pimCol"))
+            << "channel " << ch;
+        // The controller's RD-PIM bucket is exactly the device's count
+        // of intercepted columns.
+        EXPECT_EQ(cs.counter("cmd.RD-PIM"), ps.counter("pimCol"))
+            << "channel " << ch;
+        EXPECT_EQ(cs.counter("pimIssued"), ps.counter("pimCol"))
+            << "channel " << ch;
+        // Row-buffer verdicts cover every host column access.
+        EXPECT_EQ(cs.counter("rowHit") + cs.counter("rowMiss"),
+                  cs.counter("colIssued"))
+            << "channel " << ch;
+        total_rd_pim += ps.counter("pimCol");
+    }
+    EXPECT_GT(total_rd_pim, 0u); // the kernel really ran in PIM mode
+
+    // The registry's cross-channel sums agree with the system helpers.
+    StatsRegistry &reg = sys.statsRegistry();
+    EXPECT_EQ(reg.counterTotal("pch", "rd"), sys.totalChannelStat("rd"));
+    EXPECT_EQ(reg.counterTotal("pch", "pimCol"),
+              sys.totalChannelStat("pimCol"));
+    EXPECT_EQ(reg.counterTotal("ctrl", "cmd.RD-PIM"),
+              sys.totalCtrlStat("cmd.RD-PIM"));
+    EXPECT_EQ(reg.counterTotal("ctrl", "colIssued"),
+              reg.counterTotal("pch", "rd") +
+                  reg.counterTotal("pch", "wr") +
+                  reg.counterTotal("pch", "pimCol"));
+
+    // The JSON dump is valid and carries the command-mix counters.
+    std::ostringstream os;
+    sys.dumpStatsJson(os);
+    std::string error;
+    ASSERT_TRUE(validateJson(os.str(), &error)) << error;
+    EXPECT_NE(os.str().find("\"cmd.RD-PIM\""), std::string::npos);
+    EXPECT_NE(os.str().find("\"rowHitRate\""), std::string::npos);
+    EXPECT_NE(os.str().find("\"busUtil\""), std::string::npos);
+    EXPECT_NE(os.str().find("\"ch0.ctrl\""), std::string::npos);
+}
+
+// ------------------------------------------------------------------
+// Chrome-trace exporter
+// ------------------------------------------------------------------
+
+/** Extract (pid, tid, ts) of every "X" span in serialised order. */
+struct ParsedSpan
+{
+    int pid = 0;
+    int tid = 0;
+    double ts = 0.0;
+};
+
+std::vector<ParsedSpan>
+parseSpans(const std::string &json)
+{
+    // write() emits each event's fields in a fixed order
+    // (name, cat, ph, pid, tid, ts, ...), so a linear scan suffices.
+    std::vector<ParsedSpan> spans;
+    std::size_t pos = 0;
+    while ((pos = json.find("\"ph\":\"X\"", pos)) != std::string::npos) {
+        ParsedSpan s;
+        const std::size_t pid_at = json.find("\"pid\":", pos);
+        s.pid = std::atoi(json.c_str() + pid_at + 6);
+        const std::size_t tid_at = json.find("\"tid\":", pid_at);
+        s.tid = std::atoi(json.c_str() + tid_at + 6);
+        const std::size_t ts_at = json.find("\"ts\":", tid_at);
+        s.ts = std::atof(json.c_str() + ts_at + 5);
+        spans.push_back(s);
+        pos = ts_at;
+    }
+    return spans;
+}
+
+TEST(TraceSession, WritesValidChromeTraceJson)
+{
+    TraceSession trace;
+    trace.setProcessName(kTracePidDevice, "device");
+    trace.setThreadName(kTracePidDevice, 0, "ch0");
+    trace.span(kTracePidDevice, 0, "RD", "sb", 100.0, 10.0);
+    trace.span(kTracePidDevice, 0, "ACT \"row 3\"", "sb", 50.0, 14.0);
+    trace.instant(kTracePidRuntime, 0, "marker", "app", 120.0);
+    trace.span(kTracePidRuntime, 1, "gemv", "blas", 0.0, 500.0, "batch",
+               "4");
+
+    std::ostringstream os;
+    trace.write(os);
+    const std::string out = os.str();
+    std::string error;
+    ASSERT_TRUE(validateJson(out, &error)) << error << "\n" << out;
+    EXPECT_NE(out.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(out.find("process_name"), std::string::npos);
+    EXPECT_NE(out.find("thread_name"), std::string::npos);
+    EXPECT_NE(out.find("\"batch\":\"4\""), std::string::npos);
+    EXPECT_EQ(trace.droppedEvents(), 0u);
+}
+
+TEST(TraceSession, SerialisesSpansInMonotonicTimestampOrder)
+{
+    // Recorded deliberately out of order (an enclosing span is emitted
+    // after its children); the writer must serialise by timestamp.
+    TraceSession trace;
+    trace.span(kTracePidRuntime, 0, "child2", "c", 200.0, 50.0);
+    trace.span(kTracePidRuntime, 0, "child1", "c", 100.0, 50.0);
+    trace.span(kTracePidRuntime, 0, "parent", "c", 100.0, 150.0);
+    trace.span(kTracePidDevice, 3, "RD", "sb", 150.0, 5.0);
+    trace.span(kTracePidDevice, 3, "ACT", "sb", 120.0, 14.0);
+
+    std::ostringstream os;
+    trace.write(os);
+    const auto spans = parseSpans(os.str());
+    ASSERT_EQ(spans.size(), 5u);
+
+    double last_device = -1.0, last_runtime = -1.0;
+    for (const auto &s : spans) {
+        double &last =
+            s.pid == kTracePidDevice ? last_device : last_runtime;
+        EXPECT_GE(s.ts, last);
+        last = s.ts;
+    }
+}
+
+TEST(TraceSession, DropsEventsPastTheCapInsteadOfGrowing)
+{
+    TraceSession trace(/*max_events=*/4);
+    for (int i = 0; i < 10; ++i)
+        trace.span(1, 0, "e", "c", i * 10.0, 1.0);
+    EXPECT_EQ(trace.events().size(), 4u);
+    EXPECT_EQ(trace.droppedEvents(), 6u);
+
+    std::ostringstream os;
+    trace.write(os);
+    EXPECT_TRUE(validateJson(os.str(), nullptr));
+    EXPECT_NE(os.str().find("\"droppedEvents\":6"), std::string::npos);
+}
+
+TEST(Observability, GemvTraceRecordsDeviceAndKernelSpans)
+{
+    PimSystem sys(smallPimSystem());
+    PimBlas blas(sys);
+    TraceSession trace;
+    sys.setTraceSession(&trace);
+    blas.setTrace(&trace);
+
+    Fp16Vector a = randomVector(4096, 1), b = randomVector(4096, 2), out;
+    blas.add(a, b, out);
+
+    ASSERT_FALSE(trace.events().empty());
+    bool saw_device = false, saw_kernel = false;
+    for (const auto &e : trace.events()) {
+        if (e.pid == kTracePidDevice)
+            saw_device = true;
+        if (e.pid == kTracePidRuntime && e.tid == 1 && e.cat == "blas")
+            saw_kernel = true;
+    }
+    EXPECT_TRUE(saw_device);
+    EXPECT_TRUE(saw_kernel);
+
+    // The serialised file is valid and monotonic on every track.
+    std::ostringstream os;
+    trace.write(os);
+    std::string error;
+    ASSERT_TRUE(validateJson(os.str(), &error)) << error;
+    std::map<std::pair<int, int>, double> last;
+    for (const auto &s : parseSpans(os.str())) {
+        const auto key = std::make_pair(s.pid, s.tid);
+        auto it = last.find(key);
+        if (it != last.end()) {
+            EXPECT_GE(s.ts, it->second);
+        }
+        last[key] = s.ts;
+    }
+    EXPECT_GT(last.size(), 1u); // more than one track recorded
+}
+
+} // namespace
+} // namespace pimsim

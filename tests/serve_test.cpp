@@ -199,6 +199,50 @@ TEST(Scheduler, FairShareIsWorkConserving)
     EXPECT_EQ(batch->tenant, 1u);
 }
 
+TEST(Scheduler, FairSharePadsMissingWeightsWithDefault)
+{
+    SchedulerConfig config;
+    config.policy = SchedPolicy::FairShare;
+    config.maxBatch = 1;
+    // Fewer weights than tenants: tenants 1 and 2 must behave as
+    // weight-1.0 tenants instead of indexing past the weight arrays
+    // (this read out of bounds before the lazy-padding fix).
+    auto sched = Scheduler::make(config, {2.0});
+
+    RequestQueue q(QueueConfig{1000, 0}, 3);
+    std::uint64_t id = 0;
+    for (unsigned i = 0; i < 40; ++i)
+        for (unsigned t = 0; t < 3; ++t)
+            EXPECT_TRUE(q.tryPush(req(id++, t)));
+
+    unsigned dispatched[3] = {0, 0, 0};
+    for (unsigned i = 0; i < 40; ++i) {
+        auto batch = sched->pick(q, {0, 1, 2}, 0.0);
+        ASSERT_TRUE(batch.has_value());
+        sched->onDispatched(*batch, 1000.0);
+        ++dispatched[batch->tenant];
+    }
+    // 2:1:1 effective weights over 40 equal-cost dispatches.
+    EXPECT_EQ(dispatched[0], 20u);
+    EXPECT_EQ(dispatched[1], 10u);
+    EXPECT_EQ(dispatched[2], 10u);
+}
+
+TEST(Scheduler, FairShareHandlesEmptyWeightVector)
+{
+    SchedulerConfig config;
+    config.policy = SchedPolicy::FairShare;
+    config.maxBatch = 1;
+    auto sched = Scheduler::make(config, {});
+
+    RequestQueue q(QueueConfig{}, 2);
+    EXPECT_TRUE(q.tryPush(req(0, 1)));
+    auto batch = sched->pick(q, {0, 1}, 0.0);
+    ASSERT_TRUE(batch.has_value());
+    EXPECT_EQ(batch->tenant, 1u);
+    sched->onDispatched(*batch, 500.0);
+}
+
 // ------------------------------------------------------------------
 // Shard plan
 // ------------------------------------------------------------------
@@ -414,6 +458,22 @@ TEST(ServingEngine, DeterministicReplaySameSeedSameReport)
         EXPECT_DOUBLE_EQ(r1.tenants[t].throughputRps,
                          r2.tenants[t].throughputRps);
     }
+}
+
+TEST(ShardServiceModelDeathTest, RejectsNonMultipleChannelCount)
+{
+    // 24 channels on 16-pch stacks is neither a whole number of stacks
+    // nor a single smaller stack; the old code truncated 24/16 to one
+    // stack and silently modelled a 16-channel shard.
+    EXPECT_DEATH(ShardServiceModel(smallSystem(), 24, nullptr),
+                 "not a multiple of pchPerStack");
+}
+
+TEST(ShardServiceModel, WholeStackMultiplesRebuildTheStackSplit)
+{
+    // 32 channels on 16-pch stacks: exactly two stacks, nothing dropped.
+    ShardServiceModel model(smallSystem(), 32, nullptr);
+    EXPECT_GT(model.serviceNs(tinyApp("tiny-32"), 1), 0.0);
 }
 
 TEST(ServingEngine, BatchingBeatsFcfsThroughputUnderSaturation)
