@@ -26,9 +26,14 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
+#include "common/json.h"
+#include "common/logging.h"
 #include "common/rng.h"
 #include "reliability/fault_injector.h"
 #include "stack/reference.h"
@@ -214,6 +219,45 @@ printResults()
                 "(SDC > 0 at high rates).\n");
 }
 
+/** Machine-readable sweep results (BENCH_reliability.json at the repo
+ *  root), written through JsonWriter so they are valid by construction. */
+void
+writeJsonReport(const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os) {
+        PIMSIM_WARN("cannot open bench output '", path, "'");
+        return;
+    }
+    JsonWriter w(os, /*pretty=*/true);
+    w.beginObject();
+    w.field("bench", "reliability");
+    w.field("seed", kSeed);
+    w.field("kernels_per_cell", kKernels);
+    w.field("elements", kElements);
+    w.key("cells").beginArray();
+    for (const auto &c : g_cells) {
+        w.beginObject();
+        w.field("rate", c.rate);
+        w.field("ecc", c.ecc);
+        w.field("injected", c.injected);
+        w.field("corrected", c.corrected);
+        w.field("uncorrectable", c.uncorrectable);
+        w.field("scrub_corrected", c.scrubCorrected);
+        w.field("scrub_uncorrectable", c.scrubUncorrectable);
+        w.field("retries", c.retries);
+        w.field("fallbacks", c.fallbacks);
+        w.field("kernels", c.kernels);
+        w.field("exact", c.exact);
+        w.field("sdc", c.sdc);
+        w.field("success_rate", c.successRate());
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << "\n";
+}
+
 void
 BM_Campaign(benchmark::State &state)
 {
@@ -236,6 +280,17 @@ BM_Campaign(benchmark::State &state)
 int
 main(int argc, char **argv)
 {
+    // Strip our flags before google/benchmark sees (and rejects) them.
+    std::string json_out = "BENCH_reliability.json";
+    int kept = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--json-out=", 11) == 0)
+            json_out = argv[i] + 11;
+        else
+            argv[kept++] = argv[i];
+    }
+    argc = kept;
+
     runSweep();
     for (std::size_t i = 0; i < g_cells.size(); ++i) {
         const auto &c = g_cells[i];
@@ -250,5 +305,7 @@ main(int argc, char **argv)
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     printResults();
+    if (!json_out.empty())
+        writeJsonReport(json_out);
     return 0;
 }

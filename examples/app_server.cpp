@@ -9,6 +9,8 @@
  *   $ ./app_server --policy fair      # weighted fair share
  *   $ ./app_server --shard            # tenants pinned to channel shards
  *   $ ./app_server --load 2.0         # 2x the batch-1 capacity
+ *   $ ./app_server --deadline-ms 2000 --fault-rate 5 --breaker
+ *                                     # resilient serving under chaos
  *
  * Everything is deterministic: the same flags replay identically.
  */
@@ -21,6 +23,7 @@
 
 #include "common/logging.h"
 #include "common/trace.h"
+#include "serve/chaos.h"
 #include "serve/load_gen.h"
 #include "serve/serving_engine.h"
 
@@ -35,12 +38,21 @@ usage(const char *prog)
     std::fprintf(stderr,
                  "usage: %s [--policy fcfs|batch|fair] [--shard] "
                  "[--load FACTOR] [--seed N]\n"
+                 "          [--deadline-ms MS] [--fault-rate R] "
+                 "[--retries N] [--breaker]\n"
                  "          [--stats-json=PATH] [--trace-out=PATH]\n"
                  "  --policy  scheduling policy (default batch)\n"
                  "  --shard   pin tenants to disjoint channel/row shards\n"
                  "  --load    offered load relative to batch-1 capacity, "
                  "> 0 (default 1.0)\n"
                  "  --seed    arrival-stream seed (default 1)\n"
+                 "  --deadline-ms  per-request completion deadline in ms, "
+                 ">= 0; 0 disables (default 0)\n"
+                 "  --fault-rate   uncorrectable fault events per second "
+                 "per shard, >= 0 (default 0)\n"
+                 "  --retries      PIM retry budget per failed batch, "
+                 ">= 0 (default 2)\n"
+                 "  --breaker      enable the per-shard circuit breaker\n"
                  "  --stats-json=PATH  dump the system stats registry "
                  "(serving counters, latency histograms) as JSON\n"
                  "  --trace-out=PATH   write a Chrome-trace timeline of "
@@ -78,6 +90,10 @@ main(int argc, char **argv)
     bool shard = false;
     double load = 1.0;
     std::uint64_t seed = 1;
+    double deadline_ms = 0.0;
+    double fault_rate = 0.0;
+    unsigned retries = 2;
+    bool breaker = false;
     std::string stats_json;
     std::string trace_out;
 
@@ -112,6 +128,37 @@ main(int argc, char **argv)
                 usage(argv[0]);
                 return 2;
             }
+        } else if (arg == "--deadline-ms" && i + 1 < argc) {
+            char *end = nullptr;
+            deadline_ms = std::strtod(argv[++i], &end);
+            if (end == argv[i] || *end != '\0' || !(deadline_ms >= 0.0)) {
+                std::fprintf(stderr, "%s: bad --deadline-ms '%s': expected "
+                             "a non-negative number\n", argv[0], argv[i]);
+                usage(argv[0]);
+                return 2;
+            }
+        } else if (arg == "--fault-rate" && i + 1 < argc) {
+            char *end = nullptr;
+            fault_rate = std::strtod(argv[++i], &end);
+            if (end == argv[i] || *end != '\0' || !(fault_rate >= 0.0)) {
+                std::fprintf(stderr, "%s: bad --fault-rate '%s': expected "
+                             "a non-negative number\n", argv[0], argv[i]);
+                usage(argv[0]);
+                return 2;
+            }
+        } else if (arg == "--retries" && i + 1 < argc) {
+            char *end = nullptr;
+            const unsigned long parsed = std::strtoul(argv[++i], &end, 10);
+            if (end == argv[i] || *end != '\0' || argv[i][0] == '-' ||
+                parsed > 64) {
+                std::fprintf(stderr, "%s: bad --retries '%s': expected an "
+                             "integer in [0, 64]\n", argv[0], argv[i]);
+                usage(argv[0]);
+                return 2;
+            }
+            retries = static_cast<unsigned>(parsed);
+        } else if (arg == "--breaker") {
+            breaker = true;
         } else if (arg == "--seed" && i + 1 < argc) {
             char *end = nullptr;
             const unsigned long long parsed =
@@ -142,6 +189,10 @@ main(int argc, char **argv)
     config.histBucketNs = 2'000'000; // seconds-scale tails stay resolvable
     config.histBuckets = 16384;
     config.timingCache = std::make_shared<ServiceTimeCache>();
+    for (auto &t : config.tenants)
+        t.deadlineNs = deadline_ms * 1e6;
+    config.retry.maxRetries = retries;
+    config.breaker.enabled = breaker;
 
     // Calibrate the batch-1 capacity of the device the tenants share (or
     // of their shards) to express --load in device-relative terms.
@@ -159,9 +210,21 @@ main(int argc, char **argv)
     if (!trace_out.empty())
         engine.setTrace(&trace);
 
+    ChaosConfig chaos_config;
+    chaos_config.faultsPerSec = fault_rate;
+    chaos_config.seed = seed ^ 0xc4a05;
+    ChaosCampaign chaos(chaos_config, engine.plan().numShards());
+    if (fault_rate > 0.0)
+        engine.setFaultModel(&chaos);
+
     std::printf("serving %zu tenants on %u channels, policy %s%s\n",
                 config.tenants.size(), engine.system().numChannels(),
                 schedPolicyName(policy), shard ? ", sharded" : "");
+    if (deadline_ms > 0.0 || fault_rate > 0.0)
+        std::printf("resilience: deadline %.1f ms, fault rate %.1f /s, "
+                    "retries %u, breaker %s\n",
+                    deadline_ms, fault_rate, retries,
+                    breaker ? "on" : "off");
     if (engine.plan().isSharded()) {
         for (unsigned t = 0; t < engine.numTenants(); ++t) {
             const ShardSpec &s =
@@ -200,6 +263,28 @@ main(int argc, char **argv)
     for (const auto &t : report.tenants)
         std::printf("%s %.2fs  ", t.name.c_str(), t.servedNs / 1e9);
     std::printf("\n");
+
+    if (deadline_ms > 0.0 || fault_rate > 0.0) {
+        const auto &t = report.total;
+        std::printf("resilience: shed %llu, timed out %llu, retries %llu, "
+                    "host fallback %llu, SLO violations %llu\n",
+                    static_cast<unsigned long long>(t.shed),
+                    static_cast<unsigned long long>(t.timedOut),
+                    static_cast<unsigned long long>(t.retries),
+                    static_cast<unsigned long long>(t.fallbackCompleted),
+                    static_cast<unsigned long long>(t.sloViolations));
+        for (const auto &s : report.shards) {
+            if (s.opens || s.batchFaults)
+                std::printf("  shard%u: %llu batch faults, breaker %s "
+                            "(%llu opens, %llu probes, %llu closes)\n",
+                            s.shard,
+                            static_cast<unsigned long long>(s.batchFaults),
+                            breakerStateName(s.state),
+                            static_cast<unsigned long long>(s.opens),
+                            static_cast<unsigned long long>(s.probes),
+                            static_cast<unsigned long long>(s.closes));
+        }
+    }
 
     if (!stats_json.empty()) {
         std::ofstream os(stats_json);

@@ -14,6 +14,8 @@
  *   pid 2 "runtime"  — tid 0: application layers, tid 1: PIM BLAS
  *                      kernels
  *   pid 3 "serving"  — one tid per shard (batch occupancy spans)
+ *   pid 4 "resilience" — one tid per shard (circuit-breaker open /
+ *                      half-open spans, batch-fault instants)
  */
 
 #ifndef PIMSIM_COMMON_TRACE_H
@@ -31,6 +33,7 @@ namespace pimsim {
 inline constexpr int kTracePidDevice = 1;
 inline constexpr int kTracePidRuntime = 2;
 inline constexpr int kTracePidServing = 3;
+inline constexpr int kTracePidResilience = 4;
 
 /** One recorded trace event. */
 struct TraceEvent

@@ -4,6 +4,23 @@
 
 namespace pimsim {
 
+const char *
+eccStatusName(EccStatus status)
+{
+    // No default case: -Wswitch flags any new enumerator added without
+    // a name here; tests/ecc_test enforces a printable, distinct name
+    // for every value.
+    switch (status) {
+      case EccStatus::Ok:
+        return "Ok";
+      case EccStatus::Corrected:
+        return "Corrected";
+      case EccStatus::Uncorrectable:
+        return "Uncorrectable";
+    }
+    return "?";
+}
+
 namespace {
 
 /**

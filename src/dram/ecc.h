@@ -32,6 +32,9 @@ enum class EccStatus
     Uncorrectable, ///< double-bit error detected
 };
 
+/** Printable name of an EccStatus (never nullptr for valid values). */
+const char *eccStatusName(EccStatus status);
+
 /** Compute the (72,64) check byte for one 64-bit word. */
 std::uint8_t eccEncodeWord(std::uint64_t data);
 

@@ -171,6 +171,14 @@ FaultInjector::injectPimCrf()
     stats_.add("pimCrf");
 }
 
+bool
+FaultInjector::injectUncorrectableBurst()
+{
+    const std::uint64_t before = counts_.dramBurst;
+    injectDramBurst();
+    return counts_.dramBurst != before;
+}
+
 void
 FaultInjector::step()
 {

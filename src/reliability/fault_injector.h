@@ -95,6 +95,15 @@ class FaultInjector
      */
     void runCampaign(Cycle interval, unsigned steps);
 
+    /**
+     * Plant exactly one uncorrectable (SEC-DED-defeating) DRAM burst
+     * fault, independent of the configured rates. External campaign
+     * drivers — the serving layer's ChaosCampaign — use this to mirror
+     * their fault events into the live device.
+     * @return false when no channel has an allocated row to corrupt.
+     */
+    bool injectUncorrectableBurst();
+
     const FaultRates &rates() const { return rates_; }
     const FaultCounts &counts() const { return counts_; }
 

@@ -1,0 +1,80 @@
+#include "serve/chaos.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "reliability/fault_injector.h"
+
+namespace pimsim::serve {
+
+namespace {
+
+/** Decorrelate per-shard streams under one campaign seed. */
+std::uint64_t
+shardSeed(std::uint64_t seed, unsigned shard)
+{
+    return seed ^ (0x9e3779b97f4a7c15ULL * (std::uint64_t{shard} + 1));
+}
+
+} // namespace
+
+ChaosCampaign::ChaosCampaign(const ChaosConfig &config, unsigned num_shards)
+    : config_(config),
+      maxRate_(std::max(config.faultsPerSec, config.burstFaultsPerSec))
+{
+    PIMSIM_ASSERT(config.faultsPerSec >= 0.0 &&
+                      config.burstFaultsPerSec >= 0.0,
+                  "fault rates must be non-negative");
+    PIMSIM_ASSERT(config.burstEndNs >= config.burstStartNs,
+                  "burst window ends before it starts");
+    streams_.reserve(num_shards);
+    for (unsigned s = 0; s < num_shards; ++s)
+        streams_.emplace_back(shardSeed(config.seed, s));
+}
+
+double
+ChaosCampaign::rateAt(double ns) const
+{
+    if (ns >= config_.burstStartNs && ns < config_.burstEndNs)
+        return config_.burstFaultsPerSec;
+    return config_.faultsPerSec;
+}
+
+void
+ChaosCampaign::extend(unsigned shard, double until_ns)
+{
+    if (maxRate_ <= 0.0)
+        return;
+    Stream &stream = streams_[shard];
+    const double mean_gap_ns = 1e9 / maxRate_;
+    while (stream.candidateNs < until_ns) {
+        // Thinning: draw a homogeneous process at the envelope rate and
+        // accept each candidate with probability rate(t) / maxRate —
+        // yields the piecewise-constant inhomogeneous process exactly.
+        const double u = stream.rng.nextDouble();
+        stream.candidateNs += -std::log(1.0 - u) * mean_gap_ns;
+        const double accept = rateAt(stream.candidateNs) / maxRate_;
+        if (stream.rng.nextDouble() < accept) {
+            stream.events.push_back(stream.candidateNs);
+            ++generated_;
+            if (injector_)
+                injector_->injectUncorrectableBurst();
+        }
+    }
+}
+
+unsigned
+ChaosCampaign::faultEvents(unsigned shard, double start_ns, double end_ns)
+{
+    PIMSIM_ASSERT(shard < streams_.size(), "bad shard id ", shard);
+    if (end_ns <= start_ns)
+        return 0;
+    extend(shard, end_ns);
+    const auto &ev = streams_[shard].events;
+    const auto lo = std::lower_bound(ev.begin(), ev.end(), start_ns);
+    const auto hi = std::lower_bound(lo, ev.end(), end_ns);
+    return static_cast<unsigned>(hi - lo);
+}
+
+} // namespace pimsim::serve

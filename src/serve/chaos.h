@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Chaos campaigns: deterministic uncorrectable-fault processes on the
+ * serving clock.
+ *
+ * ChaosCampaign drives the serving engine's FaultModel hook with a
+ * per-shard Poisson process of uncorrectable fault events whose rate is
+ * piecewise constant in virtual time: a steady-state rate plus an
+ * optional burst window at a higher rate (the "fault storm" a chaos
+ * test sweeps across). Because batch service windows are queried against
+ * the same pre-drawn event stream, faults land mid-batch exactly where
+ * the process puts them — a batch fails iff an event falls inside its
+ * occupancy of the shard.
+ *
+ * The campaign can additionally be coupled to a device-level
+ * FaultInjector: every generated event then also plants a real
+ * SEC-DED-defeating DRAM burst fault in the live PimSystem, so the
+ * machine-check log and fault counters of the served device reflect the
+ * same campaign the queueing model saw.
+ *
+ * Determinism: one seed per campaign, one decorrelated stream per
+ * shard; identical configuration replays the identical event sequence.
+ */
+
+#ifndef PIMSIM_SERVE_CHAOS_H
+#define PIMSIM_SERVE_CHAOS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "serve/resilience.h"
+
+namespace pimsim {
+class FaultInjector;
+}
+
+namespace pimsim::serve {
+
+/** Fault-process configuration (rates are per shard). */
+struct ChaosConfig
+{
+    /** Steady-state uncorrectable fault events per second. */
+    double faultsPerSec = 0.0;
+    /** Burst window [burstStartNs, burstEndNs) on the serving clock. */
+    double burstStartNs = 0.0;
+    double burstEndNs = 0.0;
+    /** Event rate inside the burst window (replaces the base rate). */
+    double burstFaultsPerSec = 0.0;
+    std::uint64_t seed = 0x5eed;
+};
+
+/** A deterministic per-shard fault-event process. */
+class ChaosCampaign : public FaultModel
+{
+  public:
+    ChaosCampaign(const ChaosConfig &config, unsigned num_shards);
+
+    unsigned faultEvents(unsigned shard, double start_ns,
+                         double end_ns) override;
+
+    /**
+     * Mirror every generated fault event into a live device: each event
+     * plants one uncorrectable DRAM burst fault through `injector`
+     * (nullptr detaches). Events generated before coupling are not
+     * replayed.
+     */
+    void coupleInjector(FaultInjector *injector) { injector_ = injector; }
+
+    /** The instantaneous event rate (faults/sec) at time `ns`. */
+    double rateAt(double ns) const;
+
+    /** Total events generated so far, across all shards. */
+    std::uint64_t eventsGenerated() const { return generated_; }
+
+    /** The event times drawn so far for one shard (ascending). */
+    const std::vector<double> &events(unsigned shard) const
+    {
+        return streams_[shard].events;
+    }
+
+  private:
+    /** Extend `shard`'s event stream to cover [0, until_ns). */
+    void extend(unsigned shard, double until_ns);
+
+    struct Stream
+    {
+        explicit Stream(std::uint64_t seed) : rng(seed) {}
+        Rng rng;
+        double candidateNs = 0.0; ///< last thinning candidate drawn
+        std::vector<double> events;
+    };
+
+    ChaosConfig config_;
+    double maxRate_; ///< thinning envelope (faults/sec)
+    FaultInjector *injector_ = nullptr;
+    std::vector<Stream> streams_;
+    std::uint64_t generated_ = 0;
+};
+
+} // namespace pimsim::serve
+
+#endif // PIMSIM_SERVE_CHAOS_H

@@ -28,6 +28,14 @@ struct TenantSpec
     AppSpec app;
     /** Fair-share / shard-size weight (relative). */
     double weight = 1.0;
+    /**
+     * Relative completion deadline for every request of this tenant
+     * (ns after arrival); 0 disables deadlines. Requests that cannot
+     * meet it are shed at admission, requests that outlive it in the
+     * queue are timed out, and late completions count as SLO
+     * violations.
+     */
+    double deadlineNs = 0.0;
 };
 
 /** One inference request travelling through the serving layer. */
@@ -37,8 +45,18 @@ struct ServeRequest
     unsigned tenant = 0;
 
     double arrivalNs = 0.0;  ///< submission time
-    double dispatchNs = 0.0; ///< left the queue for the device
+    double dispatchNs = 0.0; ///< left the queue for the device (last try)
     double completeNs = 0.0; ///< result available
+
+    /** Absolute completion deadline (arrival + tenant deadline; 0 = none). */
+    double deadlineNs = 0.0;
+    /** Device dispatches so far (retries = attempts - 1). */
+    unsigned attempts = 0;
+    /** Result came from the host golden path (shard tripped / retries
+     *  exhausted), not the PIM kernel. */
+    bool hostFallback = false;
+
+    bool hasDeadline() const { return deadlineNs > 0.0; }
 
     double queueNs() const { return dispatchNs - arrivalNs; }
     double serviceNs() const { return completeNs - dispatchNs; }

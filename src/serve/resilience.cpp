@@ -1,0 +1,119 @@
+#include "serve/resilience.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace pimsim::serve {
+
+double
+RetryPolicy::backoffNs(unsigned retry, Rng &rng) const
+{
+    PIMSIM_ASSERT(retry >= 1, "retry index is 1-based");
+    const double exponent = static_cast<double>(retry - 1);
+    double delay = baseBackoffNs * std::pow(2.0, exponent);
+    delay = std::min(delay, maxBackoffNs);
+    if (jitterFrac > 0.0) {
+        // Uniform in [1 - j, 1 + j): full jitter decorrelates retries
+        // that failed together without ever shrinking the delay below
+        // a useful floor.
+        const double u = rng.nextDouble();
+        delay *= 1.0 + jitterFrac * (2.0 * u - 1.0);
+    }
+    return std::max(delay, 0.0);
+}
+
+const char *
+breakerStateName(BreakerState state)
+{
+    switch (state) {
+      case BreakerState::Closed:
+        return "closed";
+      case BreakerState::Open:
+        return "open";
+      case BreakerState::HalfOpen:
+        return "half-open";
+    }
+    return "?";
+}
+
+void
+CircuitBreaker::transition(BreakerState next, double now_ns)
+{
+    if (next == state_)
+        return;
+    state_ = next;
+    stateSinceNs_ = now_ns;
+    switch (next) {
+      case BreakerState::Open:
+        ++opens_;
+        openUntilNs_ = now_ns + config_.openNs;
+        window_.clear();
+        windowErrors_ = 0;
+        probeInFlight_ = false;
+        break;
+      case BreakerState::HalfOpen:
+        break;
+      case BreakerState::Closed:
+        ++closes_;
+        window_.clear();
+        windowErrors_ = 0;
+        probeInFlight_ = false;
+        break;
+    }
+}
+
+DispatchRoute
+CircuitBreaker::route(double now_ns)
+{
+    if (!config_.enabled)
+        return DispatchRoute::Pim;
+    switch (state_) {
+      case BreakerState::Closed:
+        return DispatchRoute::Pim;
+      case BreakerState::Open:
+        if (now_ns < openUntilNs_)
+            return DispatchRoute::Host;
+        transition(BreakerState::HalfOpen, now_ns);
+        [[fallthrough]];
+      case BreakerState::HalfOpen:
+        if (probeInFlight_)
+            return DispatchRoute::Host;
+        probeInFlight_ = true;
+        ++probes_;
+        return DispatchRoute::PimProbe;
+    }
+    return DispatchRoute::Pim;
+}
+
+void
+CircuitBreaker::record(bool ok, double now_ns)
+{
+    if (!config_.enabled)
+        return;
+    if (state_ == BreakerState::HalfOpen) {
+        // The probe verdict decides alone; the pre-trip window is gone.
+        probeInFlight_ = false;
+        transition(ok ? BreakerState::Closed : BreakerState::Open, now_ns);
+        return;
+    }
+    if (state_ != BreakerState::Closed)
+        return; // stale completion from before the trip: ignore
+
+    window_.push_back(!ok);
+    if (!ok)
+        ++windowErrors_;
+    while (window_.size() > config_.window) {
+        if (window_.front())
+            --windowErrors_;
+        window_.pop_front();
+    }
+    if (window_.size() >= config_.minSamples &&
+        static_cast<double>(windowErrors_) >=
+            config_.errorThreshold * static_cast<double>(window_.size())) {
+        transition(BreakerState::Open, now_ns);
+    }
+}
+
+} // namespace pimsim::serve

@@ -53,4 +53,40 @@ ShardServiceModel::serviceNs(const AppSpec &app, unsigned batch)
     return ns;
 }
 
+HostFallbackModel::HostFallbackModel(const SystemConfig &base,
+                                     std::shared_ptr<ServiceTimeCache> cache)
+    : config_(base), cache_(std::move(cache))
+{
+    // The host path never issues PIM commands; measuring on a plain-HBM
+    // system keeps the lazily-built measurement stack minimal.
+    config_.kind = MemoryKind::Hbm;
+}
+
+void
+HostFallbackModel::ensureRunner()
+{
+    if (runner_)
+        return;
+    system_ = std::make_unique<PimSystem>(config_);
+    host_ = std::make_unique<HostModel>(*system_);
+    runner_ = std::make_unique<AppRunner>(*host_, nullptr);
+}
+
+double
+HostFallbackModel::serviceNs(const AppSpec &app, unsigned batch)
+{
+    PIMSIM_ASSERT(batch >= 1, "batch must be >= 1");
+    const ServiceTimeCache::Key key{ServiceTimeCache::kHostChannels, app.name,
+                                    batch};
+    if (cache_) {
+        if (const double *hit = cache_->find(key))
+            return *hit;
+    }
+    ensureRunner();
+    const double ns = runner_->runApp(app, batch).ns;
+    if (cache_)
+        cache_->insert(key, ns);
+    return ns;
+}
+
 } // namespace pimsim::serve

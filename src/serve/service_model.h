@@ -26,11 +26,18 @@
 
 namespace pimsim::serve {
 
-/** Shared (shard channels, app name, batch) -> service ns memo. */
+/**
+ * Shared (shard channels, app name, batch) -> service ns memo. Host
+ * fallback timings share the map under the reserved channel count 0
+ * (no real shard has zero channels).
+ */
 class ServiceTimeCache
 {
   public:
     using Key = std::tuple<unsigned, std::string, unsigned>;
+
+    /** Reserved channel-count key for host-fallback measurements. */
+    static constexpr unsigned kHostChannels = 0;
 
     const double *find(const Key &key) const
     {
@@ -76,6 +83,41 @@ class ShardServiceModel
     std::unique_ptr<PimSystem> system_;
     std::unique_ptr<HostModel> host_;
     std::unique_ptr<PimBlas> blas_;
+    std::unique_ptr<AppRunner> runner_;
+};
+
+/**
+ * Timing oracle for the host-fallback path: the same AppSpec executed
+ * entirely on the host baseline (AppRunner without PIM BLAS — the
+ * golden path PimBlas itself falls back to). Used by the serving
+ * engine to price batches whose shard is tripped or whose retry budget
+ * is exhausted; the host path is assumed fault-immune, exactly like
+ * PimBlas's hostFallback recomputation.
+ */
+class HostFallbackModel
+{
+  public:
+    /**
+     * @param base   the serving system's configuration (host model
+     *               parameters and memory geometry are inherited)
+     * @param cache  optional cross-engine memo (may be nullptr); host
+     *               entries use ServiceTimeCache::kHostChannels
+     */
+    HostFallbackModel(const SystemConfig &base,
+                      std::shared_ptr<ServiceTimeCache> cache);
+
+    /** Host execution time of one dispatch of `app` at `batch`. */
+    double serviceNs(const AppSpec &app, unsigned batch);
+
+  private:
+    /** The measurement system is built on first miss only. */
+    void ensureRunner();
+
+    SystemConfig config_;
+    std::shared_ptr<ServiceTimeCache> cache_;
+
+    std::unique_ptr<PimSystem> system_;
+    std::unique_ptr<HostModel> host_;
     std::unique_ptr<AppRunner> runner_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/trace.h"
@@ -47,7 +48,8 @@ ServingEngine::ServingEngine(const ServeConfig &config)
       system_(std::make_unique<PimSystem>(config.system)),
       plan_(ShardPlan::shared(0, 0, 0)),
       queue_(config.queue,
-             static_cast<unsigned>(config.tenants.size()))
+             static_cast<unsigned>(config.tenants.size())),
+      retryRng_(config.retrySeed)
 {
     PIMSIM_ASSERT(!config.tenants.empty(), "serving needs >= 1 tenant");
     PIMSIM_ASSERT(config.system.withPim(),
@@ -79,16 +81,17 @@ ServingEngine::ServingEngine(const ServeConfig &config)
             config.system, floorPow2(plan_.shard(s).numChannels),
             config.timingCache));
     }
+    hostModel_ = std::make_unique<HostFallbackModel>(config.system,
+                                                     config.timingCache);
     servers_.resize(plan_.numShards());
+    shards_.resize(plan_.numShards());
+    for (auto &shard : shards_)
+        shard.breaker = CircuitBreaker(config.breaker);
 
     sched_ = Scheduler::make(config.sched, weights);
 
     for (const auto &spec : config.tenants) {
         TenantState state{spec,
-                          0,
-                          0,
-                          0,
-                          0.0,
                           Histogram(config.histBucketNs, config.histBuckets),
                           Histogram(config.histBucketNs, config.histBuckets),
                           Histogram(config.histBucketNs, config.histBuckets)};
@@ -113,8 +116,11 @@ ServingEngine::setTrace(TraceSession *session)
     if (!trace_)
         return;
     trace_->setProcessName(kTracePidServing, "serving");
+    trace_->setProcessName(kTracePidResilience, "resilience");
     for (unsigned s = 0; s < plan_.numShards(); ++s) {
         trace_->setThreadName(kTracePidServing, static_cast<int>(s),
+                              "shard" + std::to_string(s));
+        trace_->setThreadName(kTracePidResilience, static_cast<int>(s),
                               "shard" + std::to_string(s));
     }
 }
@@ -126,6 +132,39 @@ ServingEngine::tenantDriver(unsigned tenant)
     return plan_.isSharded() ? *drivers_[tenant] : *drivers_[0];
 }
 
+double
+ServingEngine::svc1Ns(unsigned tenant)
+{
+    auto &state = tenants_[tenant];
+    if (state.svc1Ns < 0.0) {
+        state.svc1Ns = models_[plan_.shardOf(tenant)]->serviceNs(
+            state.spec.app, 1);
+    }
+    return state.svc1Ns;
+}
+
+double
+ServingEngine::backlogNs(unsigned s)
+{
+    // Heuristic work estimate ahead of a new arrival on shard `s`:
+    // the busy remainder, one dispatch per pending retry, and the queue
+    // amortised over the scheduler's batch size. It deliberately ignores
+    // fault risk — optimistic admission errs toward timing out in the
+    // queue (still accounted) rather than shedding reachable work.
+    double backlog = 0.0;
+    if (servers_[s].busy)
+        backlog += servers_[s].freeNs - nowNs_;
+    for (const auto &pending : shards_[s].retries)
+        backlog += svc1Ns(pending.batch.tenant);
+    const double per_batch =
+        static_cast<double>(std::max(config_.sched.maxBatch, 1u));
+    for (unsigned t : plan_.tenantsOf(s)) {
+        backlog += static_cast<double>(queue_.sizeForTenant(t)) *
+                   svc1Ns(t) / per_batch;
+    }
+    return backlog;
+}
+
 bool
 ServingEngine::submit(unsigned tenant, double arrival_ns)
 {
@@ -134,15 +173,30 @@ ServingEngine::submit(unsigned tenant, double arrival_ns)
                   "submission in the past: ", arrival_ns, " < ", nowNs_);
     advanceTo(arrival_ns);
 
+    auto &state = tenants_[tenant];
+
     ServeRequest request;
     request.id = nextId_++;
     request.tenant = tenant;
     request.arrivalNs = arrival_ns;
+    if (state.spec.deadlineNs > 0.0)
+        request.deadlineNs = arrival_ns + state.spec.deadlineNs;
 
-    auto &state = tenants_[tenant];
     ++state.submitted;
     auto &stats = system_->serveStats();
     stats.add("tenant." + state.spec.name + ".submitted");
+
+    if (config_.deadlineAdmission && request.hasDeadline()) {
+        const unsigned s = plan_.shardOf(tenant);
+        const double estimate =
+            nowNs_ + backlogNs(s) + svc1Ns(tenant);
+        if (estimate > request.deadlineNs) {
+            ++state.shed;
+            stats.add("tenant." + state.spec.name + ".shed");
+            return false;
+        }
+    }
+
     if (!queue_.tryPush(request)) {
         stats.add("tenant." + state.spec.name + ".rejected");
         return false;
@@ -162,7 +216,17 @@ ServingEngine::nextEventNs() const
         } else {
             next = std::min(next, sched_->nextReadyNs(
                                       queue_, plan_.tenantsOf(s), nowNs_));
+            for (const auto &pending : shards_[s].retries)
+                next = std::min(next, pending.readyNs);
         }
+    }
+    // Queued deadlines fire as events so timeouts happen at the instant
+    // the deadline passes, not lazily at the next dispatch. A tenant's
+    // relative deadline is constant, so its FIFO front expires first.
+    for (unsigned t = 0; t < tenants_.size(); ++t) {
+        const ServeRequest *head = queue_.front(t);
+        if (head && head->hasDeadline())
+            next = std::min(next, head->deadlineNs);
     }
     return next;
 }
@@ -176,6 +240,7 @@ ServingEngine::advanceTo(double ns)
             break;
         nowNs_ = std::max(nowNs_, event);
         completeDue();
+        expireDue();
         dispatchAll();
     }
     nowNs_ = std::max(nowNs_, ns);
@@ -190,6 +255,18 @@ ServingEngine::drain()
             break;
         advanceTo(event);
     }
+    // Close any breaker span still running so traces written before the
+    // engine dies show the final open/half-open interval.
+    for (unsigned s = 0; s < shards_.size(); ++s) {
+        ShardState &shard = shards_[s];
+        if (trace_ && shard.traceState != BreakerState::Closed &&
+            nowNs_ > shard.traceSinceNs) {
+            trace_->span(kTracePidResilience, static_cast<int>(s),
+                         breakerStateName(shard.traceState), "breaker",
+                         shard.traceSinceNs, nowNs_ - shard.traceSinceNs);
+        }
+        shard.traceSinceNs = nowNs_;
+    }
 }
 
 void
@@ -202,32 +279,133 @@ ServingEngine::completeDue()
 }
 
 void
+ServingEngine::expireDue()
+{
+    auto &stats = system_->serveStats();
+    for (unsigned t = 0; t < tenants_.size(); ++t) {
+        while (true) {
+            const ServeRequest *head = queue_.front(t);
+            if (!head || !head->hasDeadline() ||
+                head->deadlineNs > nowNs_)
+                break;
+            queue_.popFront(t);
+            ++tenants_[t].timedOut;
+            stats.add("tenant." + tenants_[t].spec.name + ".timedOut");
+        }
+    }
+}
+
+int
+ServingEngine::dueRetryIndex(unsigned s) const
+{
+    // Earliest ready time wins; insertion order (scheduling order)
+    // breaks ties deterministically.
+    int best = -1;
+    for (unsigned i = 0; i < shards_[s].retries.size(); ++i) {
+        const PendingRetry &pending = shards_[s].retries[i];
+        if (pending.readyNs > nowNs_)
+            continue;
+        if (best < 0 ||
+            pending.readyNs < shards_[s].retries[best].readyNs)
+            best = static_cast<int>(i);
+    }
+    return best;
+}
+
+void
+ServingEngine::noteBreakerState(unsigned s)
+{
+    ShardState &shard = shards_[s];
+    const BreakerState now_state = shard.breaker.state();
+    if (now_state == shard.traceState)
+        return;
+    auto &stats = system_->serveStats();
+    const std::string base = "breaker.shard" + std::to_string(s);
+    switch (now_state) {
+      case BreakerState::Open:
+        stats.add(base + ".opened");
+        break;
+      case BreakerState::HalfOpen:
+        stats.add(base + ".halfOpen");
+        break;
+      case BreakerState::Closed:
+        stats.add(base + ".closed");
+        break;
+    }
+    if (trace_ && shard.traceState != BreakerState::Closed) {
+        const double since = shard.breaker.stateSinceNs();
+        trace_->span(kTracePidResilience, static_cast<int>(s),
+                     breakerStateName(shard.traceState), "breaker",
+                     shard.traceSinceNs,
+                     std::max(since, shard.traceSinceNs) -
+                         shard.traceSinceNs);
+    }
+    shard.traceState = now_state;
+    shard.traceSinceNs = shard.breaker.stateSinceNs();
+}
+
+void
+ServingEngine::startBatch(unsigned s, Batch &&batch, bool force_host)
+{
+    DispatchRoute route = DispatchRoute::Host;
+    if (!force_host) {
+        route = shards_[s].breaker.route(nowNs_);
+        noteBreakerState(s); // Open -> HalfOpen happens inside route()
+    }
+    const bool host = route == DispatchRoute::Host;
+
+    auto &state = tenants_[batch.tenant];
+    const double service_ns =
+        host ? hostModel_->serviceNs(state.spec.app, batch.size())
+             : models_[s]->serviceNs(state.spec.app, batch.size());
+    sched_->onDispatched(batch, service_ns);
+    for (auto &r : batch.requests) {
+        r.dispatchNs = nowNs_;
+        ++r.attempts;
+    }
+
+    auto &stats = system_->serveStats();
+    stats.add("batchesDispatched");
+    stats.add("queueDepthSum", queue_.size());
+    if (trace_) {
+        const char *cat = host ? "fallback"
+                         : route == DispatchRoute::PimProbe ? "probe"
+                                                            : "batch";
+        trace_->span(kTracePidServing, static_cast<int>(s),
+                     state.spec.name + " b" +
+                         std::to_string(batch.size()) +
+                         (host ? " host" : ""),
+                     cat, nowNs_, service_ns);
+    }
+    servers_[s].busy = true;
+    servers_[s].freeNs = nowNs_ + service_ns;
+    servers_[s].serviceNs = service_ns;
+    servers_[s].fallback = host;
+    servers_[s].probe = route == DispatchRoute::PimProbe;
+    servers_[s].inFlight = std::move(batch);
+}
+
+void
 ServingEngine::dispatchAll()
 {
     for (unsigned s = 0; s < servers_.size(); ++s) {
         while (!servers_[s].busy) {
+            // Due retries are older work: they run before fresh picks.
+            const int retry = dueRetryIndex(s);
+            if (retry >= 0) {
+                PendingRetry pending =
+                    std::move(shards_[s].retries[retry]);
+                shards_[s].retries.erase(shards_[s].retries.begin() +
+                                         retry);
+                startBatch(s, std::move(pending.batch),
+                           pending.forceHost);
+                continue;
+            }
             auto batch =
                 sched_->pick(queue_, plan_.tenantsOf(s), nowNs_);
             if (!batch)
                 break;
-            const double service_ns = models_[s]->serviceNs(
-                tenants_[batch->tenant].spec.app, batch->size());
-            sched_->onDispatched(*batch, service_ns);
-            for (auto &r : batch->requests)
-                r.dispatchNs = nowNs_;
-            auto &stats = system_->serveStats();
-            stats.add("batchesDispatched");
-            stats.add("queueDepthSum", queue_.size());
-            if (trace_) {
-                trace_->span(kTracePidServing, static_cast<int>(s),
-                             tenants_[batch->tenant].spec.name + " b" +
-                                 std::to_string(batch->size()),
-                             "batch", nowNs_, service_ns);
-            }
-            servers_[s].busy = true;
-            servers_[s].freeNs = nowNs_ + service_ns;
-            servers_[s].serviceNs = service_ns;
-            servers_[s].inFlight = std::move(*batch);
+            startBatch(s, std::move(*batch), false);
         }
     }
 }
@@ -236,26 +414,88 @@ void
 ServingEngine::finishBatch(unsigned shard)
 {
     Server &server = servers_[shard];
+    ShardState &res = shards_[shard];
     const unsigned tenant = server.inFlight.tenant;
     auto &state = tenants_[tenant];
+    auto &stats = system_->serveStats();
 
-    for (auto &r : server.inFlight.requests) {
-        r.completeNs = server.freeNs;
-        state.queueH.sample(toNsSample(r.queueNs()));
-        state.serviceH.sample(toNsSample(r.serviceNs()));
-        state.e2eH.sample(toNsSample(r.latencyNs()));
-        ++state.completed;
-        completions_.push_back(r);
+    // The host golden path is fault-immune (PimBlas's hostFallback
+    // contract); only PIM batches consult the fault process.
+    unsigned faults = 0;
+    if (!server.fallback && faults_) {
+        faults = faults_->faultEvents(
+            shard, server.freeNs - server.serviceNs, server.freeNs);
     }
-    ++state.batches;
+    const bool failed = faults > 0;
+    if (faults > 0) {
+        res.batchFaults += faults;
+        stats.add("shard" + std::to_string(shard) + ".batchFaults",
+                  faults);
+        if (trace_) {
+            trace_->instant(kTracePidResilience,
+                            static_cast<int>(shard), "batchFault",
+                            "fault", server.freeNs);
+        }
+    }
+    if (!server.fallback) {
+        res.breaker.record(!failed, server.freeNs);
+        noteBreakerState(shard);
+    }
+
+    // Device time is consumed whether or not the batch succeeded.
     state.servedNs += server.serviceNs;
 
-    auto &stats = system_->serveStats();
-    stats.add("tenant." + state.spec.name + ".completed",
-              server.inFlight.size());
-    stats.add("tenant." + state.spec.name + ".batches");
+    if (failed) {
+        Batch batch = std::move(server.inFlight);
+        const unsigned attempts = batch.requests.empty()
+                                      ? 1u
+                                      : batch.requests.front().attempts;
+        PendingRetry pending;
+        pending.batch = std::move(batch);
+        if (attempts <= config_.retry.maxRetries) {
+            // Budget left: back off exponentially with jitter.
+            pending.readyNs =
+                server.freeNs +
+                config_.retry.backoffNs(attempts, retryRng_);
+            pending.forceHost = false;
+            state.retries += pending.batch.size();
+            stats.add("tenant." + state.spec.name + ".retries",
+                      pending.batch.size());
+        } else {
+            // Budget spent: straight to the host golden path.
+            pending.readyNs = server.freeNs;
+            pending.forceHost = true;
+        }
+        res.retries.push_back(std::move(pending));
+    } else {
+        for (auto &r : server.inFlight.requests) {
+            r.completeNs = server.freeNs;
+            r.hostFallback = server.fallback;
+            state.queueH.sample(toNsSample(r.queueNs()));
+            state.serviceH.sample(toNsSample(r.serviceNs()));
+            state.e2eH.sample(toNsSample(r.latencyNs()));
+            ++state.completed;
+            if (server.fallback) {
+                ++state.fallbackCompleted;
+                stats.add("tenant." + state.spec.name +
+                          ".fallbackCompleted");
+            }
+            if (r.hasDeadline() && r.completeNs > r.deadlineNs) {
+                ++state.sloViolations;
+                stats.add("tenant." + state.spec.name +
+                          ".sloViolations");
+            }
+            completions_.push_back(r);
+        }
+        ++state.batches;
+        stats.add("tenant." + state.spec.name + ".completed",
+                  server.inFlight.size());
+        stats.add("tenant." + state.spec.name + ".batches");
+    }
 
     server.busy = false;
+    server.fallback = false;
+    server.probe = false;
     server.inFlight = Batch{};
 }
 
@@ -275,6 +515,11 @@ ServingEngine::summarise(const TenantState &t, double horizon_ns) const
     r.submitted = t.submitted;
     r.completed = t.completed;
     r.batches = t.batches;
+    r.shed = t.shed;
+    r.timedOut = t.timedOut;
+    r.retries = t.retries;
+    r.fallbackCompleted = t.fallbackCompleted;
+    r.sloViolations = t.sloViolations;
     r.servedNs = t.servedNs;
     r.throughputRps =
         horizon_ns > 0.0
@@ -301,6 +546,11 @@ ServingEngine::report() const
         report.total.rejected += r.rejected;
         report.total.completed += r.completed;
         report.total.batches += r.batches;
+        report.total.shed += r.shed;
+        report.total.timedOut += r.timedOut;
+        report.total.retries += r.retries;
+        report.total.fallbackCompleted += r.fallbackCompleted;
+        report.total.sloViolations += r.sloViolations;
         report.total.servedNs += r.servedNs;
         report.tenants.push_back(std::move(r));
     }
@@ -308,6 +558,17 @@ ServingEngine::report() const
         nowNs_ > 0.0
             ? static_cast<double>(report.total.completed) / (nowNs_ * 1e-9)
             : 0.0;
+
+    for (unsigned s = 0; s < shards_.size(); ++s) {
+        ShardResilienceReport r;
+        r.shard = s;
+        r.state = shards_[s].breaker.state();
+        r.opens = shards_[s].breaker.opens();
+        r.closes = shards_[s].breaker.closes();
+        r.probes = shards_[s].breaker.probes();
+        r.batchFaults = shards_[s].batchFaults;
+        report.shards.push_back(r);
+    }
 
     // Aggregate latency summaries: weighted mean, worst-tenant tails
     // (per-tenant histograms are not mergeable sample-exactly; the

@@ -4,14 +4,28 @@
  *
  * The engine is a discrete-event simulation on a virtual nanosecond
  * clock. Requests are submitted with an arrival time, pass admission
- * control (bounded RequestQueue), wait for the batching scheduler, and
- * occupy their tenant's shard for the service time the ShardServiceModel
- * measured on the real command-level simulator. Each shard serves one
- * batch at a time (a PIM kernel owns its channels' lock-step AB mode);
- * distinct shards serve concurrently.
+ * control (bounded RequestQueue plus optional deadline-aware shedding),
+ * wait for the batching scheduler, and occupy their tenant's shard for
+ * the service time the ShardServiceModel measured on the real
+ * command-level simulator. Each shard serves one batch at a time (a PIM
+ * kernel owns its channels' lock-step AB mode); distinct shards serve
+ * concurrently.
+ *
+ * Resilience: an attached FaultModel may declare a PIM batch failed
+ * (an uncorrectable fault event struck its shard mid-service). Failed
+ * batches retry with exponential backoff under a RetryPolicy budget and
+ * fall back to the host golden path (HostFallbackModel) once the budget
+ * is spent. A per-shard CircuitBreaker watches outcome windows and
+ * routes a persistently faulting shard's tenants to host fallback until
+ * a half-open probe succeeds. Tenants may carry deadlines: requests
+ * that cannot meet them are shed at admission, requests that outlive
+ * them in the queue are timed out, and late completions count as SLO
+ * violations. After drain(), every submitted request is exactly one of
+ * {completed, shed, timed out, rejected}.
  *
  * Everything is deterministic: the same configuration and the same
- * submission sequence replay to bit-identical statistics.
+ * submission sequence replay to bit-identical statistics (retry jitter
+ * flows from a seeded Rng, fault processes from seeded streams).
  */
 
 #ifndef PIMSIM_SERVE_SERVING_ENGINE_H
@@ -21,9 +35,11 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/stats.h"
 #include "serve/request.h"
 #include "serve/request_queue.h"
+#include "serve/resilience.h"
 #include "serve/scheduler.h"
 #include "serve/service_model.h"
 #include "serve/shard.h"
@@ -51,6 +67,18 @@ struct ServeConfig
     std::size_t histBuckets = 8192;
     /** Optional cross-engine service-time memo (benchmark sweeps). */
     std::shared_ptr<ServiceTimeCache> timingCache;
+
+    /** Retry/backoff policy for batches a FaultModel failed. */
+    RetryPolicy retry;
+    /** Per-shard circuit breaker (disabled by default). */
+    BreakerConfig breaker;
+    /**
+     * Shed requests at admission when the shard's backlog estimate says
+     * their deadline cannot be met (only tenants with a deadline).
+     */
+    bool deadlineAdmission = true;
+    /** Seed of the retry-backoff jitter stream. */
+    std::uint64_t retrySeed = 0x7e57;
 };
 
 /** Latency distribution summary extracted from a Histogram. */
@@ -72,11 +100,33 @@ struct TenantReport
     std::uint64_t rejected = 0;
     std::uint64_t completed = 0;
     std::uint64_t batches = 0;
-    double servedNs = 0.0; ///< device time consumed
+    /** Shed at admission: the deadline was unreachable. */
+    std::uint64_t shed = 0;
+    /** Expired in the queue past their deadline. */
+    std::uint64_t timedOut = 0;
+    /** PIM re-dispatches of failed batches (per request). */
+    std::uint64_t retries = 0;
+    /** Completions served by the host golden path. */
+    std::uint64_t fallbackCompleted = 0;
+    /** Completions that landed after their deadline. */
+    std::uint64_t sloViolations = 0;
+    double servedNs = 0.0; ///< device time consumed (failed tries too)
     double throughputRps = 0.0;
     LatencySummary queue;   ///< arrival -> dispatch
     LatencySummary service; ///< dispatch -> completion
     LatencySummary e2e;     ///< arrival -> completion
+};
+
+/** One shard's resilience outcome. */
+struct ShardResilienceReport
+{
+    unsigned shard = 0;
+    BreakerState state = BreakerState::Closed;
+    std::uint64_t opens = 0;
+    std::uint64_t closes = 0;
+    std::uint64_t probes = 0;
+    /** Fault events that struck this shard's PIM batches. */
+    std::uint64_t batchFaults = 0;
 };
 
 /** Whole-run serving outcome. */
@@ -85,6 +135,7 @@ struct ServeReport
     double horizonNs = 0.0; ///< virtual time covered
     std::vector<TenantReport> tenants;
     TenantReport total; ///< all tenants aggregated
+    std::vector<ShardResilienceReport> shards;
 };
 
 /** The request-serving system on top of one PIM-HBM configuration. */
@@ -101,18 +152,18 @@ class ServingEngine
     /**
      * Submit one request of `tenant` arriving at `arrival_ns` (must not
      * precede the engine clock; time never runs backwards).
-     * @return false when admission control rejected it.
+     * @return false when admission control rejected or shed it.
      */
     bool submit(unsigned tenant, double arrival_ns);
 
     /** Advance the virtual clock, serving everything due by `ns`. */
     void advanceTo(double ns);
 
-    /** Serve until queue and shards are empty. */
+    /** Serve until queue, retries and shards are empty. */
     void drain();
 
-    /** Next internal event (completion or batch timeout); kNoEventNs
-     *  when the engine is fully idle. */
+    /** Next internal event (completion, batch timeout, queue deadline,
+     *  or retry becoming ready); kNoEventNs when fully idle. */
     double nextEventNs() const;
 
     /** Requests completed since the last call (closed-loop feedback). */
@@ -133,13 +184,29 @@ class ServingEngine
     /** The primary system (shard plan, drivers, serve stats). */
     PimSystem &system() { return *system_; }
 
+    /**
+     * Attach the source of uncorrectable fault events (nullptr
+     * detaches). The model is queried once per completed PIM batch over
+     * its shard-occupancy interval; any event inside it fails the
+     * batch. Not owned; must outlive the engine or be detached.
+     */
+    void setFaultModel(FaultModel *model) { faults_ = model; }
+
+    /** One shard's circuit breaker (read-only observation). */
+    const CircuitBreaker &breaker(unsigned shard) const
+    {
+        return shards_[shard].breaker;
+    }
+
     /** Aggregate statistics over everything served so far. */
     ServeReport report() const;
 
     /**
      * Record batch dispatches on the serving track of a Chrome-trace
      * session (nullptr disables): one span per batch on its shard's
-     * timeline, from dispatch to completion.
+     * timeline, from dispatch to completion. Resilience events (breaker
+     * open / half-open spans, batch-fault instants) land on their own
+     * track.
      */
     void setTrace(TraceSession *session);
 
@@ -147,13 +214,20 @@ class ServingEngine
     struct TenantState
     {
         TenantSpec spec;
-        std::uint64_t submitted = 0;
-        std::uint64_t completed = 0;
-        std::uint64_t batches = 0;
-        double servedNs = 0.0;
         Histogram queueH;
         Histogram serviceH;
         Histogram e2eH;
+        std::uint64_t submitted = 0;
+        std::uint64_t completed = 0;
+        std::uint64_t batches = 0;
+        std::uint64_t shed = 0;
+        std::uint64_t timedOut = 0;
+        std::uint64_t retries = 0;
+        std::uint64_t fallbackCompleted = 0;
+        std::uint64_t sloViolations = 0;
+        double servedNs = 0.0;
+        /** Memoised batch-1 PIM service time (admission estimate). */
+        double svc1Ns = -1.0;
     };
 
     struct Server
@@ -162,13 +236,47 @@ class ServingEngine
         double freeNs = 0.0;
         Batch inFlight;
         double serviceNs = 0.0;
+        bool fallback = false; ///< running on the host golden path
+        bool probe = false;    ///< a half-open breaker probe
+    };
+
+    /** A failed batch waiting out its backoff before re-dispatch. */
+    struct PendingRetry
+    {
+        double readyNs = 0.0;
+        Batch batch;
+        /** Retry budget spent: re-dispatch on the host path. */
+        bool forceHost = false;
+    };
+
+    /** Per-shard resilience state. */
+    struct ShardState
+    {
+        CircuitBreaker breaker;
+        std::vector<PendingRetry> retries;
+        std::uint64_t batchFaults = 0;
+        /** Breaker state currently drawn on the trace track. */
+        BreakerState traceState = BreakerState::Closed;
+        double traceSinceNs = 0.0;
     };
 
     /** Complete every in-flight batch due by the current clock. */
     void completeDue();
+    /** Time out queued requests whose deadline has passed. */
+    void expireDue();
     /** Dispatch as many batches as idle shards and policy allow. */
     void dispatchAll();
+    /** Put one batch on shard `s` now (breaker decides the route). */
+    void startBatch(unsigned s, Batch &&batch, bool force_host);
     void finishBatch(unsigned shard);
+    /** Index into shards_[s].retries of the due retry to run (or -1). */
+    int dueRetryIndex(unsigned s) const;
+    /** Batch-1 PIM service time of a tenant, memoised. */
+    double svc1Ns(unsigned tenant);
+    /** Admission estimate of shard `s` work ahead of a new arrival. */
+    double backlogNs(unsigned s);
+    /** Emit breaker state-change trace spans and stats. */
+    void noteBreakerState(unsigned s);
     TenantReport summarise(const TenantState &t, double horizon_ns) const;
 
     ServeConfig config_;
@@ -176,10 +284,15 @@ class ServingEngine
     ShardPlan plan_;
     std::vector<std::unique_ptr<PimDriver>> drivers_; ///< per tenant
     std::vector<std::unique_ptr<ShardServiceModel>> models_; ///< per shard
-    std::vector<Server> servers_;                            ///< per shard
+    std::unique_ptr<HostFallbackModel> hostModel_;
+    std::vector<Server> servers_;     ///< per shard
+    std::vector<ShardState> shards_;  ///< per shard
     RequestQueue queue_;
     std::unique_ptr<Scheduler> sched_;
     std::vector<TenantState> tenants_;
+
+    FaultModel *faults_ = nullptr;
+    Rng retryRng_;
 
     std::vector<ServeRequest> completions_;
     TraceSession *trace_ = nullptr;

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <iterator>
 #include <vector>
 
 #include "common/logging.h"
@@ -144,6 +146,23 @@ TEST(PimDriverAlloc, StatusNamesAreStable)
     EXPECT_STREQ(pimStatusName(PimStatus::Ok), "Ok");
     EXPECT_STREQ(pimStatusName(PimStatus::OutOfRows), "OutOfRows");
     EXPECT_STREQ(pimStatusName(PimStatus::InvalidBlock), "InvalidBlock");
+}
+
+TEST(PimDriverAlloc, StatusNamesAreExhaustiveAndDistinct)
+{
+    // Every enumerator maps to a real name (never the "?" fallback the
+    // switch leaves for out-of-range values) and no two names collide —
+    // log lines stay unambiguous when new statuses are added.
+    const PimStatus all[] = {PimStatus::Ok, PimStatus::OutOfRows,
+                             PimStatus::InvalidBlock};
+    for (std::size_t i = 0; i < std::size(all); ++i) {
+        const char *name = pimStatusName(all[i]);
+        ASSERT_NE(name, nullptr);
+        EXPECT_STRNE(name, "?");
+        EXPECT_GT(std::strlen(name), 0u);
+        for (std::size_t j = i + 1; j < std::size(all); ++j)
+            EXPECT_STRNE(name, pimStatusName(all[j]));
+    }
 }
 
 TEST(PimDriverPartition, ConfinesAllocationsToItsRowRange)

@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <iterator>
+
 #include "common/logging.h"
 #include "common/rng.h"
 #include "dram/ecc.h"
@@ -15,6 +18,29 @@
 
 namespace pimsim {
 namespace {
+
+TEST(Ecc, StatusNamesAreStable)
+{
+    EXPECT_STREQ(eccStatusName(EccStatus::Ok), "Ok");
+    EXPECT_STREQ(eccStatusName(EccStatus::Corrected), "Corrected");
+    EXPECT_STREQ(eccStatusName(EccStatus::Uncorrectable), "Uncorrectable");
+}
+
+TEST(Ecc, StatusNamesAreExhaustiveAndDistinct)
+{
+    // Every enumerator maps to a real name (never the "?" fallback the
+    // switch leaves for out-of-range values) and no two names collide.
+    const EccStatus all[] = {EccStatus::Ok, EccStatus::Corrected,
+                             EccStatus::Uncorrectable};
+    for (std::size_t i = 0; i < std::size(all); ++i) {
+        const char *name = eccStatusName(all[i]);
+        ASSERT_NE(name, nullptr);
+        EXPECT_STRNE(name, "?");
+        EXPECT_GT(std::strlen(name), 0u);
+        for (std::size_t j = i + 1; j < std::size(all); ++j)
+            EXPECT_STRNE(name, eccStatusName(all[j]));
+    }
+}
 
 TEST(Ecc, CleanWordsPass)
 {

@@ -1,0 +1,530 @@
+/**
+ * @file
+ * Serving-path resilience tests: retry backoff, circuit breakers,
+ * chaos campaigns, deadlines, and the accounting invariant that every
+ * submitted request ends in exactly one terminal state.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "serve/chaos.h"
+#include "serve/load_gen.h"
+#include "serve/resilience.h"
+#include "serve/serving_engine.h"
+
+namespace pimsim::serve {
+namespace {
+
+SystemConfig
+smallSystem()
+{
+    SystemConfig c = SystemConfig::pimHbmSystem();
+    c.numStacks = 1; // 16 channels keeps tests fast
+    c.geometry.rowsPerBank = 512;
+    return c;
+}
+
+/** One small FC layer: a real PIM GEMV, but cheap to simulate. */
+AppSpec
+tinyApp(const std::string &name, unsigned dim = 256)
+{
+    LayerSpec fc;
+    fc.kind = LayerSpec::Kind::Fc;
+    fc.hidden = dim;
+    fc.input = dim;
+    fc.steps = 1;
+    fc.pimEligible = true;
+
+    AppSpec app;
+    app.name = name;
+    app.layers = {fc};
+    return app;
+}
+
+/** Deterministic fault model: every PIM batch before `until_ns` fails. */
+class FailUntil : public FaultModel
+{
+  public:
+    explicit FailUntil(double until_ns) : untilNs_(until_ns) {}
+
+    unsigned faultEvents(unsigned, double start_ns, double) override
+    {
+        return start_ns < untilNs_ ? 1u : 0u;
+    }
+
+  private:
+    double untilNs_;
+};
+
+// ------------------------------------------------------------------
+// Retry policy
+// ------------------------------------------------------------------
+
+TEST(RetryPolicy, BackoffGrowsExponentiallyAndCaps)
+{
+    RetryPolicy policy;
+    policy.baseBackoffNs = 100.0;
+    policy.maxBackoffNs = 500.0;
+    policy.jitterFrac = 0.0;
+    Rng rng(1);
+
+    EXPECT_DOUBLE_EQ(policy.backoffNs(1, rng), 100.0);
+    EXPECT_DOUBLE_EQ(policy.backoffNs(2, rng), 200.0);
+    EXPECT_DOUBLE_EQ(policy.backoffNs(3, rng), 400.0);
+    EXPECT_DOUBLE_EQ(policy.backoffNs(4, rng), 500.0); // capped
+    EXPECT_DOUBLE_EQ(policy.backoffNs(10, rng), 500.0);
+}
+
+TEST(RetryPolicy, JitterStaysInBandAndReplays)
+{
+    RetryPolicy policy;
+    policy.baseBackoffNs = 1000.0;
+    policy.maxBackoffNs = 1e9;
+    policy.jitterFrac = 0.25;
+
+    Rng a(42), b(42);
+    for (unsigned retry = 1; retry <= 8; ++retry) {
+        const double base = std::min(1000.0 * std::pow(2.0, retry - 1.0),
+                                     policy.maxBackoffNs);
+        const double da = policy.backoffNs(retry, a);
+        EXPECT_GE(da, base * 0.75);
+        EXPECT_LE(da, base * 1.25);
+        EXPECT_DOUBLE_EQ(da, policy.backoffNs(retry, b));
+    }
+}
+
+// ------------------------------------------------------------------
+// Circuit breaker
+// ------------------------------------------------------------------
+
+BreakerConfig
+fastBreaker()
+{
+    BreakerConfig config;
+    config.enabled = true;
+    config.window = 8;
+    config.minSamples = 4;
+    config.errorThreshold = 0.5;
+    config.openNs = 1000.0;
+    return config;
+}
+
+TEST(CircuitBreaker, TripsAtErrorThreshold)
+{
+    CircuitBreaker breaker(fastBreaker());
+    EXPECT_EQ(breaker.state(), BreakerState::Closed);
+
+    // Three failures among three successes: below minSamples at first,
+    // then exactly at the 50% threshold on the 6th sample... the trip
+    // happens at the first window meeting both conditions.
+    breaker.record(true, 0.0);
+    breaker.record(true, 1.0);
+    breaker.record(false, 2.0);
+    EXPECT_EQ(breaker.state(), BreakerState::Closed); // only 3 samples
+    breaker.record(false, 3.0);
+    EXPECT_EQ(breaker.state(), BreakerState::Open); // 2/4 errors = 50%
+    EXPECT_EQ(breaker.opens(), 1u);
+}
+
+TEST(CircuitBreaker, OpenRoutesToHostUntilCooldown)
+{
+    CircuitBreaker breaker(fastBreaker());
+    for (unsigned i = 0; i < 4; ++i)
+        breaker.record(false, static_cast<double>(i));
+    ASSERT_EQ(breaker.state(), BreakerState::Open);
+
+    EXPECT_EQ(breaker.route(10.0), DispatchRoute::Host);
+    EXPECT_EQ(breaker.route(1002.9), DispatchRoute::Host);
+
+    // Cooldown expires (tripped at t=3, openNs=1000): one probe only.
+    EXPECT_EQ(breaker.route(1003.0), DispatchRoute::PimProbe);
+    EXPECT_EQ(breaker.state(), BreakerState::HalfOpen);
+    EXPECT_EQ(breaker.route(1004.0), DispatchRoute::Host);
+    EXPECT_EQ(breaker.probes(), 1u);
+}
+
+TEST(CircuitBreaker, ProbeVerdictDecides)
+{
+    CircuitBreaker ok(fastBreaker()), bad(fastBreaker());
+    for (unsigned i = 0; i < 4; ++i) {
+        ok.record(false, static_cast<double>(i));
+        bad.record(false, static_cast<double>(i));
+    }
+    (void)ok.route(2000.0);
+    (void)bad.route(2000.0);
+    ASSERT_EQ(ok.state(), BreakerState::HalfOpen);
+
+    ok.record(true, 2100.0);
+    EXPECT_EQ(ok.state(), BreakerState::Closed);
+    EXPECT_EQ(ok.closes(), 1u);
+    // A healed breaker needs a fresh window to trip again.
+    ok.record(false, 2200.0);
+    EXPECT_EQ(ok.state(), BreakerState::Closed);
+
+    bad.record(false, 2100.0);
+    EXPECT_EQ(bad.state(), BreakerState::Open);
+    EXPECT_EQ(bad.opens(), 2u);
+    // The second cooldown restarts from the re-trip.
+    EXPECT_EQ(bad.route(2500.0), DispatchRoute::Host);
+    EXPECT_EQ(bad.route(3100.0), DispatchRoute::PimProbe);
+}
+
+TEST(CircuitBreaker, DisabledNeverTrips)
+{
+    CircuitBreaker breaker; // default config: disabled
+    for (unsigned i = 0; i < 100; ++i)
+        breaker.record(false, static_cast<double>(i));
+    EXPECT_EQ(breaker.state(), BreakerState::Closed);
+    EXPECT_EQ(breaker.route(1000.0), DispatchRoute::Pim);
+}
+
+TEST(CircuitBreaker, StateNamesAreDistinct)
+{
+    EXPECT_STREQ(breakerStateName(BreakerState::Closed), "closed");
+    EXPECT_STREQ(breakerStateName(BreakerState::Open), "open");
+    EXPECT_STREQ(breakerStateName(BreakerState::HalfOpen), "half-open");
+}
+
+// ------------------------------------------------------------------
+// Chaos campaign
+// ------------------------------------------------------------------
+
+TEST(ChaosCampaign, ZeroRateGeneratesNothing)
+{
+    ChaosConfig config;
+    ChaosCampaign chaos(config, 4);
+    EXPECT_EQ(chaos.faultEvents(0, 0.0, 1e12), 0u);
+    EXPECT_EQ(chaos.eventsGenerated(), 0u);
+}
+
+TEST(ChaosCampaign, RateMatchesPoissonExpectation)
+{
+    ChaosConfig config;
+    config.faultsPerSec = 1000.0; // expect ~1000 events in 1 s
+    config.seed = 7;
+    ChaosCampaign chaos(config, 1);
+    const unsigned n = chaos.faultEvents(0, 0.0, 1e9);
+    EXPECT_GT(n, 850u);
+    EXPECT_LT(n, 1150u);
+}
+
+TEST(ChaosCampaign, BurstWindowRaisesTheRate)
+{
+    ChaosConfig config;
+    config.faultsPerSec = 100.0;
+    config.burstStartNs = 1e9;
+    config.burstEndNs = 2e9;
+    config.burstFaultsPerSec = 10'000.0;
+    config.seed = 11;
+    ChaosCampaign chaos(config, 1);
+
+    const unsigned before = chaos.faultEvents(0, 0.0, 1e9);
+    const unsigned during = chaos.faultEvents(0, 1e9, 2e9);
+    const unsigned after = chaos.faultEvents(0, 2e9, 3e9);
+    EXPECT_LT(before, 200u);
+    EXPECT_GT(during, 9000u);
+    EXPECT_LT(during, 11000u);
+    EXPECT_LT(after, 200u);
+}
+
+TEST(ChaosCampaign, ShardsAreDecorrelatedButReplayable)
+{
+    ChaosConfig config;
+    config.faultsPerSec = 500.0;
+    config.seed = 13;
+    ChaosCampaign a(config, 2), b(config, 2);
+    (void)a.faultEvents(0, 0.0, 1e9);
+    (void)a.faultEvents(1, 0.0, 1e9);
+    (void)b.faultEvents(0, 0.0, 1e9);
+    (void)b.faultEvents(1, 0.0, 1e9);
+
+    EXPECT_EQ(a.events(0), b.events(0)); // replayable
+    EXPECT_EQ(a.events(1), b.events(1));
+    EXPECT_NE(a.events(0), a.events(1)); // decorrelated
+}
+
+TEST(ChaosCampaign, QueryOrderDoesNotChangeTheStream)
+{
+    ChaosConfig config;
+    config.faultsPerSec = 2000.0;
+    config.seed = 17;
+    ChaosCampaign once(config, 1), split(config, 1);
+    const unsigned whole = once.faultEvents(0, 0.0, 1e9);
+    unsigned sum = 0;
+    for (unsigned i = 0; i < 10; ++i)
+        sum += split.faultEvents(0, i * 1e8, (i + 1) * 1e8);
+    EXPECT_EQ(whole, sum);
+}
+
+// ------------------------------------------------------------------
+// Engine integration
+// ------------------------------------------------------------------
+
+ServeConfig
+baseConfig(double deadline_ns = 0.0)
+{
+    ServeConfig config;
+    config.system = smallSystem();
+    TenantSpec tenant;
+    tenant.name = "t0";
+    tenant.app = tinyApp("tiny");
+    tenant.deadlineNs = deadline_ns;
+    config.tenants = {tenant};
+    return config;
+}
+
+TEST(Resilience, FaultFreeRunMatchesBaseline)
+{
+    // A configured-but-unstruck resilience layer must not change the
+    // outcome: no retries, no fallbacks, no sheds.
+    ServeConfig config = baseConfig();
+    config.breaker = fastBreaker();
+    ServingEngine engine(config);
+    ChaosConfig chaos_config; // zero rates
+    ChaosCampaign chaos(chaos_config, engine.plan().numShards());
+    engine.setFaultModel(&chaos);
+
+    for (unsigned i = 0; i < 20; ++i)
+        engine.submit(0, i * 1000.0);
+    engine.drain();
+
+    const ServeReport report = engine.report();
+    EXPECT_EQ(report.total.completed, 20u);
+    EXPECT_EQ(report.total.retries, 0u);
+    EXPECT_EQ(report.total.fallbackCompleted, 0u);
+    EXPECT_EQ(report.total.shed, 0u);
+    EXPECT_EQ(report.total.timedOut, 0u);
+    EXPECT_EQ(report.shards[0].opens, 0u);
+}
+
+TEST(Resilience, RetryRecoversFromTransientFault)
+{
+    ServeConfig config = baseConfig();
+    config.retry.maxRetries = 3;
+    config.retry.baseBackoffNs = 10'000.0;
+    config.retry.jitterFrac = 0.0;
+    ServingEngine engine(config);
+    // The first attempt of the first batch fails; its retry (and all
+    // later batches) succeed.
+    FailUntil faults(1.0);
+    engine.setFaultModel(&faults);
+
+    engine.submit(0, 0.0);
+    engine.drain();
+
+    const ServeReport report = engine.report();
+    EXPECT_EQ(report.total.completed, 1u);
+    EXPECT_EQ(report.total.retries, 1u);
+    EXPECT_EQ(report.total.fallbackCompleted, 0u);
+    // The retried request's end-to-end latency covers both attempts
+    // plus the backoff.
+    EXPECT_GT(report.tenants[0].e2e.maxNs,
+              report.tenants[0].service.maxNs);
+}
+
+TEST(Resilience, RetryBudgetExhaustionFallsBackToHost)
+{
+    ServeConfig config = baseConfig();
+    config.retry.maxRetries = 2;
+    config.retry.baseBackoffNs = 1000.0;
+    config.retry.jitterFrac = 0.0;
+    ServingEngine engine(config);
+    FailUntil faults(1e15); // PIM never succeeds
+    engine.setFaultModel(&faults);
+
+    engine.submit(0, 0.0);
+    engine.drain();
+
+    const ServeReport report = engine.report();
+    EXPECT_EQ(report.total.completed, 1u);
+    EXPECT_EQ(report.total.fallbackCompleted, 1u);
+    EXPECT_EQ(report.total.retries, 2u); // budget fully spent
+    EXPECT_EQ(report.shards[0].batchFaults, 3u); // 1 try + 2 retries
+}
+
+TEST(Resilience, BreakerTripsRoutesToHostAndRecloses)
+{
+    // The issue's acceptance scenario: a 100%-failing shard trips the
+    // breaker within the window; tenants keep completing via host
+    // fallback with zero errors surfaced; once faults stop, a half-open
+    // probe re-closes the breaker.
+    ServeConfig config = baseConfig();
+    config.retry.maxRetries = 0; // isolate the breaker path
+    config.breaker = fastBreaker();
+    config.breaker.minSamples = 2;
+    config.breaker.window = 4;
+    config.breaker.openNs = 50'000.0;
+    ServingEngine engine(config);
+    const double heal_ns = 1e6;
+    FailUntil faults(heal_ns);
+    engine.setFaultModel(&faults);
+
+    unsigned submitted = 0;
+    for (double t = 0.0; t < 4e6; t += 20'000.0, ++submitted)
+        engine.submit(0, t);
+    engine.drain();
+
+    const ServeReport report = engine.report();
+    // Every request completed; none were lost to the faulting shard.
+    EXPECT_EQ(report.total.completed, submitted);
+    EXPECT_EQ(report.total.timedOut, 0u);
+    EXPECT_EQ(report.total.shed, 0u);
+    // The breaker tripped and some traffic was served by the host.
+    EXPECT_GE(report.shards[0].opens, 1u);
+    EXPECT_GT(report.total.fallbackCompleted, 0u);
+    // After the fault clears, a probe succeeded and the breaker closed
+    // again; late batches ran on PIM.
+    EXPECT_EQ(report.shards[0].state, BreakerState::Closed);
+    EXPECT_GE(report.shards[0].closes, 1u);
+    EXPECT_LT(report.total.fallbackCompleted, report.total.completed);
+}
+
+TEST(Resilience, DeadlineShedsUnreachableWork)
+{
+    // Deadline far below one service time: every request is shed at
+    // admission and none occupy the device.
+    ServeConfig config = baseConfig(10.0);
+    ServingEngine engine(config);
+
+    for (unsigned i = 0; i < 5; ++i)
+        EXPECT_FALSE(engine.submit(0, i * 100.0));
+    engine.drain();
+
+    const ServeReport report = engine.report();
+    EXPECT_EQ(report.total.shed, 5u);
+    EXPECT_EQ(report.total.completed, 0u);
+    EXPECT_EQ(report.total.batches, 0u);
+}
+
+TEST(Resilience, QueuedRequestsTimeOutAtTheirDeadline)
+{
+    // Admission is optimistic (disabled here) and the queue is deep:
+    // requests that outlive their deadline behind a busy shard are
+    // timed out, not served late.
+    ServeConfig config = baseConfig(1.0);
+    config.deadlineAdmission = false;
+    ServingEngine engine(config);
+
+    for (unsigned i = 0; i < 4; ++i)
+        EXPECT_TRUE(engine.submit(0, 0.0));
+    engine.drain();
+
+    const ServeReport report = engine.report();
+    // With a 1 ns deadline nothing can finish in time; whatever was
+    // dispatched immediately completes late (SLO violation), the rest
+    // expire in the queue.
+    EXPECT_EQ(report.total.completed + report.total.timedOut, 4u);
+    EXPECT_GT(report.total.timedOut, 0u);
+    EXPECT_EQ(report.total.sloViolations, report.total.completed);
+}
+
+TEST(Resilience, ChaosAccountingReconciles)
+{
+    // The PR's chaos regression: under a hostile fault process with
+    // deadlines, retries and breakers all active, every submitted
+    // request ends in exactly one terminal state and the report's
+    // counters reconcile.
+    ServeConfig config = baseConfig(5e6);
+    config.queue.depth = 8;
+    config.sched.policy = SchedPolicy::BatchTimeout;
+    config.sched.maxBatch = 4;
+    config.sched.batchTimeoutNs = 50'000.0;
+    config.retry.maxRetries = 1;
+    config.retry.baseBackoffNs = 20'000.0;
+    config.breaker = fastBreaker();
+    config.breaker.openNs = 200'000.0;
+    ServingEngine engine(config);
+
+    ChaosConfig chaos_config;
+    chaos_config.faultsPerSec = 200'000.0; // ~1 fault per 5 us
+    chaos_config.seed = 23;
+    ChaosCampaign chaos(chaos_config, engine.plan().numShards());
+    engine.setFaultModel(&chaos);
+
+    const auto arrivals =
+        poissonArrivals({{0, 100'000.0}}, 2e6, 0x5eed);
+    for (const Arrival &a : arrivals)
+        engine.submit(a.tenant, a.ns);
+    engine.drain();
+    const auto submitted = static_cast<unsigned>(arrivals.size());
+
+    const ServeReport report = engine.report();
+    ASSERT_GT(submitted, 0u);
+    EXPECT_EQ(report.total.submitted, submitted);
+    // Terminal states partition the submissions.
+    EXPECT_EQ(report.total.submitted,
+              report.total.completed + report.total.shed +
+                  report.total.timedOut + report.total.rejected);
+    // Admitted requests either completed or timed out in the queue.
+    EXPECT_EQ(report.total.admitted,
+              report.total.completed + report.total.timedOut);
+    // Fallback completions are a subset of completions.
+    EXPECT_LE(report.total.fallbackCompleted, report.total.completed);
+    // The fault process actually struck.
+    std::uint64_t batch_faults = 0;
+    for (const auto &s : report.shards)
+        batch_faults += s.batchFaults;
+    EXPECT_GT(batch_faults, 0u);
+}
+
+TEST(Resilience, ChaosReplayIsBitIdentical)
+{
+    // Same seeds + same config => two engines replay the identical
+    // ServeReport, chaos counters included.
+    auto run = [] {
+        ServeConfig config;
+        config.system = smallSystem();
+        TenantSpec a, b;
+        a.name = "a";
+        a.app = tinyApp("tiny");
+        a.deadlineNs = 4e6;
+        b.name = "b";
+        b.app = tinyApp("tiny2", 512);
+        config.tenants = {a, b};
+        config.shardChannels = true;
+        config.retry.maxRetries = 2;
+        config.breaker = fastBreaker();
+        ServingEngine engine(config);
+        ChaosConfig chaos_config;
+        chaos_config.faultsPerSec = 100'000.0;
+        chaos_config.seed = 29;
+        ChaosCampaign chaos(chaos_config, engine.plan().numShards());
+        engine.setFaultModel(&chaos);
+        const auto arrivals = poissonArrivals(
+            {{0, 60'000.0}, {1, 40'000.0}}, 1.5e6, 0xfeed);
+        return runOpenLoop(engine, arrivals);
+    };
+
+    const ServeReport x = run();
+    const ServeReport y = run();
+
+    EXPECT_EQ(x.horizonNs, y.horizonNs);
+    ASSERT_EQ(x.tenants.size(), y.tenants.size());
+    for (std::size_t t = 0; t < x.tenants.size(); ++t) {
+        const TenantReport &p = x.tenants[t];
+        const TenantReport &q = y.tenants[t];
+        EXPECT_EQ(p.submitted, q.submitted);
+        EXPECT_EQ(p.completed, q.completed);
+        EXPECT_EQ(p.shed, q.shed);
+        EXPECT_EQ(p.timedOut, q.timedOut);
+        EXPECT_EQ(p.retries, q.retries);
+        EXPECT_EQ(p.fallbackCompleted, q.fallbackCompleted);
+        EXPECT_EQ(p.sloViolations, q.sloViolations);
+        EXPECT_EQ(p.servedNs, q.servedNs); // bit-identical doubles
+        EXPECT_EQ(p.e2e.meanNs, q.e2e.meanNs);
+        EXPECT_EQ(p.e2e.p99Ns, q.e2e.p99Ns);
+    }
+    ASSERT_EQ(x.shards.size(), y.shards.size());
+    for (std::size_t s = 0; s < x.shards.size(); ++s) {
+        EXPECT_EQ(x.shards[s].opens, y.shards[s].opens);
+        EXPECT_EQ(x.shards[s].closes, y.shards[s].closes);
+        EXPECT_EQ(x.shards[s].probes, y.shards[s].probes);
+        EXPECT_EQ(x.shards[s].batchFaults, y.shards[s].batchFaults);
+        EXPECT_EQ(x.shards[s].state, y.shards[s].state);
+    }
+}
+
+} // namespace
+} // namespace pimsim::serve
