@@ -30,12 +30,15 @@
  * Flags (stripped before google/benchmark parsing):
  *   --json-out=FILE  result file (default BENCH_chaos.json; "" disables)
  *   --smoke          shrink horizons/rates for CI sanitizer runs
+ *   --seed=N         override the arrival/fault/retry seed (recorded in
+ *                    the JSON output)
  */
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -54,7 +57,7 @@ using namespace pimsim::serve;
 
 namespace {
 
-constexpr std::uint64_t kSeed = 0xc4a05;
+std::uint64_t g_seed = 0xc4a05; // overridable with --seed=
 
 bool g_smoke = false;
 
@@ -153,7 +156,7 @@ makeConfig(Policy policy, double deadline_ns, double batch_timeout_ns,
     config.timingCache = cache;
     config.histBucketNs = 50'000;
     config.histBuckets = 16384;
-    config.retrySeed = kSeed ^ 0x7e57;
+    config.retrySeed = g_seed ^ 0x7e57;
 
     switch (policy) {
       case Policy::None:
@@ -227,7 +230,7 @@ runSweep()
     for (unsigned t = 0; t < tenants.size(); ++t)
         specs.push_back(
             ArrivalSpec{t, offered / static_cast<double>(tenants.size())});
-    const auto arrivals = poissonArrivals(specs, horizon_ns, kSeed);
+    const auto arrivals = poissonArrivals(specs, horizon_ns, g_seed);
 
     for (const Policy policy : policies) {
         for (const double rate : rates) {
@@ -238,10 +241,11 @@ runSweep()
                 makeConfig(policy, g_deadlineNs, mean_svc_ns, cache));
             ChaosConfig chaos_config;
             chaos_config.faultsPerSec = rate;
-            chaos_config.seed = kSeed ^ 0xfa017;
+            chaos_config.seed = g_seed ^ 0xfa017;
             ChaosCampaign chaos(chaos_config, engine.plan().numShards());
             engine.setFaultModel(&chaos);
             cell.report = runOpenLoop(engine, arrivals);
+            cell.report.reconcile();
             fillDerived(cell, cell.report.horizonNs);
             g_cells.push_back(std::move(cell));
         }
@@ -259,19 +263,20 @@ runSweep()
         chaos_config.burstStartNs = burst_horizon / 3.0;
         chaos_config.burstEndNs = 2.0 * burst_horizon / 3.0;
         chaos_config.burstFaultsPerSec = burst_rate;
-        chaos_config.seed = kSeed ^ 0xb025;
+        chaos_config.seed = g_seed ^ 0xb025;
         ChaosCampaign chaos(chaos_config, engine.plan().numShards());
         engine.setFaultModel(&chaos);
 
         // Drive the engine directly (runOpenLoop discards the raw
         // completion stream, which the windowed p99 needs).
         const auto burst_arrivals =
-            poissonArrivals(specs, burst_horizon, kSeed ^ 0xa221);
+            poissonArrivals(specs, burst_horizon, g_seed ^ 0xa221);
         for (const auto &a : burst_arrivals)
             engine.submit(a.tenant, std::max(a.ns, engine.nowNs()));
         engine.drain();
         const auto completions = engine.takeCompletions();
         g_burst.report = engine.report();
+        g_burst.report.reconcile();
         g_burst.faultsPerSec = burst_rate;
 
         std::vector<double> before, during, after;
@@ -301,9 +306,12 @@ runSweep()
 void
 printResults()
 {
+    char seed_text[32];
+    std::snprintf(seed_text, sizeof(seed_text), "0x%llx",
+                  static_cast<unsigned long long>(g_seed));
     printHeader("Chaos serving sweep: 2 tenants, deadline " +
-                fmtNs(g_deadlineNs) + ", open-loop 0.6x capacity (seed "
-                "0xc4a05)");
+                fmtNs(g_deadlineNs) + ", open-loop 0.6x capacity (seed " +
+                std::string(seed_text) + ")");
     std::printf("batch-1 capacity: %.1f req/s%s\n\n", g_capacityRps,
                 g_smoke ? " [smoke horizons]" : "");
     printRow({"policy", "faults/s", "goodput", "sloViol%", "shed",
@@ -362,7 +370,7 @@ jsonReport()
     JsonWriter w(os, /*pretty=*/true);
     w.beginObject();
     w.field("bench", "chaos_serving");
-    w.field("seed", kSeed);
+    w.field("seed", g_seed);
     w.field("smoke", g_smoke);
     w.field("capacity_rps", g_capacityRps);
     w.field("deadline_ns", g_deadlineNs);
@@ -450,6 +458,8 @@ main(int argc, char **argv)
             json_out = argv[i] + 11;
         else if (std::strcmp(argv[i], "--smoke") == 0)
             g_smoke = true;
+        else if (std::strncmp(argv[i], "--seed=", 7) == 0)
+            g_seed = std::strtoull(argv[i] + 7, nullptr, 0);
         else
             argv[kept++] = argv[i];
     }

@@ -15,11 +15,17 @@
  * the shared ServiceTimeCache, so each distinct (app, batch) shape is
  * simulated exactly once across the whole sweep. Everything is seeded;
  * reruns are bit-identical.
+ *
+ * Flags (stripped before google/benchmark parsing):
+ *   --json-out=FILE  result file (default BENCH_serving.json)
+ *   --seed=N         override the arrival seed (recorded in the JSON
+ *                    output)
  */
 
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -36,7 +42,7 @@ using namespace pimsim::serve;
 
 namespace {
 
-constexpr std::uint64_t kSeed = 0x5e21e5;
+std::uint64_t g_seed = 0x5e21e5; // overridable with --seed=
 constexpr unsigned kMaxBatch = 8;
 constexpr double kQueueDepth = 64;
 
@@ -124,7 +130,7 @@ runSweep()
             std::vector<ArrivalSpec> specs;
             for (unsigned t = 0; t < tenants.size(); ++t)
                 specs.push_back(ArrivalSpec{t, per_tenant_rps});
-            const auto arrivals = poissonArrivals(specs, horizon_ns, kSeed);
+            const auto arrivals = poissonArrivals(specs, horizon_ns, g_seed);
 
             SweepCell cell;
             cell.policy = policy;
@@ -132,6 +138,7 @@ runSweep()
             cell.offeredRps = load * g_capacityRps;
             ServingEngine engine(makeConfig(policy, mean_svc_ns, cache));
             cell.report = runOpenLoop(engine, arrivals);
+            cell.report.reconcile();
             g_cells.push_back(std::move(cell));
         }
     }
@@ -144,6 +151,7 @@ runSweep()
         ServingEngine engine(
             makeConfig(SchedPolicy::BatchTimeout, mean_svc_ns, cache));
         cell.report = runClosedLoop(engine, conc, 60);
+        cell.report.reconcile();
         g_closed.push_back(std::move(cell));
     }
 }
@@ -161,8 +169,12 @@ printTenantRow(const std::string &policy, double load,
 void
 printResults()
 {
+    char seed_text[32];
+    std::snprintf(seed_text, sizeof(seed_text), "0x%llx",
+                  static_cast<unsigned long long>(g_seed));
     printHeader("Serving sweep: 2 tenants (GNMT+DS2), open-loop Poisson "
-                "(seed 0x5e21e5)");
+                "(seed " +
+                std::string(seed_text) + ")");
     std::printf("batch-1 capacity: %.1f req/s; queue depth %u; max batch "
                 "%u\n\n",
                 g_capacityRps, static_cast<unsigned>(kQueueDepth),
@@ -279,7 +291,7 @@ writeJsonReport(const std::string &path)
     JsonWriter w(os, /*pretty=*/true);
     w.beginObject();
     w.field("bench", "serving");
-    w.field("seed", kSeed);
+    w.field("seed", g_seed);
     w.field("capacity_rps", g_capacityRps);
     w.key("open_loop").beginArray();
     for (const auto &c : g_cells) {
@@ -337,6 +349,8 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         if (std::strncmp(argv[i], "--json-out=", 11) == 0)
             json_out = argv[i] + 11;
+        else if (std::strncmp(argv[i], "--seed=", 7) == 0)
+            g_seed = std::strtoull(argv[i] + 7, nullptr, 0);
         else
             argv[kept++] = argv[i];
     }

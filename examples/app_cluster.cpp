@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Fault-tolerant cluster demo: M replicated PIM hosts behind a
+ * health-driven router, under an open-loop Poisson load with optional
+ * injected faults.
+ *
+ *   $ ./app_cluster                        # 4 hosts x 4 stacks, no faults
+ *   $ ./app_cluster --kill                 # host 0 dies mid-run, fails over
+ *   $ ./app_cluster --straggler 8 --hedge  # slow host, hedged requests
+ *   $ ./app_cluster --kill --no-failover   # the naive cluster, for contrast
+ *   $ ./app_cluster --trace-out=trace.json # pid-5 health/hedge timeline
+ *
+ * Everything is deterministic: the same flags replay identically.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "cluster/cluster_engine.h"
+#include "common/logging.h"
+#include "common/trace.h"
+#include "serve/chaos.h"
+#include "serve/load_gen.h"
+
+using namespace pimsim;
+using namespace pimsim::cluster;
+
+namespace {
+
+void
+usage(const char *prog)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--hosts N] [--stacks N] [--load FACTOR] "
+                 "[--seed N]\n"
+                 "          [--kill] [--straggler FACTOR] [--hedge] "
+                 "[--no-failover]\n"
+                 "          [--trace-out=PATH]\n"
+                 "  --hosts      replicated hosts, >= 1 (default 4)\n"
+                 "  --stacks     PIM stacks per host, >= 1 (default 4)\n"
+                 "  --load       offered load relative to cluster "
+                 "capacity, > 0 (default 0.6)\n"
+                 "  --seed       arrival/chaos seed (default 1)\n"
+                 "  --kill       crash host 0 for the middle 30%% of the "
+                 "run\n"
+                 "  --straggler  slow host 0 by FACTOR (>= 1) for the "
+                 "middle 30%%\n"
+                 "  --hedge      fire a backup copy after the p95 hedge "
+                 "delay\n"
+                 "  --no-failover  static round-robin, no retries or "
+                 "probes\n"
+                 "  --trace-out=PATH  Chrome-trace timeline: per-host "
+                 "health spans,\n"
+                 "                    hedge/failover/probe instants "
+                 "(pid 5)\n",
+                 prog);
+}
+
+bool
+parsePositive(const char *prog, const char *flag, const char *text,
+              double min_value, double *out)
+{
+    char *end = nullptr;
+    *out = std::strtod(text, &end);
+    if (end == text || *end != '\0' || !(*out >= min_value)) {
+        std::fprintf(stderr, "%s: bad %s '%s': expected a number >= %g\n",
+                     prog, flag, text, min_value);
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+
+    unsigned hosts = 4;
+    unsigned stacks = 4;
+    double load = 0.6;
+    std::uint64_t seed = 1;
+    bool kill = false;
+    double straggler = 1.0;
+    bool hedge = false;
+    bool failover = true;
+    std::string trace_out;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        double v = 0.0;
+        if (arg.rfind("--trace-out=", 0) == 0) {
+            trace_out = arg.substr(12);
+        } else if (arg == "--hosts" && i + 1 < argc) {
+            if (!parsePositive(argv[0], "--hosts", argv[++i], 1.0, &v))
+                return 2;
+            hosts = static_cast<unsigned>(v);
+        } else if (arg == "--stacks" && i + 1 < argc) {
+            if (!parsePositive(argv[0], "--stacks", argv[++i], 1.0, &v))
+                return 2;
+            stacks = static_cast<unsigned>(v);
+        } else if (arg == "--load" && i + 1 < argc) {
+            if (!parsePositive(argv[0], "--load", argv[++i], 1e-9, &v))
+                return 2;
+            load = v;
+        } else if ((arg == "--seed" && i + 1 < argc) ||
+                   arg.rfind("--seed=", 0) == 0) {
+            const char *text =
+                arg[6] == '=' ? arg.c_str() + 7 : argv[++i];
+            char *end = nullptr;
+            seed = std::strtoull(text, &end, 0);
+            if (end == text || *end != '\0') {
+                std::fprintf(stderr, "%s: bad --seed '%s'\n", argv[0],
+                             text);
+                return 2;
+            }
+        } else if (arg == "--kill") {
+            kill = true;
+        } else if (arg == "--straggler" && i + 1 < argc) {
+            if (!parsePositive(argv[0], "--straggler", argv[++i], 1.0,
+                               &v))
+                return 2;
+            straggler = v;
+        } else if (arg == "--hedge") {
+            hedge = true;
+        } else if (arg == "--no-failover") {
+            failover = false;
+        } else {
+            std::fprintf(stderr, "%s: unknown argument '%s'\n", argv[0],
+                         arg.c_str());
+            usage(argv[0]);
+            return 2;
+        }
+    }
+
+    LayerSpec fc;
+    fc.kind = LayerSpec::Kind::Fc;
+    fc.hidden = 512;
+    fc.input = 512;
+    fc.steps = 2;
+    fc.pimEligible = true;
+    AppSpec app;
+    app.name = "cluster-fc512";
+    app.layers = {fc};
+
+    ClusterConfig config;
+    config.system = SystemConfig::pimHbmSystem();
+    config.system.numStacks = 1;
+    config.numHosts = hosts;
+    config.stacksPerHost = stacks;
+    config.app = app;
+    config.hedge.enabled = hedge;
+    config.router.failover = failover;
+    if (!failover)
+        config.maxAttempts = 1;
+    config.cache = std::make_shared<serve::ServiceTimeCache>();
+
+    std::printf("calibrating batch-1 attempt time...\n");
+    ClusterEngine probe(config);
+    const double est_ns = probe.attemptEstimateNs();
+    const double capacity_rps =
+        static_cast<double>(hosts * stacks) * 1e9 / est_ns;
+    config.deadlineNs = 30.0 * est_ns;
+    config.router.health.probeIntervalNs = 8.0 * est_ns;
+
+    const unsigned n = 10'000;
+    const double offered = load * capacity_rps;
+    const double horizon_ns = static_cast<double>(n) * 1e9 / offered;
+
+    ClusterEngine engine(config);
+    TraceSession trace;
+    if (!trace_out.empty())
+        engine.setTrace(&trace);
+
+    serve::ChaosConfig chaos_config;
+    chaos_config.seed = seed ^ 0xc1a57e2;
+    serve::ChaosCampaign chaos(chaos_config, 1);
+    if (kill) {
+        serve::HostFaultSpec f;
+        f.kind = serve::HostFaultSpec::Kind::Crash;
+        f.host = 0;
+        f.startNs = 0.35 * horizon_ns;
+        f.endNs = 0.65 * horizon_ns;
+        chaos.addHostFault(f);
+    }
+    if (straggler > 1.0) {
+        serve::HostFaultSpec f;
+        f.kind = serve::HostFaultSpec::Kind::Straggler;
+        f.host = 0;
+        f.startNs = 0.35 * horizon_ns;
+        f.endNs = 0.65 * horizon_ns;
+        f.factor = straggler;
+        chaos.addHostFault(f);
+    }
+    if (kill || straggler > 1.0)
+        engine.setFaultModel(&chaos);
+
+    std::printf("cluster: %u hosts x %u stacks, attempt %.1f us, "
+                "capacity %.0f req/s\n",
+                hosts, stacks, est_ns / 1e3, capacity_rps);
+    std::printf("offered %.2fx capacity (%.0f req/s) over %.1f ms of "
+                "virtual time, %u arrivals\n",
+                load, offered, horizon_ns / 1e6, n);
+    std::printf("failover %s, hedging %s%s%s\n\n",
+                failover ? "on" : "off", hedge ? "on" : "off",
+                kill ? ", host 0 killed mid-run" : "",
+                straggler > 1.0 ? ", host 0 straggling" : "");
+
+    const auto arrivals = serve::poissonArrivals(
+        {serve::ArrivalSpec{0, offered}}, horizon_ns, seed);
+    for (const auto &a : arrivals)
+        engine.submit(std::max(a.ns, engine.nowNs()));
+    engine.drain();
+
+    const ClusterReport r = engine.report();
+    r.reconcile();
+
+    std::printf("  %-5s %-11s %9s %8s %7s %7s %6s %6s\n", "host",
+                "state", "dispatch", "fail", "probes", "trans", "util",
+                "link");
+    for (const auto &h : r.hosts) {
+        std::printf("  %-5u %-11s %9llu %8llu %7llu %7llu %5.1f%% "
+                    "%5.1f%%\n",
+                    h.host, healthStateName(h.state),
+                    static_cast<unsigned long long>(h.dispatches),
+                    static_cast<unsigned long long>(h.failures),
+                    static_cast<unsigned long long>(h.probes),
+                    static_cast<unsigned long long>(h.transitions),
+                    100.0 * h.utilization, 100.0 * h.linkUtilization);
+    }
+
+    std::printf("\ncompleted %llu / %llu (rejected %llu, shed %llu, "
+                "timed out %llu, failed %llu)\n",
+                static_cast<unsigned long long>(r.completed),
+                static_cast<unsigned long long>(r.submitted),
+                static_cast<unsigned long long>(r.rejected),
+                static_cast<unsigned long long>(r.shed),
+                static_cast<unsigned long long>(r.timedOut),
+                static_cast<unsigned long long>(r.failed));
+    std::printf("goodput %.0f req/s (%llu SLO violations), retries %llu, "
+                "health transitions %llu\n",
+                r.goodputRps,
+                static_cast<unsigned long long>(r.sloViolations),
+                static_cast<unsigned long long>(r.retries),
+                static_cast<unsigned long long>(r.healthTransitions));
+    if (hedge)
+        std::printf("hedges: %llu fired, %llu wins, %llu cancels "
+                    "(delay now %.1f us)\n",
+                    static_cast<unsigned long long>(r.hedgesFired),
+                    static_cast<unsigned long long>(r.hedgeWins),
+                    static_cast<unsigned long long>(r.hedgeCancels),
+                    engine.hedgeDelayNs() / 1e3);
+    std::printf("e2e latency: p50 %.1f us, p95 %.1f us, p99 %.1f us, "
+                "max %.1f us\n",
+                r.e2e.p50Ns / 1e3, r.e2e.p95Ns / 1e3, r.e2e.p99Ns / 1e3,
+                r.e2e.maxNs / 1e3);
+
+    if (!trace_out.empty() && !trace.writeFile(trace_out))
+        return 1;
+    return 0;
+}

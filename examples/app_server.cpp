@@ -159,13 +159,16 @@ main(int argc, char **argv)
             retries = static_cast<unsigned>(parsed);
         } else if (arg == "--breaker") {
             breaker = true;
-        } else if (arg == "--seed" && i + 1 < argc) {
+        } else if ((arg == "--seed" && i + 1 < argc) ||
+                   arg.rfind("--seed=", 0) == 0) {
+            const char *text =
+                arg[6] == '=' ? arg.c_str() + 7 : argv[++i];
             char *end = nullptr;
             const unsigned long long parsed =
-                std::strtoull(argv[++i], &end, 10);
-            if (end == argv[i] || *end != '\0' || argv[i][0] == '-') {
+                std::strtoull(text, &end, 10);
+            if (end == text || *end != '\0' || text[0] == '-') {
                 std::fprintf(stderr, "%s: bad --seed '%s': expected a "
-                             "non-negative integer\n", argv[0], argv[i]);
+                             "non-negative integer\n", argv[0], text);
                 usage(argv[0]);
                 return 2;
             }
@@ -291,7 +294,11 @@ main(int argc, char **argv)
         if (!os) {
             PIMSIM_FATAL("cannot open stats output '", stats_json, "'");
         }
+        // Record the seed alongside the registry dump so a run's stats
+        // identify the arrival/chaos stream that produced them.
+        os << "{\"seed\": " << seed << ", \"stats\": ";
         engine.system().dumpStatsJson(os);
+        os << "}\n";
     }
     if (!trace_out.empty() && !trace.writeFile(trace_out))
         return 1;

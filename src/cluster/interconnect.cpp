@@ -1,0 +1,33 @@
+#include "cluster/interconnect.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace pimsim::cluster {
+
+double
+Link::uncontendedNs(unsigned bytes) const
+{
+    PIMSIM_ASSERT(config_.bandwidthGBs > 0.0,
+                  "link bandwidth must be positive");
+    // bytes / (GB/s) == bytes / (bytes/ns) == ns.
+    return static_cast<double>(bytes) / config_.bandwidthGBs +
+           config_.latencyNs;
+}
+
+double
+Link::transfer(unsigned bytes, double now_ns)
+{
+    PIMSIM_ASSERT(config_.bandwidthGBs > 0.0,
+                  "link bandwidth must be positive");
+    const double serialize_ns =
+        static_cast<double>(bytes) / config_.bandwidthGBs;
+    const double start_ns = std::max(now_ns, busyUntilNs_);
+    busyUntilNs_ = start_ns + serialize_ns;
+    busyNs_ += serialize_ns;
+    ++transfers_;
+    return busyUntilNs_ + config_.latencyNs;
+}
+
+} // namespace pimsim::cluster

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Per-link interconnect cost model for the cluster tier.
+ *
+ * Every host hangs off the cluster router behind one full-duplex link
+ * with three costs: propagation latency (paid by every transfer),
+ * serialization time (bytes / bandwidth), and occupancy — the
+ * router-to-host direction serialises transfers one after another, so a
+ * loaded link queues exactly like a DRAM data bus. The response
+ * direction is modelled uncontended (full duplex, and responses are
+ * paced by the per-stack service completions that produced them).
+ *
+ * NeuPIMs evaluates batched GEMV-offload PIM serving behind a real
+ * interconnect simulator (booksim); this is the analytical tier of the
+ * same idea — enough fidelity for queueing effects without per-flit
+ * simulation.
+ */
+
+#ifndef PIMSIM_CLUSTER_INTERCONNECT_H
+#define PIMSIM_CLUSTER_INTERCONNECT_H
+
+#include <cstdint>
+
+namespace pimsim::cluster {
+
+/** One router<->host link's parameters. */
+struct LinkConfig
+{
+    /** One-way propagation latency (paid per direction). */
+    double latencyNs = 500.0;
+    /** Serialization bandwidth in GB/s (1 GB/s == 1 byte/ns). */
+    double bandwidthGBs = 32.0;
+    /** Request payload (input activations + dispatch metadata). */
+    unsigned requestBytes = 4096;
+    /** Response payload (output activations + status). */
+    unsigned responseBytes = 4096;
+};
+
+/** Occupancy-tracking link: transfers serialise in schedule order. */
+class Link
+{
+  public:
+    Link() = default;
+    explicit Link(const LinkConfig &config) : config_(config) {}
+
+    const LinkConfig &config() const { return config_; }
+
+    /**
+     * Schedule a `bytes`-byte transfer entering the link at `now_ns`.
+     * The payload starts serialising when the link frees, and lands
+     * after serialization plus propagation latency.
+     * @return arrival time of the last byte at the far end
+     */
+    double transfer(unsigned bytes, double now_ns);
+
+    /**
+     * Cost of an uncontended transfer (serialization + latency) —
+     * the response direction and capacity estimates use this.
+     */
+    double uncontendedNs(unsigned bytes) const;
+
+    /** Round-trip propagation latency. */
+    double rttNs() const { return 2.0 * config_.latencyNs; }
+
+    std::uint64_t transfers() const { return transfers_; }
+    /** Accumulated serialization time (occupancy). */
+    double busyNs() const { return busyNs_; }
+    /** Occupancy fraction over a horizon. */
+    double utilization(double horizon_ns) const
+    {
+        return horizon_ns > 0.0 ? busyNs_ / horizon_ns : 0.0;
+    }
+
+  private:
+    LinkConfig config_;
+    double busyUntilNs_ = 0.0;
+    double busyNs_ = 0.0;
+    std::uint64_t transfers_ = 0;
+};
+
+} // namespace pimsim::cluster
+
+#endif // PIMSIM_CLUSTER_INTERCONNECT_H

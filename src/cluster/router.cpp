@@ -1,0 +1,210 @@
+#include "cluster/router.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace pimsim::cluster {
+
+const char *
+healthStateName(HealthState state)
+{
+    switch (state) {
+      case HealthState::Healthy:
+        return "healthy";
+      case HealthState::Suspect:
+        return "suspect";
+      case HealthState::Down:
+        return "down";
+      case HealthState::Recovering:
+        return "recovering";
+    }
+    return "?";
+}
+
+void
+HealthTracker::transition(HealthState next, double now_ns)
+{
+    if (next == state_)
+        return;
+    state_ = next;
+    stateSinceNs_ = now_ns;
+    ++transitions_;
+    ++entries_[static_cast<unsigned>(next)];
+    switch (next) {
+      case HealthState::Down:
+        // The pre-crash window is history; only probes matter now.
+        window_.clear();
+        windowErrors_ = 0;
+        consecutiveOk_ = 0;
+        break;
+      case HealthState::Recovering:
+        consecutiveOk_ = 0;
+        break;
+      case HealthState::Healthy:
+        window_.clear();
+        windowErrors_ = 0;
+        consecutiveOk_ = 0;
+        break;
+      case HealthState::Suspect:
+        break;
+    }
+}
+
+double
+HealthTracker::failureFraction() const
+{
+    return window_.empty()
+               ? 0.0
+               : static_cast<double>(windowErrors_) /
+                     static_cast<double>(window_.size());
+}
+
+void
+HealthTracker::record(bool ok, double now_ns)
+{
+    switch (state_) {
+      case HealthState::Down:
+        if (ok)
+            transition(HealthState::Recovering, now_ns);
+        return;
+      case HealthState::Recovering:
+        if (!ok) {
+            transition(HealthState::Down, now_ns);
+        } else if (++consecutiveOk_ >= config_.recoverySuccesses) {
+            transition(HealthState::Healthy, now_ns);
+        }
+        return;
+      case HealthState::Healthy:
+      case HealthState::Suspect:
+        break;
+    }
+
+    window_.push_back(!ok);
+    if (!ok)
+        ++windowErrors_;
+    while (window_.size() > config_.window) {
+        if (window_.front())
+            --windowErrors_;
+        window_.pop_front();
+    }
+    if (window_.size() < config_.minSamples)
+        return;
+
+    const double frac = failureFraction();
+    if (frac >= config_.downThreshold) {
+        transition(HealthState::Down, now_ns);
+    } else if (frac >= config_.suspectThreshold) {
+        transition(HealthState::Suspect, now_ns);
+    } else if (state_ == HealthState::Suspect) {
+        // Recent successes diluted the window back under the
+        // suspicion threshold: trust restored without a probe cycle.
+        transition(HealthState::Healthy, now_ns);
+    }
+}
+
+ClusterRouter::ClusterRouter(const RouterConfig &config, unsigned num_hosts)
+    : config_(config)
+{
+    PIMSIM_ASSERT(num_hosts >= 1, "a cluster needs >= 1 host");
+    PIMSIM_ASSERT(config.health.minSamples >= 1 &&
+                      config.health.minSamples <= config.health.window,
+                  "health minSamples must be in [1, window]");
+    PIMSIM_ASSERT(config.health.suspectThreshold <=
+                      config.health.downThreshold,
+                  "suspect threshold above down threshold");
+    trackers_.assign(num_hosts, HealthTracker(config.health));
+    probeAtNs_.assign(num_hosts, kNoEventNs);
+    probesSent_.assign(num_hosts, 0);
+}
+
+void
+ClusterRouter::recordOutcome(unsigned host, bool ok, double now_ns)
+{
+    PIMSIM_ASSERT(host < trackers_.size(), "bad host id ", host);
+    trackers_[host].record(ok, now_ns);
+    if (!config_.failover)
+        return; // observe only; never probe
+    if (trackers_[host].state() == HealthState::Healthy) {
+        probeAtNs_[host] = kNoEventNs;
+    } else if (probeAtNs_[host] == kNoEventNs) {
+        probeAtNs_[host] = now_ns + config_.health.probeIntervalNs;
+    }
+}
+
+bool
+ClusterRouter::eligible(unsigned host, bool avoid_suspect) const
+{
+    if (!config_.failover)
+        return true;
+    switch (trackers_[host].state()) {
+      case HealthState::Healthy:
+      case HealthState::Recovering:
+        return true;
+      case HealthState::Suspect:
+        return !avoid_suspect;
+      case HealthState::Down:
+        return false;
+    }
+    return false;
+}
+
+unsigned
+ClusterRouter::aliveHosts() const
+{
+    unsigned alive = 0;
+    for (const auto &t : trackers_) {
+        if (t.state() != HealthState::Down)
+            ++alive;
+    }
+    return alive;
+}
+
+unsigned
+ClusterRouter::nextRoundRobin()
+{
+    const unsigned host = roundRobin_;
+    roundRobin_ = (roundRobin_ + 1) % numHosts();
+    return host;
+}
+
+double
+ClusterRouter::nextProbeNs() const
+{
+    double next = kNoEventNs;
+    for (const double at : probeAtNs_)
+        next = std::min(next, at);
+    return next;
+}
+
+int
+ClusterRouter::dueProbeHost(double now_ns) const
+{
+    for (unsigned h = 0; h < probeAtNs_.size(); ++h) {
+        if (probeAtNs_[h] <= now_ns)
+            return static_cast<int>(h);
+    }
+    return -1;
+}
+
+void
+ClusterRouter::takeProbe(unsigned host)
+{
+    PIMSIM_ASSERT(host < probeAtNs_.size(), "bad host id ", host);
+    PIMSIM_ASSERT(probeAtNs_[host] != kNoEventNs, "no probe pending");
+    ++probesSent_[host];
+    // recordOutcome() reschedules if the host is still not Healthy;
+    // cleared first so the outcome sees "no probe pending".
+    probeAtNs_[host] = kNoEventNs;
+}
+
+std::uint64_t
+ClusterRouter::totalTransitions() const
+{
+    std::uint64_t total = 0;
+    for (const auto &t : trackers_)
+        total += t.transitions();
+    return total;
+}
+
+} // namespace pimsim::cluster

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Health-driven request routing across replicated hosts.
+ *
+ * The router places data-parallel replicas of the served application on
+ * every host and keeps one windowed failure detector per host — the
+ * four-state machine a production load balancer runs:
+ *
+ *   Healthy ----(failure fraction >= suspect threshold)----> Suspect
+ *   Suspect ----(fraction >= down threshold)---------------> Down
+ *   Suspect ----(fraction falls back under suspect)--------> Healthy
+ *   Down -------(a probe succeeds)-------------------------> Recovering
+ *   Recovering -(K consecutive successes)------------------> Healthy
+ *   Recovering -(any failure)------------------------------> Down
+ *
+ * Outcomes come from real dispatches and from active probes; the router
+ * schedules a probe at every probe interval for any host that is not
+ * Healthy, which is what lets a Down host ever come back. Routing rules:
+ * Down hosts are never picked; Suspect hosts are skipped while any
+ * Healthy/Recovering host can take the work — and a cross-host retry or
+ * a hedge never lands on a Suspect host at all (re-picking a replica the
+ * detector already distrusts is how retry storms start).
+ *
+ * With failover disabled the router degrades to static round-robin over
+ * all replicas (the ablation the cluster bench measures); the trackers
+ * still observe outcomes so the report shows what detection would have
+ * seen.
+ */
+
+#ifndef PIMSIM_CLUSTER_ROUTER_H
+#define PIMSIM_CLUSTER_ROUTER_H
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "serve/scheduler.h" // kNoEventNs
+
+namespace pimsim::cluster {
+
+/** The serving layer's "no event pending" sentinel, shared here. */
+using serve::kNoEventNs;
+
+/** Failure-detector states. */
+enum class HealthState
+{
+    Healthy,    ///< full traffic
+    Suspect,    ///< error window elevated: no retries or hedges land here
+    Down,       ///< no traffic; probes only
+    Recovering, ///< probation traffic after a successful probe
+};
+
+const char *healthStateName(HealthState state);
+
+/** Failure-detection configuration (per host). */
+struct HealthConfig
+{
+    /** Sliding window of most recent dispatch/probe outcomes. */
+    unsigned window = 16;
+    /** Outcomes required in the window before any transition. */
+    unsigned minSamples = 4;
+    /** Failure fraction at or above which Healthy becomes Suspect. */
+    double suspectThreshold = 0.3;
+    /** Failure fraction at or above which the host is declared Down. */
+    double downThreshold = 0.6;
+    /** Probe cadence for hosts that are not Healthy. */
+    double probeIntervalNs = 1'000'000.0;
+    /** Consecutive Recovering successes required to re-enter Healthy. */
+    unsigned recoverySuccesses = 3;
+};
+
+/** One host's windowed failure detector. */
+class HealthTracker
+{
+  public:
+    HealthTracker() = default;
+    explicit HealthTracker(const HealthConfig &config) : config_(config) {}
+
+    HealthState state() const { return state_; }
+    double stateSinceNs() const { return stateSinceNs_; }
+
+    /** Report one dispatch or probe outcome observed at `now_ns`. */
+    void record(bool ok, double now_ns);
+
+    /** Total state transitions so far. */
+    std::uint64_t transitions() const { return transitions_; }
+    /** Times the given state was entered. */
+    std::uint64_t entries(HealthState state) const
+    {
+        return entries_[static_cast<unsigned>(state)];
+    }
+
+  private:
+    void transition(HealthState next, double now_ns);
+    double failureFraction() const;
+
+    HealthConfig config_;
+    HealthState state_ = HealthState::Healthy;
+    double stateSinceNs_ = 0.0;
+    std::deque<bool> window_; ///< true = failure
+    unsigned windowErrors_ = 0;
+    unsigned consecutiveOk_ = 0;
+    std::uint64_t transitions_ = 0;
+    std::uint64_t entries_[4] = {0, 0, 0, 0};
+};
+
+/** Router policy knobs. */
+struct RouterConfig
+{
+    /**
+     * Health-driven routing. Off: static round-robin over every
+     * replica, no probes — the naive cluster the bench degrades.
+     */
+    bool failover = true;
+    HealthConfig health;
+};
+
+/** Replica placement + health bookkeeping + probe scheduling. */
+class ClusterRouter
+{
+  public:
+    ClusterRouter(const RouterConfig &config, unsigned num_hosts);
+
+    unsigned numHosts() const
+    {
+        return static_cast<unsigned>(trackers_.size());
+    }
+
+    HealthState state(unsigned host) const
+    {
+        return trackers_[host].state();
+    }
+    const HealthTracker &tracker(unsigned host) const
+    {
+        return trackers_[host];
+    }
+
+    /**
+     * Report a dispatch or probe outcome of `host`. Drives the state
+     * machine and (re)schedules probing while the host is not Healthy.
+     */
+    void recordOutcome(unsigned host, bool ok, double now_ns);
+
+    /**
+     * May a fresh dispatch route to `host`? Retries and hedges pass
+     * `avoid_suspect` — they must not re-pick a distrusted replica.
+     * With failover disabled every host is always eligible.
+     */
+    bool eligible(unsigned host, bool avoid_suspect) const;
+
+    /** Hosts not counted as Down (capacity estimation). */
+    unsigned aliveHosts() const;
+
+    /** Static round-robin pick (failover-disabled path). */
+    unsigned nextRoundRobin();
+
+    /** Earliest pending probe (kNoEventNs when none). */
+    double nextProbeNs() const;
+    /** Host whose probe is due at `now_ns` (-1 when none). */
+    int dueProbeHost(double now_ns) const;
+    /** Consume the due probe of `host` (recordOutcome reschedules). */
+    void takeProbe(unsigned host);
+
+    std::uint64_t probesSent(unsigned host) const
+    {
+        return probesSent_[host];
+    }
+    std::uint64_t totalTransitions() const;
+
+  private:
+    RouterConfig config_;
+    std::vector<HealthTracker> trackers_;
+    std::vector<double> probeAtNs_;
+    std::vector<std::uint64_t> probesSent_;
+    unsigned roundRobin_ = 0;
+};
+
+} // namespace pimsim::cluster
+
+#endif // PIMSIM_CLUSTER_ROUTER_H

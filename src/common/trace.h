@@ -16,6 +16,8 @@
  *   pid 3 "serving"  — one tid per shard (batch occupancy spans)
  *   pid 4 "resilience" — one tid per shard (circuit-breaker open /
  *                      half-open spans, batch-fault instants)
+ *   pid 5 "cluster"  — one tid per host (health-state spans, hedge /
+ *                      failover / probe instants)
  */
 
 #ifndef PIMSIM_COMMON_TRACE_H
@@ -34,6 +36,7 @@ inline constexpr int kTracePidDevice = 1;
 inline constexpr int kTracePidRuntime = 2;
 inline constexpr int kTracePidServing = 3;
 inline constexpr int kTracePidResilience = 4;
+inline constexpr int kTracePidCluster = 5;
 
 /** One recorded trace event. */
 struct TraceEvent

@@ -77,4 +77,77 @@ ChaosCampaign::faultEvents(unsigned shard, double start_ns, double end_ns)
     return static_cast<unsigned>(hi - lo);
 }
 
+const char *
+hostFaultKindName(HostFaultSpec::Kind kind)
+{
+    switch (kind) {
+      case HostFaultSpec::Kind::Crash:
+        return "crash";
+      case HostFaultSpec::Kind::Straggler:
+        return "straggler";
+      case HostFaultSpec::Kind::FlakyLink:
+        return "flaky-link";
+    }
+    return "?";
+}
+
+void
+ChaosCampaign::addHostFault(const HostFaultSpec &spec)
+{
+    PIMSIM_ASSERT(spec.endNs >= spec.startNs,
+                  "host-fault window ends before it starts");
+    PIMSIM_ASSERT(spec.factor >= 1.0,
+                  "straggler factor must be >= 1, got ", spec.factor);
+    PIMSIM_ASSERT(spec.lossProb >= 0.0 && spec.lossProb <= 1.0,
+                  "link loss probability must be in [0, 1], got ",
+                  spec.lossProb);
+    hostFaults_.push_back(spec);
+}
+
+bool
+ChaosCampaign::hostCrashed(unsigned host, double start_ns, double end_ns)
+{
+    for (const auto &f : hostFaults_) {
+        if (f.kind != HostFaultSpec::Kind::Crash || f.host != host)
+            continue;
+        // The crash window [s, e) intersects the closed query interval.
+        if (f.startNs <= end_ns && start_ns < f.endNs)
+            return true;
+    }
+    return false;
+}
+
+double
+ChaosCampaign::hostSlowdown(unsigned host, double ns)
+{
+    double factor = 1.0;
+    for (const auto &f : hostFaults_) {
+        if (f.kind == HostFaultSpec::Kind::Straggler && f.host == host &&
+            ns >= f.startNs && ns < f.endNs)
+            factor *= f.factor;
+    }
+    return factor;
+}
+
+bool
+ChaosCampaign::linkDropped(unsigned host, std::uint64_t transfer_id,
+                           double ns)
+{
+    for (const auto &f : hostFaults_) {
+        if (f.kind != HostFaultSpec::Kind::FlakyLink || f.host != host ||
+            ns < f.startNs || ns >= f.endNs || f.lossProb <= 0.0)
+            continue;
+        // One hash draw per (campaign, host, transfer): query-order
+        // independent, distinct across retries and hedged copies.
+        SplitMix64 mix(config_.seed ^
+                       (0xf1a4ba1e5eedULL * (std::uint64_t{host} + 1)) ^
+                       transfer_id);
+        const double u =
+            static_cast<double>(mix.next() >> 11) * 0x1.0p-53;
+        if (u < f.lossProb)
+            return true;
+    }
+    return false;
+}
+
 } // namespace pimsim::serve

@@ -18,6 +18,14 @@
  * machine-check log and fault counters of the served device reflect the
  * same campaign the queueing model saw.
  *
+ * The campaign also carries host-level fault processes for the cluster
+ * tier (HostFaultModel): scheduled whole-host crash windows, straggler
+ * windows that multiply service times, and flaky-link windows that drop
+ * a deterministic fraction of transfers. Crash and straggler windows
+ * are scenario-scheduled (a chaos bench kills host 2 at a known time);
+ * flaky-link loss is a per-transfer hash draw, so the verdict for one
+ * transfer never depends on how many others were queried before it.
+ *
  * Determinism: one seed per campaign, one decorrelated stream per
  * shard; identical configuration replays the identical event sequence.
  */
@@ -50,14 +58,52 @@ struct ChaosConfig
     std::uint64_t seed = 0x5eed;
 };
 
+/** One scheduled host-level fault episode. */
+struct HostFaultSpec
+{
+    enum class Kind
+    {
+        Crash,     ///< the host is dead for the whole window
+        Straggler, ///< service times are multiplied by `factor`
+        FlakyLink, ///< each transfer drops with probability `lossProb`
+    };
+
+    Kind kind = Kind::Crash;
+    unsigned host = 0;
+    /** Active window [startNs, endNs) on the serving clock. */
+    double startNs = 0.0;
+    double endNs = 0.0;
+    /** Straggler service-time multiplier (>= 1). */
+    double factor = 1.0;
+    /** FlakyLink per-transfer drop probability in [0, 1]. */
+    double lossProb = 0.0;
+};
+
+const char *hostFaultKindName(HostFaultSpec::Kind kind);
+
 /** A deterministic per-shard fault-event process. */
-class ChaosCampaign : public FaultModel
+class ChaosCampaign : public FaultModel, public HostFaultModel
 {
   public:
     ChaosCampaign(const ChaosConfig &config, unsigned num_shards);
 
     unsigned faultEvents(unsigned shard, double start_ns,
                          double end_ns) override;
+
+    /** Schedule one host-level fault episode (validated). */
+    void addHostFault(const HostFaultSpec &spec);
+
+    const std::vector<HostFaultSpec> &hostFaults() const
+    {
+        return hostFaults_;
+    }
+
+    // HostFaultModel
+    bool hostCrashed(unsigned host, double start_ns,
+                     double end_ns) override;
+    double hostSlowdown(unsigned host, double ns) override;
+    bool linkDropped(unsigned host, std::uint64_t transfer_id,
+                     double ns) override;
 
     /**
      * Mirror every generated fault event into a live device: each event
@@ -95,6 +141,7 @@ class ChaosCampaign : public FaultModel
     double maxRate_; ///< thinning envelope (faults/sec)
     FaultInjector *injector_ = nullptr;
     std::vector<Stream> streams_;
+    std::vector<HostFaultSpec> hostFaults_;
     std::uint64_t generated_ = 0;
 };
 

@@ -155,6 +155,35 @@ class FaultModel
                                  double end_ns) = 0;
 };
 
+/**
+ * Cluster-facing source of host-level fault processes: whole-host
+ * crashes, straggler slowdowns, and flaky-link transfer loss. All
+ * queries are pure functions of (configuration, seed), so identical
+ * scenarios replay bit-identically regardless of query order.
+ * Implemented by ChaosCampaign for chaos benches; tests plug in
+ * deterministic stubs.
+ */
+class HostFaultModel
+{
+  public:
+    virtual ~HostFaultModel() = default;
+
+    /** True when a crash window of `host` intersects [start_ns, end_ns]
+     *  (an instant query passes start == end). */
+    virtual bool hostCrashed(unsigned host, double start_ns,
+                             double end_ns) = 0;
+
+    /** Service-time multiplier of `host` at time `ns` (>= 1.0; the
+     *  product of every straggler window covering the instant). */
+    virtual double hostSlowdown(unsigned host, double ns) = 0;
+
+    /** True when transfer `transfer_id` to/from `host` at time `ns` is
+     *  lost on a flaky link. One draw per id: hedged copies and retries
+     *  carry distinct ids, so their fates are independent. */
+    virtual bool linkDropped(unsigned host, std::uint64_t transfer_id,
+                             double ns) = 0;
+};
+
 } // namespace pimsim::serve
 
 #endif // PIMSIM_SERVE_RESILIENCE_H

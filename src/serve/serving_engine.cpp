@@ -247,6 +247,23 @@ ServingEngine::advanceTo(double ns)
 }
 
 void
+ServeReport::reconcile() const
+{
+    const auto check = [](const TenantReport &t) {
+        const std::uint64_t terminal =
+            t.completed + t.shed + t.timedOut + t.rejected;
+        PIMSIM_ASSERT(terminal == t.submitted,
+                      "serve accounting leak for '", t.name, "': ",
+                      t.completed, " completed + ", t.shed, " shed + ",
+                      t.timedOut, " timed out + ", t.rejected,
+                      " rejected != ", t.submitted, " submitted");
+    };
+    for (const TenantReport &t : tenants)
+        check(t);
+    check(total);
+}
+
+void
 ServingEngine::drain()
 {
     while (true) {
@@ -255,6 +272,7 @@ ServingEngine::drain()
             break;
         advanceTo(event);
     }
+    report().reconcile();
     // Close any breaker span still running so traces written before the
     // engine dies show the final open/half-open interval.
     for (unsigned s = 0; s < shards_.size(); ++s) {

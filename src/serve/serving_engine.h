@@ -136,6 +136,15 @@ struct ServeReport
     std::vector<TenantReport> tenants;
     TenantReport total; ///< all tenants aggregated
     std::vector<ShardResilienceReport> shards;
+
+    /**
+     * PIMSIM_ASSERT that every submitted request reached exactly one
+     * terminal state, per tenant and in aggregate: completed + shed +
+     * timed-out + rejected == submitted. Valid once the engine is
+     * drained; the engine asserts it there, benches re-assert on the
+     * reports they publish.
+     */
+    void reconcile() const;
 };
 
 /** The request-serving system on top of one PIM-HBM configuration. */

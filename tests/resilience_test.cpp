@@ -171,6 +171,44 @@ TEST(CircuitBreaker, ProbeVerdictDecides)
     EXPECT_EQ(bad.route(3100.0), DispatchRoute::PimProbe);
 }
 
+TEST(CircuitBreaker, HalfOpenProbeExactlyAtWindowBoundary)
+{
+    // The open window is a half-open interval [trip, trip + openNs): a
+    // request landing exactly at the boundary instant gets the probe,
+    // one an epsilon earlier still routes to the host. A probe verdict
+    // recorded at that same instant is honoured, and a failed probe
+    // restarts the cooldown from the boundary itself.
+    CircuitBreaker breaker(fastBreaker()); // openNs = 1000
+    for (unsigned i = 0; i < 4; ++i)
+        breaker.record(false, static_cast<double>(i)); // trips at t=3
+    ASSERT_EQ(breaker.state(), BreakerState::Open);
+
+    EXPECT_EQ(breaker.route(std::nextafter(1003.0, 0.0)),
+              DispatchRoute::Host);
+    EXPECT_EQ(breaker.route(1003.0), DispatchRoute::PimProbe);
+    EXPECT_EQ(breaker.state(), BreakerState::HalfOpen);
+
+    // Probe fails at the very boundary instant: re-open, cooldown
+    // restarting from 1003, so the next probe is at exactly 2003.
+    breaker.record(false, 1003.0);
+    ASSERT_EQ(breaker.state(), BreakerState::Open);
+    EXPECT_EQ(breaker.route(std::nextafter(2003.0, 0.0)),
+              DispatchRoute::Host);
+    EXPECT_EQ(breaker.route(2003.0), DispatchRoute::PimProbe);
+
+    // Probe succeeds at the boundary: the breaker closes and starts a
+    // fresh window (minSamples gate back in force before re-tripping).
+    breaker.record(true, 2003.0);
+    EXPECT_EQ(breaker.state(), BreakerState::Closed);
+    breaker.record(false, 2004.0);
+    breaker.record(false, 2005.0);
+    breaker.record(false, 2006.0);
+    EXPECT_EQ(breaker.state(), BreakerState::Closed); // 3 < minSamples
+    breaker.record(false, 2007.0);
+    EXPECT_EQ(breaker.state(), BreakerState::Open);
+    EXPECT_EQ(breaker.opens(), 3u);
+}
+
 TEST(CircuitBreaker, DisabledNeverTrips)
 {
     CircuitBreaker breaker; // default config: disabled
@@ -418,6 +456,78 @@ TEST(Resilience, QueuedRequestsTimeOutAtTheirDeadline)
     EXPECT_EQ(report.total.completed + report.total.timedOut, 4u);
     EXPECT_GT(report.total.timedOut, 0u);
     EXPECT_EQ(report.total.sloViolations, report.total.completed);
+}
+
+TEST(Resilience, DeadlineEqualToServiceTimeIsAdmittedAndMet)
+{
+    // The admission estimate sheds strictly-unreachable deadlines
+    // (estimate > deadline) and the SLO check flags strictly-late
+    // completions (complete > deadline). A deadline exactly equal to
+    // the batch-1 service time threads both boundaries: an idle engine
+    // admits it and the completion, landing at the deadline instant,
+    // is not a violation. An epsilon less and it is shed instead.
+    auto cache = std::make_shared<ServiceTimeCache>();
+    ShardServiceModel probe(smallSystem(), 16, cache);
+    const double svc1_ns = probe.serviceNs(tinyApp("tiny"), 1);
+    ASSERT_GT(svc1_ns, 0.0);
+
+    ServeConfig config = baseConfig(svc1_ns);
+    config.timingCache = cache;
+    ServingEngine exact(config);
+    EXPECT_TRUE(exact.submit(0, 0.0));
+    exact.drain();
+    const ServeReport met = exact.report();
+    EXPECT_EQ(met.total.completed, 1u);
+    EXPECT_EQ(met.total.shed, 0u);
+    EXPECT_EQ(met.total.sloViolations, 0u);
+    EXPECT_EQ(met.total.e2e.maxNs, svc1_ns); // bit-exact boundary
+
+    config.tenants[0].deadlineNs = std::nextafter(svc1_ns, 0.0);
+    ServingEngine tight(config);
+    EXPECT_FALSE(tight.submit(0, 0.0));
+    tight.drain();
+    EXPECT_EQ(tight.report().total.shed, 1u);
+    EXPECT_EQ(tight.report().total.completed, 0u);
+}
+
+TEST(Resilience, RetryBudgetExhaustionRacesQueueTimeoutExpiry)
+{
+    // Two requests arrive together on a always-failing shard. The
+    // first is dispatched immediately; its deadline passes mid-service,
+    // then its retry budget burns down through backoffs and it finally
+    // completes on the host path, late (an SLO violation, never a
+    // queue timeout: dispatch removes it from deadline-expiry reach).
+    // The second stays queued behind it and its deadline event fires
+    // during the first's backoff window (the race). Each request must
+    // land in exactly one terminal state.
+    auto cache = std::make_shared<ServiceTimeCache>();
+    ShardServiceModel probe(smallSystem(), 16, cache);
+    const double svc1_ns = probe.serviceNs(tinyApp("tiny"), 1);
+
+    ServeConfig config = baseConfig(0.5 * svc1_ns);
+    config.timingCache = cache;
+    config.deadlineAdmission = false; // optimistic: let the race happen
+    config.sched.maxBatch = 1;        // keep the second request queued
+    config.retry.maxRetries = 2;
+    config.retry.baseBackoffNs = 5.0 * svc1_ns;
+    config.retry.jitterFrac = 0.0;
+    ServingEngine engine(config);
+    FailUntil faults(1e15); // PIM never succeeds
+    engine.setFaultModel(&faults);
+
+    EXPECT_TRUE(engine.submit(0, 0.0));
+    EXPECT_TRUE(engine.submit(0, 0.0));
+    engine.drain();
+
+    const ServeReport report = engine.report();
+    report.reconcile();
+    EXPECT_EQ(report.total.submitted, 2u);
+    EXPECT_EQ(report.total.completed, 1u);
+    EXPECT_EQ(report.total.timedOut, 1u);
+    EXPECT_EQ(report.total.retries, 2u); // budget fully spent
+    EXPECT_EQ(report.total.fallbackCompleted, 1u);
+    EXPECT_EQ(report.total.sloViolations, 1u);
+    EXPECT_EQ(report.shards[0].batchFaults, 3u); // 1 try + 2 retries
 }
 
 TEST(Resilience, ChaosAccountingReconciles)
