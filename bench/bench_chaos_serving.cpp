@@ -369,9 +369,8 @@ jsonReport()
     std::ostringstream os;
     JsonWriter w(os, /*pretty=*/true);
     w.beginObject();
-    w.field("bench", "chaos_serving");
-    w.field("seed", g_seed);
-    w.field("smoke", g_smoke);
+    writeBenchPreamble(w, "chaos_serving", g_seed, g_smoke,
+                       "serving under injected faults on 1 PIM-HBM stack");
     w.field("capacity_rps", g_capacityRps);
     w.field("deadline_ns", g_deadlineNs);
     w.key("sweep").beginArray();

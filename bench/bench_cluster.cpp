@@ -509,9 +509,9 @@ jsonReport()
     std::ostringstream os;
     JsonWriter w(os, /*pretty=*/true);
     w.beginObject();
-    w.field("bench", "cluster");
-    w.field("seed", g_seed);
-    w.field("smoke", g_smoke);
+    writeBenchPreamble(w, "cluster", g_seed, g_smoke,
+                       "fault-tolerant cluster: replicated hosts, "
+                       "failover, hedged requests");
     w.field("hosts", kHosts);
     w.field("stacks_per_host", kStacksPerHost);
     w.field("attempt_ns", g_estNs);

@@ -127,7 +127,9 @@ writeJsonReport(const std::string &path)
     }
     JsonWriter w(os, /*pretty=*/true);
     w.beginObject();
-    w.field("bench", "fig10");
+    // Seed 0: the fig10 workloads are fixed shapes, nothing is drawn.
+    writeBenchPreamble(w, "fig10", 0, false,
+                       "paper fig. 10: PIM speedup per workload x batch");
     w.key("rows").beginArray();
     for (const auto &row : g_rows) {
         w.beginObject();

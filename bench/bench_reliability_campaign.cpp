@@ -231,8 +231,8 @@ writeJsonReport(const std::string &path)
     }
     JsonWriter w(os, /*pretty=*/true);
     w.beginObject();
-    w.field("bench", "reliability");
-    w.field("seed", kSeed);
+    writeBenchPreamble(w, "reliability", kSeed, false,
+                       "fault-injection campaign: error rate x ECC");
     w.field("kernels_per_cell", kKernels);
     w.field("elements", kElements);
     w.key("cells").beginArray();

@@ -290,8 +290,9 @@ writeJsonReport(const std::string &path)
     }
     JsonWriter w(os, /*pretty=*/true);
     w.beginObject();
-    w.field("bench", "serving");
-    w.field("seed", g_seed);
+    writeBenchPreamble(w, "serving", g_seed, false,
+                       "multi-tenant serving: policy x load sweep on 1 "
+                       "PIM-HBM stack");
     w.field("capacity_rps", g_capacityRps);
     w.key("open_loop").beginArray();
     for (const auto &c : g_cells) {

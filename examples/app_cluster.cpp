@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
 
@@ -38,7 +39,7 @@ usage(const char *prog)
                  "[--seed N]\n"
                  "          [--kill] [--straggler FACTOR] [--hedge] "
                  "[--no-failover]\n"
-                 "          [--trace-out=PATH]\n"
+                 "          [--json-out=PATH] [--trace-out=PATH]\n"
                  "  --hosts      replicated hosts, >= 1 (default 4)\n"
                  "  --stacks     PIM stacks per host, >= 1 (default 4)\n"
                  "  --load       offered load relative to cluster "
@@ -52,6 +53,8 @@ usage(const char *prog)
                  "delay\n"
                  "  --no-failover  static round-robin, no retries or "
                  "probes\n"
+                 "  --json-out=PATH  cluster report (with the seed) as "
+                 "JSON\n"
                  "  --trace-out=PATH  Chrome-trace timeline: per-host "
                  "health spans,\n"
                  "                    hedge/failover/probe instants "
@@ -68,6 +71,7 @@ parsePositive(const char *prog, const char *flag, const char *text,
     if (end == text || *end != '\0' || !(*out >= min_value)) {
         std::fprintf(stderr, "%s: bad %s '%s': expected a number >= %g\n",
                      prog, flag, text, min_value);
+        usage(prog);
         return false;
     }
     return true;
@@ -88,6 +92,7 @@ main(int argc, char **argv)
     double straggler = 1.0;
     bool hedge = false;
     bool failover = true;
+    std::string json_out;
     std::string trace_out;
 
     for (int i = 1; i < argc; ++i) {
@@ -95,6 +100,8 @@ main(int argc, char **argv)
         double v = 0.0;
         if (arg.rfind("--trace-out=", 0) == 0) {
             trace_out = arg.substr(12);
+        } else if (arg.rfind("--json-out=", 0) == 0) {
+            json_out = arg.substr(11);
         } else if (arg == "--hosts" && i + 1 < argc) {
             if (!parsePositive(argv[0], "--hosts", argv[++i], 1.0, &v))
                 return 2;
@@ -116,6 +123,7 @@ main(int argc, char **argv)
             if (end == text || *end != '\0') {
                 std::fprintf(stderr, "%s: bad --seed '%s'\n", argv[0],
                              text);
+                usage(argv[0]);
                 return 2;
             }
         } else if (arg == "--kill") {
@@ -259,6 +267,17 @@ main(int argc, char **argv)
                 r.e2e.p50Ns / 1e3, r.e2e.p95Ns / 1e3, r.e2e.p99Ns / 1e3,
                 r.e2e.maxNs / 1e3);
 
+    if (!json_out.empty()) {
+        std::ofstream os(json_out);
+        if (!os) {
+            std::fprintf(stderr, "%s: cannot open '%s'\n", argv[0],
+                         json_out.c_str());
+            return 1;
+        }
+        // Wrap the report so the seed rides along (replay provenance).
+        os << "{\"seed\": " << seed << ", \"report\": " << r.toJson()
+           << "}\n";
+    }
     if (!trace_out.empty() && !trace.writeFile(trace_out))
         return 1;
     return 0;

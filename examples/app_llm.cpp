@@ -1,0 +1,295 @@
+/**
+ * @file
+ * LLM decode-serving demo: continuous batching over a paged KV cache
+ * on one PIM-HBM stack.
+ *
+ *   $ ./app_llm                              # continuous batching, load 0.8
+ *   $ ./app_llm --policy admit-once          # padded static batches
+ *   $ ./app_llm --load 1.0 --deadline-ms 600 # saturate with a tight SLO
+ *   $ ./app_llm --burst 4                    # 4x arrival burst mid-run
+ *   $ ./app_llm --trace-out=trace.json       # pid-6 iteration/KV timeline
+ *   $ ./app_llm --stats-json=stats.json      # stats registry + seed dump
+ *
+ * Everything is deterministic: the same flags replay identically.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "common/json.h"
+#include "common/logging.h"
+#include "common/trace.h"
+#include "llm/engine.h"
+#include "llm/trace_gen.h"
+#include "serve/load_gen.h"
+#include "serve/service_model.h"
+
+using namespace pimsim;
+using namespace pimsim::llm;
+
+namespace {
+
+void
+usage(const char *prog)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--policy continuous|admit-once] [--load F]\n"
+                 "          [--deadline-ms N] [--requests N] [--burst F]\n"
+                 "          [--seed N] [--stats-json=PATH] "
+                 "[--trace-out=PATH]\n"
+                 "  --policy       batch scheduling policy (default "
+                 "continuous)\n"
+                 "  --load         offered load relative to request "
+                 "capacity, > 0 (default 0.8)\n"
+                 "  --deadline-ms  per-request completion SLO, 0 disables "
+                 "(default 0 = auto)\n"
+                 "  --requests     open-loop arrivals to draw (default "
+                 "2000)\n"
+                 "  --burst        arrival-rate multiplier for the middle "
+                 "20%% of the run, >= 1 (default 1)\n"
+                 "  --seed         arrival/length seed (default 1)\n"
+                 "  --stats-json=PATH  dump the stats registry (with the "
+                 "seed) as JSON\n"
+                 "  --trace-out=PATH   Chrome-trace timeline: decode "
+                 "iterations and KV\n"
+                 "                     occupancy on the pid-6 \"llm\" "
+                 "track\n",
+                 prog);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+
+    BatchPolicy policy = BatchPolicy::Continuous;
+    double load = 0.8;
+    double deadline_ms = 0.0; // 0 = auto (5x an unloaded p95 request)
+    unsigned requests = 2000;
+    double burst = 1.0;
+    std::uint64_t seed = 1;
+    std::string stats_json;
+    std::string trace_out;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--stats-json=", 0) == 0) {
+            stats_json = arg.substr(13);
+        } else if (arg.rfind("--trace-out=", 0) == 0) {
+            trace_out = arg.substr(12);
+        } else if (arg == "--policy" && i + 1 < argc) {
+            const std::string p = argv[++i];
+            if (p == "continuous") {
+                policy = BatchPolicy::Continuous;
+            } else if (p == "admit-once") {
+                policy = BatchPolicy::AdmitOnce;
+            } else {
+                std::fprintf(stderr, "%s: unknown policy '%s'\n", argv[0],
+                             p.c_str());
+                usage(argv[0]);
+                return 2;
+            }
+        } else if (arg == "--load" && i + 1 < argc) {
+            char *end = nullptr;
+            load = std::strtod(argv[++i], &end);
+            if (end == argv[i] || *end != '\0' || !(load > 0.0)) {
+                std::fprintf(stderr, "%s: bad --load '%s': expected a "
+                             "positive number\n", argv[0], argv[i]);
+                usage(argv[0]);
+                return 2;
+            }
+        } else if (arg == "--deadline-ms" && i + 1 < argc) {
+            char *end = nullptr;
+            deadline_ms = std::strtod(argv[++i], &end);
+            if (end == argv[i] || *end != '\0' || !(deadline_ms >= 0.0)) {
+                std::fprintf(stderr, "%s: bad --deadline-ms '%s': expected "
+                             "a non-negative number\n", argv[0], argv[i]);
+                usage(argv[0]);
+                return 2;
+            }
+        } else if (arg == "--requests" && i + 1 < argc) {
+            char *end = nullptr;
+            const unsigned long parsed = std::strtoul(argv[++i], &end, 10);
+            if (end == argv[i] || *end != '\0' || argv[i][0] == '-' ||
+                parsed < 1 || parsed > 1'000'000) {
+                std::fprintf(stderr, "%s: bad --requests '%s': expected an "
+                             "integer in [1, 1000000]\n", argv[0], argv[i]);
+                usage(argv[0]);
+                return 2;
+            }
+            requests = static_cast<unsigned>(parsed);
+        } else if (arg == "--burst" && i + 1 < argc) {
+            char *end = nullptr;
+            burst = std::strtod(argv[++i], &end);
+            if (end == argv[i] || *end != '\0' || !(burst >= 1.0)) {
+                std::fprintf(stderr, "%s: bad --burst '%s': expected a "
+                             "number >= 1\n", argv[0], argv[i]);
+                usage(argv[0]);
+                return 2;
+            }
+        } else if ((arg == "--seed" && i + 1 < argc) ||
+                   arg.rfind("--seed=", 0) == 0) {
+            const char *text =
+                arg[6] == '=' ? arg.c_str() + 7 : argv[++i];
+            char *end = nullptr;
+            const unsigned long long parsed =
+                std::strtoull(text, &end, 10);
+            if (end == text || *end != '\0' || text[0] == '-') {
+                std::fprintf(stderr, "%s: bad --seed '%s': expected a "
+                             "non-negative integer\n", argv[0], text);
+                usage(argv[0]);
+                return 2;
+            }
+            seed = parsed;
+        } else {
+            std::fprintf(stderr, "%s: unknown argument '%s'\n", argv[0],
+                         arg.c_str());
+            usage(argv[0]);
+            return 2;
+        }
+    }
+
+    LlmEngineConfig config;
+    config.system = SystemConfig::pimHbmSystem();
+    config.system.numStacks = 1;
+    config.decoder = DecoderSpec::tiny();
+    config.batcher.policy = policy;
+    config.batcher.maxBatch = 8;
+    config.timingCache = std::make_shared<serve::ServiceTimeCache>();
+
+    // Decode-heavy serving mix: short prompts, long generations.
+    LlmTrafficSpec traffic;
+    traffic.tenant = 0;
+    traffic.prompt = serve::LengthConfig{64.0, 0.6, 8, 256};
+    traffic.output = serve::LengthConfig{192.0, 0.6, 16, 640};
+    const serve::LengthSampler prompt_sampler(traffic.prompt);
+    const serve::LengthSampler out_sampler(traffic.output);
+
+    // Calibrate the device time one mean-length request demands end to
+    // end (prefill is the expensive part a naive token rate hides), so
+    // --load is expressed relative to request capacity.
+    std::printf("calibrating request demand...\n");
+    serve::ShardServiceModel model(config.system,
+                                   config.system.numChannels(),
+                                   config.timingCache);
+    const DecoderSpec &spec = config.decoder;
+    const auto prefill_ns = [&](unsigned ctx) {
+        const unsigned bucket = ctxBucket(ctx, config.prefillGranule);
+        return model.serviceNs(decodeFfnApp(spec), bucket) +
+               model.serviceNs(
+                   decodeAttnApp(spec, ctxBucket(ctx, config.ctxGranule)),
+                   std::max(1u, bucket / 2));
+    };
+    const double mean_prompt = prompt_sampler.analyticMean();
+    const double mean_out = out_sampler.analyticMean();
+    const unsigned mid_ctx =
+        static_cast<unsigned>(mean_prompt + 0.5 * mean_out);
+    const double tok_ns =
+        model.serviceNs(decodeFfnApp(spec), config.batcher.maxBatch) /
+            config.batcher.maxBatch +
+        model.serviceNs(
+            decodeAttnApp(spec, ctxBucket(mid_ctx, config.ctxGranule)), 1);
+    const double demand_ns =
+        prefill_ns(static_cast<unsigned>(mean_prompt)) + mean_out * tok_ns;
+    const double capacity_rps = 1e9 / demand_ns;
+
+    if (deadline_ms <= 0.0) {
+        const double p95_prompt = prompt_sampler.analyticQuantile(0.95);
+        const double p95_out = out_sampler.analyticQuantile(0.95);
+        const double tok1_ns =
+            model.serviceNs(decodeFfnApp(spec), 1) +
+            model.serviceNs(
+                decodeAttnApp(spec,
+                              ctxBucket(static_cast<unsigned>(p95_prompt +
+                                                              p95_out),
+                                        config.ctxGranule)),
+                1);
+        deadline_ms =
+            5.0 *
+            (prefill_ns(static_cast<unsigned>(p95_prompt)) +
+             p95_out * tok1_ns) /
+            1e6;
+    }
+    config.tenants = {LlmTenantSpec{"prod", deadline_ms * 1e6, 0}};
+
+    traffic.ratePerSec = load * capacity_rps;
+    const double horizon_ns =
+        static_cast<double>(requests) * 1e9 / traffic.ratePerSec;
+    serve::BurstSpec burst_window;
+    if (burst > 1.0) {
+        burst_window.startNs = 0.4 * horizon_ns;
+        burst_window.endNs = 0.6 * horizon_ns;
+        burst_window.factor = burst;
+    }
+    const auto arrivals =
+        drawLlmTrace({traffic}, horizon_ns, seed, burst_window);
+
+    LlmEngine engine(config);
+    TraceSession trace;
+    if (!trace_out.empty())
+        engine.setTrace(&trace);
+
+    std::printf("decoder %s on %u channels, policy %s, KV block %u "
+                "tokens\n",
+                spec.name.c_str(), config.system.numChannels(),
+                batchPolicyName(policy), engine.kv().blockTokens());
+    std::printf("request demand %.2f ms, capacity %.1f req/s; offered "
+                "%.2fx (%.1f req/s), deadline %.1f ms%s\n\n",
+                demand_ns / 1e6, capacity_rps, load, traffic.ratePerSec,
+                deadline_ms,
+                burst > 1.0 ? ", burst window armed" : "");
+
+    const LlmReport r = runOpenLoop(engine, arrivals);
+    r.reconcile();
+
+    const LlmTenantReport &t = r.total;
+    std::printf("completed %llu / %llu (rejected %llu, shed %llu, timed "
+                "out %llu)\n",
+                static_cast<unsigned long long>(t.completed),
+                static_cast<unsigned long long>(t.submitted),
+                static_cast<unsigned long long>(t.rejected),
+                static_cast<unsigned long long>(t.shed),
+                static_cast<unsigned long long>(t.timedOut));
+    std::printf("goodput %.0f tok/s (%llu SLO violations), %llu "
+                "iterations, mean batch %.2f, %llu preemptions\n",
+                t.goodputTokensPerSec,
+                static_cast<unsigned long long>(t.sloViolations),
+                static_cast<unsigned long long>(r.iterations),
+                r.meanBatch,
+                static_cast<unsigned long long>(t.preemptions));
+    std::printf("KV: %llu blocks allocated, peak resident %llu, %llu "
+                "alloc failures\n",
+                static_cast<unsigned long long>(r.kvBlocksAllocated),
+                static_cast<unsigned long long>(r.kvPeakResidentBlocks),
+                static_cast<unsigned long long>(r.kvAllocFailures));
+    std::printf("ttft: p50 %.1f ms, p99 %.1f ms\n", t.ttft.p50Ns / 1e6,
+                t.ttft.p99Ns / 1e6);
+    std::printf("normalized latency (e2e/token): p50 %.2f ms, p99 %.2f "
+                "ms\n",
+                t.perToken.p50Ns / 1e6, t.perToken.p99Ns / 1e6);
+    std::printf("e2e: p50 %.1f ms, p99 %.1f ms, max %.1f ms\n",
+                t.e2e.p50Ns / 1e6, t.e2e.p99Ns / 1e6, t.e2e.maxNs / 1e6);
+
+    if (!stats_json.empty()) {
+        std::ofstream os(stats_json);
+        if (!os) {
+            std::fprintf(stderr, "%s: cannot open '%s'\n", argv[0],
+                         stats_json.c_str());
+            return 1;
+        }
+        // Wrap the registry dump so the seed rides along with the stats
+        // (replay provenance).
+        os << "{\n  \"seed\": " << seed << ",\n  \"stats\": ";
+        engine.writeStats(os);
+        os << "\n}\n";
+    }
+    if (!trace_out.empty() && !trace.writeFile(trace_out))
+        return 1;
+    return 0;
+}

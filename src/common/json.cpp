@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <ctime>
 
 #include "common/logging.h"
 
@@ -462,6 +463,41 @@ bool
 validateJson(const std::string &text, std::string *error)
 {
     return Validator(text).run(error);
+}
+
+std::string
+iso8601Utc(std::int64_t unix_seconds)
+{
+    const std::time_t t = static_cast<std::time_t>(unix_seconds);
+    std::tm tm{};
+#if defined(_WIN32)
+    gmtime_s(&tm, &t);
+#else
+    gmtime_r(&t, &tm);
+#endif
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02dZ",
+                  tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                  tm.tm_min, tm.tm_sec);
+    return buf;
+}
+
+std::string
+iso8601UtcNow()
+{
+    return iso8601Utc(static_cast<std::int64_t>(std::time(nullptr)));
+}
+
+void
+writeBenchPreamble(JsonWriter &w, const std::string &bench,
+                   std::uint64_t seed, bool smoke,
+                   const std::string &config_summary)
+{
+    w.field("bench", bench);
+    w.field("seed", seed);
+    w.field("smoke", smoke);
+    w.field("config", config_summary);
+    w.field("generated_at", iso8601UtcNow());
 }
 
 } // namespace pimsim

@@ -89,6 +89,22 @@ class JsonWriter
  */
 bool validateJson(const std::string &text, std::string *error = nullptr);
 
+/** `unix_seconds` as an ISO-8601 UTC timestamp ("2026-01-31T08:15:00Z"). */
+std::string iso8601Utc(std::int64_t unix_seconds);
+
+/** The current wall clock as an ISO-8601 UTC timestamp. */
+std::string iso8601UtcNow();
+
+/**
+ * Emit the standard BENCH_*.json metadata preamble into an open object:
+ * bench name, campaign seed, smoke flag, one-line config summary, and
+ * the ISO-8601 generation timestamp. Every bench result writer uses
+ * this so downstream tooling can rely on one schema.
+ */
+void writeBenchPreamble(JsonWriter &w, const std::string &bench,
+                        std::uint64_t seed, bool smoke,
+                        const std::string &config_summary);
+
 } // namespace pimsim
 
 #endif // PIMSIM_COMMON_JSON_H

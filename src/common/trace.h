@@ -18,6 +18,9 @@
  *                      half-open spans, batch-fault instants)
  *   pid 5 "cluster"  — one tid per host (health-state spans, hedge /
  *                      failover / probe instants)
+ *   pid 6 "llm"      — tid 0: decode iterations (one span per
+ *                      iteration, batch-size args), tid 1: KV-cache
+ *                      occupancy spans between iteration boundaries
  */
 
 #ifndef PIMSIM_COMMON_TRACE_H
@@ -37,6 +40,7 @@ inline constexpr int kTracePidRuntime = 2;
 inline constexpr int kTracePidServing = 3;
 inline constexpr int kTracePidResilience = 4;
 inline constexpr int kTracePidCluster = 5;
+inline constexpr int kTracePidLlm = 6;
 
 /** One recorded trace event. */
 struct TraceEvent

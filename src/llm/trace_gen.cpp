@@ -1,0 +1,54 @@
+#include "llm/trace_gen.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace pimsim::llm {
+
+std::vector<LlmArrival>
+drawLlmTrace(const std::vector<LlmTrafficSpec> &specs, double horizon_ns,
+             std::uint64_t seed, const serve::BurstSpec &burst)
+{
+    std::vector<LlmArrival> out;
+    for (const LlmTrafficSpec &spec : specs) {
+        std::vector<serve::ArrivalSpec> one{{spec.tenant, spec.ratePerSec}};
+        const std::vector<serve::Arrival> times =
+            serve::burstyPoissonArrivals(one, horizon_ns, seed, burst);
+        // Length draws ride a distinct stream offset so adding/removing
+        // a burst (which changes how many uniforms the arrival process
+        // consumes) cannot silently reshape the lengths.
+        Rng lengths(seed ^ 0x11a5eed5ULL ^
+                    (0x9e3779b97f4a7c15ULL * (std::uint64_t{spec.tenant} + 1)));
+        const serve::LengthSampler promptLen(spec.prompt);
+        const serve::LengthSampler outputLen(spec.output);
+        for (const serve::Arrival &a : times) {
+            LlmArrival arrival;
+            arrival.ns = a.ns;
+            arrival.tenant = spec.tenant;
+            arrival.promptTokens = promptLen.sample(lengths);
+            arrival.outputTokens = outputLen.sample(lengths);
+            out.push_back(arrival);
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const LlmArrival &a, const LlmArrival &b) {
+                  return std::tie(a.ns, a.tenant) < std::tie(b.ns, b.tenant);
+              });
+    return out;
+}
+
+LlmReport
+runOpenLoop(LlmEngine &engine, const std::vector<LlmArrival> &arrivals)
+{
+    for (const LlmArrival &a : arrivals)
+        engine.submit(a.tenant, std::max(a.ns, engine.nowNs()),
+                      a.promptTokens, a.outputTokens);
+    engine.drain();
+    engine.takeCompletions();
+    return engine.report();
+}
+
+} // namespace pimsim::llm

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Production-shaped LLM traffic generation.
+ *
+ * Serving traces published from production LLM fleets share two shapes
+ * this module reproduces deterministically: token lengths are heavy-
+ * tailed (clamped lognormal prompt/output draws via the serving
+ * layer's LengthSampler) and arrivals are bursty (rate-multiplier
+ * windows realised by the thinning construction shared with
+ * ChaosCampaign). Every draw flows from one campaign seed, so a trace
+ * replays bit-identically.
+ */
+
+#ifndef PIMSIM_LLM_TRACE_GEN_H
+#define PIMSIM_LLM_TRACE_GEN_H
+
+#include <cstdint>
+#include <vector>
+
+#include "llm/engine.h"
+#include "serve/load_gen.h"
+
+namespace pimsim::llm {
+
+/** One tenant's LLM traffic description. */
+struct LlmTrafficSpec
+{
+    unsigned tenant = 0;
+    double ratePerSec = 0.0; ///< mean Poisson arrival rate
+    serve::LengthConfig prompt{512.0, 0.8, 8, 1536};
+    serve::LengthConfig output{64.0, 0.7, 4, 512};
+};
+
+/** A scheduled LLM submission. */
+struct LlmArrival
+{
+    double ns = 0.0;
+    unsigned tenant = 0;
+    unsigned promptTokens = 0;
+    unsigned outputTokens = 0;
+};
+
+/**
+ * Pre-draw a complete LLM trace over `horizon_ns`: (bursty) Poisson
+ * arrival times per tenant with lognormal prompt/output lengths
+ * attached, merged time-sorted. Deterministic in `seed`; pass an
+ * inactive BurstSpec for steady traffic.
+ */
+std::vector<LlmArrival>
+drawLlmTrace(const std::vector<LlmTrafficSpec> &specs, double horizon_ns,
+             std::uint64_t seed, const serve::BurstSpec &burst = {});
+
+/**
+ * Feed a pre-drawn trace through `engine`, then drain it.
+ * @return the engine's final report (reconciled by drain()).
+ */
+LlmReport runOpenLoop(LlmEngine &engine,
+                      const std::vector<LlmArrival> &arrivals);
+
+} // namespace pimsim::llm
+
+#endif // PIMSIM_LLM_TRACE_GEN_H

@@ -50,6 +50,121 @@ poissonArrivals(const std::vector<ArrivalSpec> &specs, double horizon_ns,
     return arrivals;
 }
 
+std::vector<Arrival>
+burstyPoissonArrivals(const std::vector<ArrivalSpec> &specs,
+                      double horizon_ns, std::uint64_t seed,
+                      const BurstSpec &burst)
+{
+    PIMSIM_ASSERT(horizon_ns > 0.0, "empty arrival horizon");
+    PIMSIM_ASSERT(burst.factor >= 0.0, "negative burst factor");
+    const double peak = std::max(1.0, burst.factor);
+    std::vector<Arrival> arrivals;
+    for (const auto &spec : specs) {
+        if (spec.ratePerSec <= 0.0)
+            continue;
+        Rng rng(streamSeed(seed, spec.tenant));
+        // Draw a homogeneous Poisson process at the envelope (peak)
+        // rate, then thin each candidate by accept probability
+        // rate(t) / peak_rate — the same construction ChaosCampaign
+        // uses for fault storms.
+        const double envelope_gap_ns = 1e9 / (spec.ratePerSec * peak);
+        double t = 0.0;
+        while (true) {
+            const double u = rng.nextDouble();
+            t += -std::log(1.0 - u) * envelope_gap_ns;
+            if (t > horizon_ns)
+                break;
+            const bool in_burst =
+                burst.active() && t >= burst.startNs && t < burst.endNs;
+            const double rate_factor = in_burst ? burst.factor : 1.0;
+            if (rng.nextDouble() < rate_factor / peak)
+                arrivals.push_back(Arrival{t, spec.tenant});
+        }
+    }
+    std::sort(arrivals.begin(), arrivals.end(),
+              [](const Arrival &a, const Arrival &b) {
+                  return std::tie(a.ns, a.tenant) < std::tie(b.ns, b.tenant);
+              });
+    return arrivals;
+}
+
+LengthSampler::LengthSampler(const LengthConfig &config) : config_(config)
+{
+    PIMSIM_ASSERT(config_.medianTokens > 0.0, "non-positive length median");
+    PIMSIM_ASSERT(config_.sigmaLog >= 0.0, "negative lognormal sigma");
+    PIMSIM_ASSERT(config_.minTokens >= 1 &&
+                      config_.minTokens <= config_.maxTokens,
+                  "bad length clamp range [", config_.minTokens, ", ",
+                  config_.maxTokens, "]");
+}
+
+unsigned
+LengthSampler::sample(Rng &rng) const
+{
+    // Box-Muller over two uniforms; 1 - u keeps the log argument
+    // positive since nextDouble() is in [0, 1).
+    const double u1 = rng.nextDouble();
+    const double u2 = rng.nextDouble();
+    constexpr double kTwoPi = 6.283185307179586476925286766559;
+    const double z = std::sqrt(-2.0 * std::log(1.0 - u1)) *
+                     std::cos(kTwoPi * u2);
+    const double mu = std::log(config_.medianTokens);
+    const double draw = std::exp(mu + config_.sigmaLog * z);
+    const double clamped =
+        std::min(static_cast<double>(config_.maxTokens),
+                 std::max(static_cast<double>(config_.minTokens), draw));
+    return static_cast<unsigned>(std::lround(clamped));
+}
+
+double
+LengthSampler::analyticMean() const
+{
+    const double mu = std::log(config_.medianTokens);
+    return std::exp(mu + 0.5 * config_.sigmaLog * config_.sigmaLog);
+}
+
+double
+LengthSampler::analyticQuantile(double p) const
+{
+    PIMSIM_ASSERT(p > 0.0 && p < 1.0, "quantile must be in (0, 1)");
+    // Acklam-style rational approximation of the standard normal
+    // quantile, accurate to ~1e-9 — plenty for test tolerances.
+    static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                               -2.759285104469687e+02, 1.383577518672690e+02,
+                               -3.066479806614716e+01, 2.506628277459239e+00};
+    static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                               -1.556989798598866e+02, 6.680131188771972e+01,
+                               -1.328068155288572e+01};
+    static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                               -2.400758277161838e+00, -2.549732539343734e+00,
+                               4.374664141464968e+00,  2.938163982698783e+00};
+    static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                               2.445134137142996e+00, 3.754408661907416e+00};
+    const double p_low = 0.02425;
+    double z;
+    if (p < p_low) {
+        const double q = std::sqrt(-2.0 * std::log(p));
+        z = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+             c[5]) /
+            ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    } else if (p <= 1.0 - p_low) {
+        const double q = p - 0.5;
+        const double r = q * q;
+        z = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+             a[5]) *
+            q /
+            (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r +
+             1.0);
+    } else {
+        const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+        z = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+              c[5]) /
+            ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+    const double mu = std::log(config_.medianTokens);
+    return std::exp(mu + config_.sigmaLog * z);
+}
+
 ServeReport
 runOpenLoop(ServingEngine &engine, const std::vector<Arrival> &arrivals)
 {

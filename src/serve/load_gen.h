@@ -12,6 +12,15 @@
  *    immediately (plus think time) triggers the next submission.
  *    Measures sustainable throughput without unbounded queues.
  *
+ * Production-shaped traffic additions:
+ *
+ *  - LengthSampler: clamped lognormal token-length draws (the standard
+ *    fit for prompt/output lengths in published serving traces).
+ *  - burstyPoissonArrivals: a piecewise-constant-rate Poisson process
+ *    realised by thinning against the peak-rate envelope (the same
+ *    technique ChaosCampaign uses for fault storms), so a burst window
+ *    multiplies the arrival rate without re-seeding the stream.
+ *
  * The same seed replays the same arrival sequence exactly.
  */
 
@@ -21,6 +30,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/rng.h"
 #include "serve/serving_engine.h"
 
 namespace pimsim::serve {
@@ -47,6 +57,64 @@ struct Arrival
 std::vector<Arrival> poissonArrivals(const std::vector<ArrivalSpec> &specs,
                                      double horizon_ns,
                                      std::uint64_t seed);
+
+/** A rate-multiplier window for bursty open-loop traffic. */
+struct BurstSpec
+{
+    /** Burst window [startNs, endNs) on the serving clock. */
+    double startNs = 0.0;
+    double endNs = 0.0;
+    /** Arrival-rate multiplier inside the window (>= 0; 1 = no burst). */
+    double factor = 1.0;
+
+    bool active() const { return factor != 1.0 && endNs > startNs; }
+};
+
+/**
+ * Poisson arrivals whose rate is each tenant's base rate outside the
+ * burst window and `factor` times it inside, realised by thinning
+ * against the peak-rate envelope. Deterministic in `seed`; with an
+ * inactive burst the draw sequence differs from poissonArrivals (the
+ * envelope draw consumes more randomness) but the statistics match.
+ */
+std::vector<Arrival>
+burstyPoissonArrivals(const std::vector<ArrivalSpec> &specs,
+                      double horizon_ns, std::uint64_t seed,
+                      const BurstSpec &burst);
+
+/** Clamped-lognormal token-length distribution. */
+struct LengthConfig
+{
+    /** Median of the unclamped lognormal (= exp(mu)), in tokens. */
+    double medianTokens = 128.0;
+    /** Lognormal shape parameter (sigma of the underlying normal). */
+    double sigmaLog = 0.7;
+    /** Clamp range (inclusive); production traces are always bounded
+     *  by tokenizer context limits. */
+    unsigned minTokens = 1;
+    unsigned maxTokens = 4096;
+};
+
+/** Deterministic sampler over one LengthConfig. */
+class LengthSampler
+{
+  public:
+    explicit LengthSampler(const LengthConfig &config);
+
+    /** One clamped-lognormal draw (consumes two uniforms from `rng`). */
+    unsigned sample(Rng &rng) const;
+
+    /** Analytic mean of the unclamped lognormal: exp(mu + sigma^2/2). */
+    double analyticMean() const;
+
+    /** Analytic p-th quantile of the unclamped lognormal. */
+    double analyticQuantile(double p) const;
+
+    const LengthConfig &config() const { return config_; }
+
+  private:
+    LengthConfig config_;
+};
 
 /**
  * Feed a pre-drawn arrival sequence through `engine`, then drain it.

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Load-generation tests: lognormal length sampling pinned against its
+ * analytic moments, clamping, bursty (thinned) Poisson arrivals, and
+ * deterministic replay of drawn traces.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "serve/load_gen.h"
+
+namespace pimsim::serve {
+namespace {
+
+// ------------------------------------------------------------------
+// LengthSampler: empirical moments vs analytic predictions
+// ------------------------------------------------------------------
+
+TEST(LengthSampler, EmpiricalMeanMatchesAnalytic)
+{
+    LengthConfig cfg;
+    cfg.medianTokens = 128.0;
+    cfg.sigmaLog = 0.7;
+    cfg.minTokens = 1;
+    cfg.maxTokens = 100'000; // effectively unclamped
+    LengthSampler sampler(cfg);
+
+    Rng rng(0x10ad5eed);
+    const unsigned n = 20'000;
+    double sum = 0.0;
+    for (unsigned i = 0; i < n; ++i)
+        sum += sampler.sample(rng);
+    const double mean = sum / n;
+    // Lognormal mean = median * exp(sigma^2 / 2).
+    EXPECT_NEAR(sampler.analyticMean(), 128.0 * std::exp(0.49 / 2.0),
+                1e-9);
+    EXPECT_NEAR(mean, sampler.analyticMean(),
+                0.03 * sampler.analyticMean());
+}
+
+TEST(LengthSampler, EmpiricalP95MatchesAnalyticQuantile)
+{
+    LengthConfig cfg;
+    cfg.medianTokens = 128.0;
+    cfg.sigmaLog = 0.7;
+    cfg.minTokens = 1;
+    cfg.maxTokens = 100'000;
+    LengthSampler sampler(cfg);
+
+    Rng rng(0xfeed1);
+    std::vector<unsigned> draws(20'000);
+    for (auto &d : draws)
+        d = sampler.sample(rng);
+    std::sort(draws.begin(), draws.end());
+    const double p95_emp =
+        draws[static_cast<std::size_t>(0.95 * draws.size())];
+    const double p95_ana = sampler.analyticQuantile(0.95);
+    // Acklam's normal quantile is good to ~1e-9; the sampling error at
+    // n=20k dominates the tolerance.
+    EXPECT_NEAR(p95_ana, 128.0 * std::exp(0.7 * 1.6448536269514722),
+                0.01 * p95_ana);
+    EXPECT_NEAR(p95_emp, p95_ana, 0.05 * p95_ana);
+    // Median passes through unchanged.
+    EXPECT_NEAR(sampler.analyticQuantile(0.5), 128.0, 1e-6);
+}
+
+TEST(LengthSampler, ClampsToConfiguredRange)
+{
+    LengthConfig cfg;
+    cfg.medianTokens = 128.0;
+    cfg.sigmaLog = 1.5; // heavy tails exercise both clamps
+    cfg.minTokens = 64;
+    cfg.maxTokens = 256;
+    LengthSampler sampler(cfg);
+
+    Rng rng(3);
+    bool hit_min = false, hit_max = false;
+    for (unsigned i = 0; i < 5'000; ++i) {
+        const unsigned d = sampler.sample(rng);
+        ASSERT_GE(d, 64u);
+        ASSERT_LE(d, 256u);
+        hit_min |= d == 64u;
+        hit_max |= d == 256u;
+    }
+    EXPECT_TRUE(hit_min);
+    EXPECT_TRUE(hit_max);
+}
+
+TEST(LengthSampler, DeterministicForFixedSeed)
+{
+    LengthConfig cfg;
+    LengthSampler sampler(cfg);
+    Rng a(99), b(99);
+    for (unsigned i = 0; i < 100; ++i)
+        ASSERT_EQ(sampler.sample(a), sampler.sample(b));
+}
+
+// ------------------------------------------------------------------
+// Bursty arrivals (thinned Poisson)
+// ------------------------------------------------------------------
+
+TEST(BurstyArrivals, WindowRateMatchesFactor)
+{
+    const double horizon_ns = 1e9; // one virtual second
+    BurstSpec burst;
+    burst.startNs = 0.4e9;
+    burst.endNs = 0.6e9;
+    burst.factor = 4.0;
+    const auto arrivals = burstyPoissonArrivals(
+        {ArrivalSpec{0, 2000.0}}, horizon_ns, 77, burst);
+
+    std::size_t inside = 0, outside = 0;
+    for (const auto &a : arrivals)
+        (a.ns >= burst.startNs && a.ns < burst.endNs ? inside : outside)
+            ++;
+    // Inside: 0.2 s at 8000/s = 1600 expected; outside: 0.8 s at
+    // 2000/s = 1600 expected. The ratio of *rates* is the burst factor.
+    const double rate_in = static_cast<double>(inside) / 0.2;
+    const double rate_out = static_cast<double>(outside) / 0.8;
+    EXPECT_NEAR(rate_in / rate_out, 4.0, 0.5);
+    EXPECT_NEAR(rate_out, 2000.0, 150.0);
+
+    // Arrivals are time-ordered.
+    for (std::size_t i = 1; i < arrivals.size(); ++i)
+        ASSERT_GE(arrivals[i].ns, arrivals[i - 1].ns);
+}
+
+TEST(BurstyArrivals, InactiveBurstMatchesPlainPoisson)
+{
+    const auto plain = burstyPoissonArrivals({ArrivalSpec{0, 1000.0}},
+                                             1e9, 5, BurstSpec{});
+    // factor 1 inside a window is also a no-op envelope-wise.
+    BurstSpec unit;
+    unit.startNs = 0.2e9;
+    unit.endNs = 0.5e9;
+    unit.factor = 1.0;
+    const auto with_unit = burstyPoissonArrivals({ArrivalSpec{0, 1000.0}},
+                                                 1e9, 5, unit);
+    ASSERT_EQ(plain.size(), with_unit.size());
+    for (std::size_t i = 0; i < plain.size(); ++i)
+        ASSERT_EQ(plain[i].ns, with_unit[i].ns);
+    EXPECT_NEAR(static_cast<double>(plain.size()), 1000.0, 100.0);
+}
+
+TEST(BurstyArrivals, DeterministicForFixedSeed)
+{
+    BurstSpec burst;
+    burst.startNs = 0.1e9;
+    burst.endNs = 0.3e9;
+    burst.factor = 3.0;
+    const auto a = burstyPoissonArrivals({ArrivalSpec{0, 500.0}}, 1e9,
+                                         123, burst);
+    const auto b = burstyPoissonArrivals({ArrivalSpec{0, 500.0}}, 1e9,
+                                         123, burst);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i].ns, b[i].ns);
+        ASSERT_EQ(a[i].tenant, b[i].tenant);
+    }
+}
+
+} // namespace
+} // namespace pimsim::serve
