@@ -32,21 +32,27 @@
  *   --smoke          shrink horizons/rates for CI sanitizer runs
  *   --seed=N         override the arrival/fault/retry seed (recorded in
  *                    the JSON output)
+ *   --trace-out=FILE Chrome-trace timeline of the fault-burst run
+ *                    (tail-sampled per-request span trees)
  */
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench_common.h"
 #include "common/json.h"
+#include "common/reqtrace.h"
+#include "common/trace.h"
 #include "serve/chaos.h"
 #include "serve/load_gen.h"
 #include "serve/serving_engine.h"
@@ -141,6 +147,9 @@ std::vector<ChaosCell> g_cells;
 BurstResult g_burst;
 double g_capacityRps = 0.0;
 double g_deadlineNs = 0.0;
+std::string g_traceOut;   // --trace-out=: trace the fault-burst run
+TraceSession g_trace;
+RunSelfMetrics g_self;
 
 ServeConfig
 makeConfig(Policy policy, double deadline_ns, double batch_timeout_ns,
@@ -201,6 +210,7 @@ runSweep()
     if (!g_cells.empty())
         return;
     setQuiet(true);
+    const auto wall_start = std::chrono::steady_clock::now();
 
     auto cache = std::make_shared<ServiceTimeCache>();
 
@@ -247,6 +257,7 @@ runSweep()
             cell.report = runOpenLoop(engine, arrivals);
             cell.report.reconcile();
             fillDerived(cell, cell.report.horizonNs);
+            g_self.simulatedNs += engine.nowNs();
             g_cells.push_back(std::move(cell));
         }
     }
@@ -266,6 +277,16 @@ runSweep()
         chaos_config.seed = g_seed ^ 0xb025;
         ChaosCampaign chaos(chaos_config, engine.plan().numShards());
         engine.setFaultModel(&chaos);
+        // Trace the burst: the run where failover/retry span trees and
+        // deadline misses are actually present.
+        std::unique_ptr<RequestTracer> tracer;
+        if (!g_traceOut.empty()) {
+            engine.setTrace(&g_trace);
+            RequestTracerConfig rc;
+            rc.seed = g_seed;
+            tracer = std::make_unique<RequestTracer>(rc);
+            engine.setRequestTracer(tracer.get());
+        }
 
         // Drive the engine directly (runOpenLoop discards the raw
         // completion stream, which the windowed p99 needs).
@@ -274,6 +295,9 @@ runSweep()
         for (const auto &a : burst_arrivals)
             engine.submit(a.tenant, std::max(a.ns, engine.nowNs()));
         engine.drain();
+        g_self.simulatedNs += engine.nowNs();
+        if (tracer)
+            tracer->flush(g_trace);
         const auto completions = engine.takeCompletions();
         g_burst.report = engine.report();
         g_burst.report.reconcile();
@@ -301,6 +325,12 @@ runSweep()
         g_burst.p99DuringNs = p99(during);
         g_burst.p99AfterNs = p99(after);
     }
+
+    g_self.wallMs = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - wall_start)
+                        .count();
+    g_self.traceEventsRecorded = g_trace.recordedEvents();
+    g_self.traceEventsDropped = g_trace.droppedEvents();
 }
 
 void
@@ -370,7 +400,8 @@ jsonReport()
     JsonWriter w(os, /*pretty=*/true);
     w.beginObject();
     writeBenchPreamble(w, "chaos_serving", g_seed, g_smoke,
-                       "serving under injected faults on 1 PIM-HBM stack");
+                       "serving under injected faults on 1 PIM-HBM stack",
+                       &g_self);
     w.field("capacity_rps", g_capacityRps);
     w.field("deadline_ns", g_deadlineNs);
     w.key("sweep").beginArray();
@@ -455,6 +486,8 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         if (std::strncmp(argv[i], "--json-out=", 11) == 0)
             json_out = argv[i] + 11;
+        else if (std::strncmp(argv[i], "--trace-out=", 12) == 0)
+            g_traceOut = argv[i] + 12;
         else if (std::strcmp(argv[i], "--smoke") == 0)
             g_smoke = true;
         else if (std::strncmp(argv[i], "--seed=", 7) == 0)
@@ -479,6 +512,8 @@ main(int argc, char **argv)
     benchmark::RunSpecifiedBenchmarks();
     printResults();
     if (!json_out.empty() && !writeJsonReport(json_out))
+        return 1;
+    if (!g_traceOut.empty() && !g_trace.writeFile(g_traceOut))
         return 1;
     return 0;
 }

@@ -35,15 +35,19 @@
  *   --json-out=FILE  result file (default BENCH_cluster.json; "" disables)
  *   --smoke          shrink request counts for CI sanitizer runs
  *   --seed=N         override the campaign seed (recorded in the JSON)
+ *   --trace-out=FILE Chrome-trace timeline of the kill/failover run
+ *                    (tail-sampled per-request span trees, SLO alerts)
  */
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -51,6 +55,9 @@
 #include "bench_common.h"
 #include "cluster/cluster_engine.h"
 #include "common/json.h"
+#include "common/reqtrace.h"
+#include "common/slo.h"
+#include "common/trace.h"
 #include "serve/chaos.h"
 #include "serve/load_gen.h"
 
@@ -118,6 +125,11 @@ KillResult g_kill;
 KillResult g_noFailover;
 StragglerResult g_hedged;
 StragglerResult g_unhedged;
+std::unique_ptr<SloMonitor> g_sloFailover;   // burn-rate monitor, kill run
+std::unique_ptr<SloMonitor> g_sloNoFailover; // same feed, naive cluster
+std::string g_traceOut; // --trace-out=: trace the kill/failover run
+TraceSession g_trace;
+RunSelfMetrics g_self;
 bool g_replayIdentical = false;
 double g_capacityRps = 0.0;
 double g_offeredRps = 0.0;
@@ -181,12 +193,20 @@ arrivalTimes(double rate_rps, double horizon_ns, std::uint64_t seed)
 
 ClusterReport
 run(ClusterEngine &eng, serve::ChaosCampaign &chaos,
-    const std::vector<double> &arrivals, std::vector<Window> *windows)
+    const std::vector<double> &arrivals, std::vector<Window> *windows,
+    SloMonitor *slo = nullptr)
 {
     eng.setFaultModel(&chaos);
     for (const double ns : arrivals)
         eng.submit(std::max(ns, eng.nowNs()));
     eng.drain();
+    g_self.simulatedNs += eng.nowNs();
+    if (slo != nullptr) {
+        // Observations carry their own timestamps, so one post-run feed
+        // bins them into the right windows.
+        slo->feed(eng.takeSloObservations());
+        slo->finish(eng.nowNs());
+    }
     const auto completions = eng.takeCompletions();
     if (windows != nullptr) {
         for (const ClusterCompletion &c : completions) {
@@ -294,6 +314,7 @@ runExperiments()
         return;
     done = true;
     setQuiet(true);
+    const auto wall_start = std::chrono::steady_clock::now();
 
     auto cache = std::make_shared<serve::ServiceTimeCache>();
     ClusterConfig cfg = baseConfig(cache);
@@ -315,13 +336,30 @@ runExperiments()
     const auto arrivals =
         arrivalTimes(g_offeredRps, g_horizonNs, g_seed ^ 0xa221);
 
+    SloMonitorConfig slo_config;
+    slo_config.windowNs = g_horizonNs / 100.0;
+
     // --- Host kill, failover on ---------------------------------------
     {
         ClusterEngine eng(cfg);
+        std::unique_ptr<RequestTracer> tracer;
+        if (!g_traceOut.empty()) {
+            eng.setTrace(&g_trace);
+            RequestTracerConfig rc;
+            rc.seed = g_seed;
+            tracer = std::make_unique<RequestTracer>(rc);
+            eng.setRequestTracer(tracer.get());
+        }
         auto chaos = killCampaign();
         g_kill.windows = makeWindows();
-        g_kill.report = run(eng, chaos, arrivals, &g_kill.windows);
+        g_sloFailover = std::make_unique<SloMonitor>(slo_config);
+        g_kill.report =
+            run(eng, chaos, arrivals, &g_kill.windows, g_sloFailover.get());
         analyzeKill(g_kill);
+        if (tracer) {
+            tracer->flush(g_trace);
+            g_sloFailover->emitTrace(g_trace);
+        }
     }
 
     // --- Host kill, failover off (ablation) ---------------------------
@@ -334,8 +372,10 @@ runExperiments()
         ClusterEngine eng(naive);
         auto chaos = killCampaign();
         g_noFailover.windows = makeWindows();
-        g_noFailover.report =
-            run(eng, chaos, arrivals, &g_noFailover.windows);
+        g_sloNoFailover = std::make_unique<SloMonitor>(slo_config);
+        g_noFailover.report = run(eng, chaos, arrivals,
+                                  &g_noFailover.windows,
+                                  g_sloNoFailover.get());
         analyzeKill(g_noFailover);
     }
 
@@ -408,6 +448,23 @@ runExperiments()
           "hedged episode p99 " + fmtNs(g_hedged.episodeP99Ns) +
               " not below unhedged " + fmtNs(g_unhedged.episodeP99Ns));
     check(g_replayIdentical, "same-seed replay diverged");
+
+    // Burn-rate alerting: the naive cluster drops host 0's share of the
+    // traffic on the floor during the kill, so the monitor must page
+    // inside the crash window — and must be quiet in steady state
+    // before the crash, in both runs.
+    check(g_sloNoFailover->firingBetween(g_crashStartNs, g_crashEndNs),
+          "no-failover: no SLO burn alert fired during the kill window");
+    check(!g_sloNoFailover->firingBetween(0.0, g_crashStartNs),
+          "no-failover: SLO alert fired before the crash (steady state)");
+    check(!g_sloFailover->firingBetween(0.0, g_crashStartNs),
+          "failover: SLO alert fired before the crash (steady state)");
+
+    g_self.wallMs = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - wall_start)
+                        .count();
+    g_self.traceEventsRecorded = g_trace.recordedEvents();
+    g_self.traceEventsDropped = g_trace.droppedEvents();
 }
 
 void
@@ -461,9 +518,18 @@ printResults()
 
     std::printf("\nsame-seed replay bit-identical: %s\n",
                 g_replayIdentical ? "yes" : "NO");
+    std::printf("slo alerts (no-failover): fired in kill window %s, "
+                "quiet pre-crash %s\n",
+                g_sloNoFailover->firingBetween(g_crashStartNs,
+                                               g_crashEndNs)
+                    ? "yes"
+                    : "NO",
+                g_sloNoFailover->firingBetween(0.0, g_crashStartNs)
+                    ? "NO"
+                    : "yes");
     if (g_failures.empty()) {
         std::printf("all %d acceptance checks passed\n",
-                    g_smoke ? 8 : 9);
+                    g_smoke ? 11 : 12);
     } else {
         for (const auto &f : g_failures)
             std::fprintf(stderr, "ACCEPTANCE FAILURE: %s\n", f.c_str());
@@ -511,7 +577,8 @@ jsonReport()
     w.beginObject();
     writeBenchPreamble(w, "cluster", g_seed, g_smoke,
                        "fault-tolerant cluster: replicated hosts, "
-                       "failover, hedged requests");
+                       "failover, hedged requests",
+                       &g_self);
     w.field("hosts", kHosts);
     w.field("stacks_per_host", kStacksPerHost);
     w.field("attempt_ns", g_estNs);
@@ -522,9 +589,17 @@ jsonReport()
     w.field("crash_end_ns", g_crashEndNs);
     w.key("kill_failover").beginObject();
     writeKill(w, g_kill);
+    w.key("slo");
+    g_sloFailover->writeJson(w);
     w.endObject();
     w.key("kill_no_failover").beginObject();
     writeKill(w, g_noFailover);
+    w.field("slo_fired_in_crash",
+            g_sloNoFailover->firingBetween(g_crashStartNs, g_crashEndNs));
+    w.field("slo_fired_pre_crash",
+            g_sloNoFailover->firingBetween(0.0, g_crashStartNs));
+    w.key("slo");
+    g_sloNoFailover->writeJson(w);
     w.endObject();
     w.key("straggler").beginObject();
     w.field("hedged_p99_ns", g_hedged.episodeP99Ns);
@@ -607,6 +682,8 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         if (std::strncmp(argv[i], "--json-out=", 11) == 0)
             json_out = argv[i] + 11;
+        else if (std::strncmp(argv[i], "--trace-out=", 12) == 0)
+            g_traceOut = argv[i] + 12;
         else if (std::strcmp(argv[i], "--smoke") == 0)
             g_smoke = true;
         else if (std::strncmp(argv[i], "--seed=", 7) == 0)
@@ -629,6 +706,8 @@ main(int argc, char **argv)
     benchmark::RunSpecifiedBenchmarks();
     printResults();
     if (!json_out.empty() && !writeJsonReport(json_out))
+        return 1;
+    if (!g_traceOut.empty() && !g_trace.writeFile(g_traceOut))
         return 1;
     return g_failures.empty() ? 0 : 1;
 }

@@ -31,16 +31,21 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "bench_common.h"
 #include "common/json.h"
+#include "common/reqtrace.h"
+#include "common/slo.h"
 #include "common/trace.h"
 #include "llm/trace_gen.h"
 #include "serve/load_gen.h"
@@ -68,10 +73,33 @@ struct Cell
     LlmReport report;
 };
 
+/** Outcome of the tail-based-sampling experiment (one overload run). */
+struct TailResult
+{
+    std::uint64_t requests = 0;
+    std::uint64_t tracesEnded = 0;
+    std::uint64_t kept = 0;
+    std::uint64_t mustKeep = 0;
+    std::uint64_t headSampled = 0;
+    std::uint64_t slowKept = 0;
+    std::uint64_t eventsFlushed = 0;
+    std::uint64_t eventsTruncated = 0;
+    std::uint64_t eventsRecorded = 0;
+    std::uint64_t eventsDropped = 0;
+    std::uint64_t mustKeepFloor = 0; ///< bad terminals from the report
+    std::uint64_t exemplars = 0;
+    std::uint64_t exemplarMisses = 0; ///< exemplar ids not in the kept set
+    std::vector<std::uint64_t> keptIds; ///< sorted, for the replay diff
+};
+
 std::vector<Cell> g_cells;
 double g_perTokenNs = 0.0;  ///< calibrated full-batch time per token
 double g_capacityTps = 0.0; ///< calibrated decode tokens per second
 bool g_replayIdentical = false;
+TailResult g_tail;
+bool g_tailReplayIdentical = false;
+std::unique_ptr<SloMonitor> g_tailSlo;
+RunSelfMetrics g_self;
 std::vector<std::string> g_failures;
 std::string g_traceOut;
 
@@ -239,6 +267,114 @@ runCell(BatchPolicy policy, double load, bool long_outputs,
     return cell;
 }
 
+/**
+ * Tail-based-sampling experiment: one continuous-batching run pushed
+ * into overload (every deadline miss / shed / preemption is a must-keep
+ * trace), short outputs so the event volume is bounded by policy, not
+ * by luck. Fills `out` with the tracer's accounting and the sorted
+ * kept-trace-id set; the caller runs it twice to prove the kept set is
+ * seed-deterministic.
+ */
+std::unique_ptr<SloMonitor>
+runTail(const std::shared_ptr<serve::ServiceTimeCache> &cache,
+        TailResult *out)
+{
+    LlmTrafficSpec traffic;
+    traffic.tenant = 0;
+    traffic.prompt = promptProfile();
+    // ~16-token outputs: even with ~half the 100k requests kept as
+    // must-keep under overload, the flushed volume stays well inside
+    // the session's 4M-event budget (~40 events per kept trace).
+    traffic.output = serve::LengthConfig{16.0, 0.6, 4, 64};
+
+    const DecoderSpec spec = DecoderSpec::tiny();
+    serve::ShardServiceModel model(benchSystem(),
+                                   benchSystem().numChannels(), cache);
+    const serve::LengthSampler prompt_sampler(traffic.prompt);
+    const serve::LengthSampler out_sampler(traffic.output);
+    const double demand_ns =
+        requestDemandNs(model, spec, prompt_sampler.analyticMean(),
+                        out_sampler.analyticMean());
+    const double capacity_rps = 1e9 / demand_ns;
+    traffic.ratePerSec = 1.1 * capacity_rps; // sustained mild overload
+
+    const double p95_prompt = prompt_sampler.analyticQuantile(0.95);
+    const double p95_out = out_sampler.analyticQuantile(0.95);
+    const double tok1_ns =
+        model.serviceNs(decodeFfnApp(spec), 1) +
+        model.serviceNs(
+            decodeAttnApp(spec, ctxBucket(static_cast<unsigned>(
+                                              p95_prompt + p95_out),
+                                          128)),
+            1);
+    const double deadline_ns =
+        5.0 * (prefillNs(model, spec,
+                         static_cast<unsigned>(p95_prompt)) +
+               p95_out * tok1_ns);
+
+    const std::uint64_t n = g_smoke ? 5'000 : 100'000;
+    const double horizon_ns =
+        static_cast<double>(n) * 1e9 / traffic.ratePerSec;
+    const auto arrivals =
+        drawLlmTrace({traffic}, horizon_ns, g_seed ^ 0x7a11e);
+
+    SloMonitorConfig slo_config;
+    slo_config.windowNs = horizon_ns / 100.0;
+    auto slo = std::make_unique<SloMonitor>(slo_config);
+
+    LlmEngine engine(cellConfig(BatchPolicy::Continuous, deadline_ns,
+                                cache));
+    TraceSession trace;
+    engine.setTrace(&trace);
+    RequestTracerConfig rc;
+    rc.seed = g_seed;
+    rc.headSampleRate = 0.01;
+    RequestTracer tracer(rc);
+    engine.setRequestTracer(&tracer);
+
+    const LlmReport report = runOpenLoop(engine, arrivals);
+    report.reconcile();
+    g_self.simulatedNs += engine.nowNs();
+    slo->feed(engine.takeSloObservations());
+    slo->finish(engine.nowNs());
+    tracer.flush(trace);
+
+    out->requests = report.total.submitted;
+    out->tracesEnded = tracer.tracesEnded();
+    out->kept = tracer.keptTraceIds().size();
+    out->mustKeep = tracer.mustKeepCount();
+    out->headSampled = tracer.headSampledCount();
+    out->slowKept = tracer.slowKeptCount();
+    out->eventsFlushed = tracer.eventsFlushed();
+    out->eventsTruncated = tracer.eventsTruncated();
+    out->eventsRecorded = trace.recordedEvents();
+    out->eventsDropped = trace.droppedEvents();
+    // Every request with a bad terminal is must-keep by definition;
+    // the report gives an external floor the tracer cannot undercut.
+    const LlmTenantReport &t = report.total;
+    out->mustKeepFloor =
+        t.rejected + t.shed + t.timedOut + t.sloViolations;
+
+    // Exemplars pruned to the kept set must all resolve.
+    engine.statsRegistry().retainExemplars(tracer.keptTraceIds());
+    const auto &kept_set = tracer.keptTraceIds();
+    for (const Histogram *h :
+         {&engine.ttftHistogram(0), &engine.e2eHistogram(0)}) {
+        for (const auto &[bucket, slot] : h->exemplars()) {
+            (void)bucket;
+            for (const auto &ex : slot) {
+                ++out->exemplars;
+                if (kept_set.find(ex.traceId) == kept_set.end())
+                    ++out->exemplarMisses;
+            }
+        }
+    }
+
+    out->keptIds.assign(kept_set.begin(), kept_set.end());
+    std::sort(out->keptIds.begin(), out->keptIds.end());
+    return slo;
+}
+
 std::string
 cellJson(const Cell &cell)
 {
@@ -287,6 +423,7 @@ runExperiments()
         return;
     done = true;
     setQuiet(true);
+    const auto wall_start = std::chrono::steady_clock::now();
 
     auto cache = std::make_shared<serve::ServiceTimeCache>();
     calibrate(cache);
@@ -327,6 +464,14 @@ runExperiments()
         trace.writeFile(g_traceOut);
     }
 
+    // --- Tail-based sampling under sustained overload ------------------
+    {
+        g_tailSlo = runTail(cache, &g_tail); // the measurement
+        TailResult replay;
+        runTail(cache, &replay); // second run: kept-set determinism
+        g_tailReplayIdentical = replay.keptIds == g_tail.keptIds;
+    }
+
     // --- In-binary acceptance checks ----------------------------------
     const double top_load = loads.back();
     for (std::size_t i = 0; i + 1 < g_cells.size(); i += 2) {
@@ -355,6 +500,40 @@ runExperiments()
               "KV blocks leaked in " + std::string(batchPolicyName(
                   cell.policy)) + "/" + fmt(cell.load, 1));
     check(g_replayIdentical, "same-seed replay diverged");
+
+    // Tail-based sampling contract: every must-keep request kept (the
+    // report's bad-terminal count is an external floor), the kept set
+    // exactly partitioned across keep classes, nothing dropped at the
+    // session, the event volume bounded, exemplars resolving, and the
+    // kept-trace-id set bit-identical under the same seed.
+    check(g_tail.mustKeep >= g_tail.mustKeepFloor,
+          "tracer must-keep " + std::to_string(g_tail.mustKeep) +
+              " below the report's bad-terminal floor " +
+              std::to_string(g_tail.mustKeepFloor));
+    check(g_tail.kept ==
+              g_tail.mustKeep + g_tail.headSampled + g_tail.slowKept,
+          "kept traces do not partition into must-keep + head + slow");
+    check(g_tail.eventsDropped == 0,
+          "trace session dropped " +
+              std::to_string(g_tail.eventsDropped) + " events");
+    check(g_tail.eventsRecorded < 4'000'000,
+          "tail run recorded " + std::to_string(g_tail.eventsRecorded) +
+              " events, over the 4M budget");
+    check(g_tail.exemplars > 0 && g_tail.exemplarMisses == 0,
+          "histogram exemplars reference discarded traces (" +
+              std::to_string(g_tail.exemplarMisses) + "/" +
+              std::to_string(g_tail.exemplars) + ")");
+    check(g_tailReplayIdentical,
+          "same-seed kept-trace-id set diverged");
+    check(g_tailSlo->firingBetween(0.0, g_tailSlo->config().windowNs *
+                                            100.0),
+          "sustained overload never fired an SLO burn alert");
+
+    g_self.wallMs = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - wall_start)
+                        .count();
+    g_self.traceEventsRecorded = g_tail.eventsRecorded;
+    g_self.traceEventsDropped = g_tail.eventsDropped;
 }
 
 void
@@ -380,6 +559,19 @@ printResults()
     }
     std::printf("\nsame-seed replay bit-identical: %s\n",
                 g_replayIdentical ? "yes" : "NO");
+    std::printf("tail sampling (%llu req, 1%% head): kept %llu traces "
+                "(%llu must-keep >= floor %llu, %llu head, %llu slow), "
+                "%llu events, %llu dropped, kept set replay-identical: "
+                "%s\n",
+                static_cast<unsigned long long>(g_tail.requests),
+                static_cast<unsigned long long>(g_tail.kept),
+                static_cast<unsigned long long>(g_tail.mustKeep),
+                static_cast<unsigned long long>(g_tail.mustKeepFloor),
+                static_cast<unsigned long long>(g_tail.headSampled),
+                static_cast<unsigned long long>(g_tail.slowKept),
+                static_cast<unsigned long long>(g_tail.eventsRecorded),
+                static_cast<unsigned long long>(g_tail.eventsDropped),
+                g_tailReplayIdentical ? "yes" : "NO");
     if (g_failures.empty()) {
         std::printf("all acceptance checks passed\n");
     } else {
@@ -396,7 +588,8 @@ jsonReport()
     w.beginObject();
     writeBenchPreamble(w, "llm_serving", g_seed, g_smoke,
                        "tiny decoder, 1 PIM-HBM stack, maxBatch " +
-                           std::to_string(kMaxBatch));
+                           std::to_string(kMaxBatch),
+                       &g_self);
     w.field("per_token_ns", g_perTokenNs);
     w.field("capacity_tokens_per_sec", g_capacityTps);
     w.key("sweep").beginArray();
@@ -436,6 +629,25 @@ jsonReport()
     }
     w.endArray();
     w.field("replay_identical", g_replayIdentical);
+    w.key("tail").beginObject();
+    w.field("requests", g_tail.requests);
+    w.field("head_sample_rate", 0.01);
+    w.field("traces_ended", g_tail.tracesEnded);
+    w.field("kept", g_tail.kept);
+    w.field("must_keep", g_tail.mustKeep);
+    w.field("must_keep_floor", g_tail.mustKeepFloor);
+    w.field("head_sampled", g_tail.headSampled);
+    w.field("slow_kept", g_tail.slowKept);
+    w.field("events_flushed", g_tail.eventsFlushed);
+    w.field("events_truncated", g_tail.eventsTruncated);
+    w.field("events_recorded", g_tail.eventsRecorded);
+    w.field("events_dropped", g_tail.eventsDropped);
+    w.field("exemplars", g_tail.exemplars);
+    w.field("exemplar_misses", g_tail.exemplarMisses);
+    w.field("kept_set_replay_identical", g_tailReplayIdentical);
+    w.endObject();
+    w.key("slo");
+    g_tailSlo->writeJson(w);
     w.field("acceptance_failures",
             static_cast<std::uint64_t>(g_failures.size()));
     w.endObject();

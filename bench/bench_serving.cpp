@@ -20,19 +20,25 @@
  *   --json-out=FILE  result file (default BENCH_serving.json)
  *   --seed=N         override the arrival seed (recorded in the JSON
  *                    output)
+ *   --trace-out=FILE Chrome-trace timeline of the overload batching
+ *                    cell (tail-sampled per-request span trees)
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench_common.h"
 #include "common/json.h"
+#include "common/reqtrace.h"
+#include "common/trace.h"
 #include "serve/load_gen.h"
 #include "serve/serving_engine.h"
 
@@ -78,6 +84,9 @@ struct ClosedCell
 std::vector<SweepCell> g_cells;
 std::vector<ClosedCell> g_closed;
 double g_capacityRps = 0.0;
+std::string g_traceOut;        // --trace-out=: trace the overload cell
+TraceSession g_trace;          // per-shard batch spans + request trees
+RunSelfMetrics g_self;         // the run's own cost, into the preamble
 
 ServeConfig
 makeConfig(SchedPolicy policy, double batch_timeout_ns,
@@ -104,6 +113,7 @@ runSweep()
     setQuiet(true);
     if (!g_cells.empty())
         return;
+    const auto wall_start = std::chrono::steady_clock::now();
 
     auto cache = std::make_shared<ServiceTimeCache>();
 
@@ -137,8 +147,24 @@ runSweep()
             cell.loadFactor = load;
             cell.offeredRps = load * g_capacityRps;
             ServingEngine engine(makeConfig(policy, mean_svc_ns, cache));
+            // Trace the most stressed batching cell: that is where
+            // sampled span trees are worth reading.
+            std::unique_ptr<RequestTracer> tracer;
+            const bool traced = !g_traceOut.empty() &&
+                                policy == SchedPolicy::BatchTimeout &&
+                                load == 2.0;
+            if (traced) {
+                engine.setTrace(&g_trace);
+                RequestTracerConfig rc;
+                rc.seed = g_seed;
+                tracer = std::make_unique<RequestTracer>(rc);
+                engine.setRequestTracer(tracer.get());
+            }
             cell.report = runOpenLoop(engine, arrivals);
             cell.report.reconcile();
+            g_self.simulatedNs += engine.nowNs();
+            if (traced)
+                tracer->flush(g_trace);
             g_cells.push_back(std::move(cell));
         }
     }
@@ -152,8 +178,15 @@ runSweep()
             makeConfig(SchedPolicy::BatchTimeout, mean_svc_ns, cache));
         cell.report = runClosedLoop(engine, conc, 60);
         cell.report.reconcile();
+        g_self.simulatedNs += engine.nowNs();
         g_closed.push_back(std::move(cell));
     }
+
+    g_self.wallMs = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - wall_start)
+                        .count();
+    g_self.traceEventsRecorded = g_trace.recordedEvents();
+    g_self.traceEventsDropped = g_trace.droppedEvents();
 }
 
 void
@@ -292,7 +325,8 @@ writeJsonReport(const std::string &path)
     w.beginObject();
     writeBenchPreamble(w, "serving", g_seed, false,
                        "multi-tenant serving: policy x load sweep on 1 "
-                       "PIM-HBM stack");
+                       "PIM-HBM stack",
+                       &g_self);
     w.field("capacity_rps", g_capacityRps);
     w.key("open_loop").beginArray();
     for (const auto &c : g_cells) {
@@ -350,6 +384,8 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         if (std::strncmp(argv[i], "--json-out=", 11) == 0)
             json_out = argv[i] + 11;
+        else if (std::strncmp(argv[i], "--trace-out=", 12) == 0)
+            g_traceOut = argv[i] + 12;
         else if (std::strncmp(argv[i], "--seed=", 7) == 0)
             g_seed = std::strtoull(argv[i] + 7, nullptr, 0);
         else
@@ -373,5 +409,7 @@ main(int argc, char **argv)
     printResults();
     if (!json_out.empty())
         writeJsonReport(json_out);
+    if (!g_traceOut.empty() && !g_trace.writeFile(g_traceOut))
+        return 1;
     return 0;
 }

@@ -21,7 +21,10 @@
 #include <string>
 
 #include "cluster/cluster_engine.h"
+#include "common/json.h"
 #include "common/logging.h"
+#include "common/reqtrace.h"
+#include "common/slo.h"
 #include "common/trace.h"
 #include "serve/chaos.h"
 #include "serve/load_gen.h"
@@ -39,7 +42,9 @@ usage(const char *prog)
                  "[--seed N]\n"
                  "          [--kill] [--straggler FACTOR] [--hedge] "
                  "[--no-failover]\n"
-                 "          [--json-out=PATH] [--trace-out=PATH]\n"
+                 "          [--slo-target F] [--json-out=PATH] "
+                 "[--trace-out=PATH]\n"
+                 "          [--timeseries-out=PATH]\n"
                  "  --hosts      replicated hosts, >= 1 (default 4)\n"
                  "  --stacks     PIM stacks per host, >= 1 (default 4)\n"
                  "  --load       offered load relative to cluster "
@@ -53,12 +58,20 @@ usage(const char *prog)
                  "delay\n"
                  "  --no-failover  static round-robin, no retries or "
                  "probes\n"
-                 "  --json-out=PATH  cluster report (with the seed) as "
-                 "JSON\n"
+                 "  --slo-target  availability objective in (0,1) for "
+                 "the burn-rate\n"
+                 "                monitor (default 0.99)\n"
+                 "  --json-out=PATH  cluster report (with the seed and "
+                 "SLO verdict)\n"
+                 "                   as JSON\n"
                  "  --trace-out=PATH  Chrome-trace timeline: per-host "
                  "health spans,\n"
                  "                    hedge/failover/probe instants "
-                 "(pid 5)\n",
+                 "(pid 5), kept\n"
+                 "                    per-request span trees, SLO "
+                 "alerts (pid 7)\n"
+                 "  --timeseries-out=PATH  windowed attempt/e2e latency "
+                 "percentiles\n",
                  prog);
 }
 
@@ -92,8 +105,10 @@ main(int argc, char **argv)
     double straggler = 1.0;
     bool hedge = false;
     bool failover = true;
+    double slo_target = 0.99;
     std::string json_out;
     std::string trace_out;
+    std::string timeseries_out;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -102,6 +117,24 @@ main(int argc, char **argv)
             trace_out = arg.substr(12);
         } else if (arg.rfind("--json-out=", 0) == 0) {
             json_out = arg.substr(11);
+        } else if (arg.rfind("--timeseries-out=", 0) == 0) {
+            timeseries_out = arg.substr(17);
+        } else if ((arg == "--slo-target" && i + 1 < argc) ||
+                   arg.rfind("--slo-target=", 0) == 0) {
+            const char *text =
+                arg.size() > 12 && arg[12] == '=' ? arg.c_str() + 13
+                                                  : argv[++i];
+            if (!parsePositive(argv[0], "--slo-target", text, 1e-9, &v))
+                return 2;
+            if (v >= 1.0) {
+                std::fprintf(stderr,
+                             "%s: bad --slo-target '%s': expected a "
+                             "fraction in (0,1)\n",
+                             argv[0], text);
+                usage(argv[0]);
+                return 2;
+            }
+            slo_target = v;
         } else if (arg == "--hosts" && i + 1 < argc) {
             if (!parsePositive(argv[0], "--hosts", argv[++i], 1.0, &v))
                 return 2;
@@ -181,8 +214,14 @@ main(int argc, char **argv)
 
     ClusterEngine engine(config);
     TraceSession trace;
-    if (!trace_out.empty())
+    std::unique_ptr<RequestTracer> tracer;
+    if (!trace_out.empty()) {
         engine.setTrace(&trace);
+        RequestTracerConfig rc;
+        rc.seed = seed;
+        tracer = std::make_unique<RequestTracer>(rc);
+        engine.setRequestTracer(tracer.get());
+    }
 
     serve::ChaosConfig chaos_config;
     chaos_config.seed = seed ^ 0xc1a57e2;
@@ -218,14 +257,49 @@ main(int argc, char **argv)
                 kill ? ", host 0 killed mid-run" : "",
                 straggler > 1.0 ? ", host 0 straggling" : "");
 
+    // SLO monitor + timeseries share one window grid: 2% of the run.
+    const double window_ns = horizon_ns / 50.0;
+    SloMonitorConfig slo_config;
+    slo_config.target = slo_target;
+    slo_config.windowNs = window_ns;
+    SloMonitor slo(slo_config);
+    MetricsTimeseries timeseries(window_ns);
+    if (!timeseries_out.empty()) {
+        timeseries.trackHistogram("attempt_ns",
+                                  &engine.attemptHistogram());
+        timeseries.trackHistogram("e2e_ns", &engine.e2eHistogram());
+    }
+
     const auto arrivals = serve::poissonArrivals(
         {serve::ArrivalSpec{0, offered}}, horizon_ns, seed);
-    for (const auto &a : arrivals)
+    double next_mark = window_ns;
+    const auto close_windows = [&](double upto) {
+        while (next_mark <= upto) {
+            engine.advanceTo(next_mark);
+            slo.feed(engine.takeSloObservations());
+            if (!timeseries_out.empty())
+                timeseries.advanceTo(next_mark);
+            next_mark += window_ns;
+        }
+    };
+    for (const auto &a : arrivals) {
+        close_windows(a.ns);
         engine.submit(std::max(a.ns, engine.nowNs()));
+    }
+    close_windows(horizon_ns);
     engine.drain();
+    slo.feed(engine.takeSloObservations());
+    slo.finish(engine.nowNs());
+    if (!timeseries_out.empty())
+        timeseries.finish(engine.nowNs());
 
     const ClusterReport r = engine.report();
     r.reconcile();
+
+    if (tracer) {
+        tracer->flush(trace);
+        slo.emitTrace(trace);
+    }
 
     std::printf("  %-5s %-11s %9s %8s %7s %7s %6s %6s\n", "host",
                 "state", "dispatch", "fail", "probes", "trans", "util",
@@ -267,6 +341,28 @@ main(int argc, char **argv)
                 r.e2e.p50Ns / 1e3, r.e2e.p95Ns / 1e3, r.e2e.p99Ns / 1e3,
                 r.e2e.maxNs / 1e3);
 
+    std::size_t fired = 0;
+    for (const auto &tr : slo.transitions())
+        fired += tr.firing ? 1 : 0;
+    std::printf("slo(%.3f): %llu good / %llu bad over %zu windows, "
+                "%zu alert firings\n",
+                slo_target,
+                static_cast<unsigned long long>(slo.totalGood()),
+                static_cast<unsigned long long>(slo.totalBad()),
+                slo.numWindows(), fired);
+    if (tracer != nullptr) {
+        std::printf("tail sampling: kept %zu / %llu traces (%llu "
+                    "must-keep, %llu head, %llu slow)\n",
+                    tracer->keptTraceIds().size(),
+                    static_cast<unsigned long long>(tracer->tracesEnded()),
+                    static_cast<unsigned long long>(
+                        tracer->mustKeepCount()),
+                    static_cast<unsigned long long>(
+                        tracer->headSampledCount()),
+                    static_cast<unsigned long long>(
+                        tracer->slowKeptCount()));
+    }
+
     if (!json_out.empty()) {
         std::ofstream os(json_out);
         if (!os) {
@@ -275,9 +371,16 @@ main(int argc, char **argv)
             return 1;
         }
         // Wrap the report so the seed rides along (replay provenance).
-        os << "{\"seed\": " << seed << ", \"report\": " << r.toJson()
-           << "}\n";
+        os << "{\"seed\": " << seed << ", \"slo\": ";
+        {
+            JsonWriter w(os);
+            slo.writeJson(w);
+        }
+        os << ", \"report\": " << r.toJson() << "}\n";
     }
+    if (!timeseries_out.empty() &&
+        !timeseries.writeFile(timeseries_out))
+        return 1;
     if (!trace_out.empty() && !trace.writeFile(trace_out))
         return 1;
     return 0;

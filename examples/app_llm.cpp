@@ -39,8 +39,9 @@ usage(const char *prog)
     std::fprintf(stderr,
                  "usage: %s [--policy continuous|admit-once] [--load F]\n"
                  "          [--deadline-ms N] [--requests N] [--burst F]\n"
-                 "          [--seed N] [--stats-json=PATH] "
-                 "[--trace-out=PATH]\n"
+                 "          [--seed N] [--tail-sample F] [--slo-target F]\n"
+                 "          [--stats-json=PATH] [--trace-out=PATH]\n"
+                 "          [--timeseries-out=PATH]\n"
                  "  --policy       batch scheduling policy (default "
                  "continuous)\n"
                  "  --load         offered load relative to request "
@@ -52,12 +53,23 @@ usage(const char *prog)
                  "  --burst        arrival-rate multiplier for the middle "
                  "20%% of the run, >= 1 (default 1)\n"
                  "  --seed         arrival/length seed (default 1)\n"
+                 "  --tail-sample  head-sample rate of the tail-based "
+                 "request tracer,\n"
+                 "                 in [0, 1] (default 0.01; erred / "
+                 "deadline-missed /\n"
+                 "                 preempted requests are always kept)\n"
+                 "  --slo-target   SLO monitor good-fraction target, in "
+                 "(0, 1) (default 0.99)\n"
                  "  --stats-json=PATH  dump the stats registry (with the "
-                 "seed) as JSON\n"
+                 "seed, SLO and\n"
+                 "                     tail-sampling summaries) as JSON\n"
                  "  --trace-out=PATH   Chrome-trace timeline: decode "
-                 "iterations and KV\n"
-                 "                     occupancy on the pid-6 \"llm\" "
-                 "track\n",
+                 "iterations, KV\n"
+                 "                     occupancy, sampled per-request span "
+                 "trees (pid-6)\n"
+                 "                     and SLO alert instants (pid-7)\n"
+                 "  --timeseries-out=PATH  windowed counter rates and "
+                 "latency percentiles\n",
                  prog);
 }
 
@@ -74,8 +86,11 @@ main(int argc, char **argv)
     unsigned requests = 2000;
     double burst = 1.0;
     std::uint64_t seed = 1;
+    double tail_sample = 0.01;
+    double slo_target = 0.99;
     std::string stats_json;
     std::string trace_out;
+    std::string timeseries_out;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -83,6 +98,36 @@ main(int argc, char **argv)
             stats_json = arg.substr(13);
         } else if (arg.rfind("--trace-out=", 0) == 0) {
             trace_out = arg.substr(12);
+        } else if (arg.rfind("--timeseries-out=", 0) == 0) {
+            timeseries_out = arg.substr(17);
+        } else if ((arg == "--tail-sample" && i + 1 < argc) ||
+                   arg.rfind("--tail-sample=", 0) == 0) {
+            const char *text =
+                arg.size() > 13 && arg[13] == '=' ? arg.c_str() + 14
+                                                  : argv[++i];
+            char *end = nullptr;
+            tail_sample = std::strtod(text, &end);
+            if (end == text || *end != '\0' || tail_sample < 0.0 ||
+                tail_sample > 1.0) {
+                std::fprintf(stderr, "%s: bad --tail-sample '%s': expected "
+                             "a number in [0, 1]\n", argv[0], text);
+                usage(argv[0]);
+                return 2;
+            }
+        } else if ((arg == "--slo-target" && i + 1 < argc) ||
+                   arg.rfind("--slo-target=", 0) == 0) {
+            const char *text =
+                arg.size() > 12 && arg[12] == '=' ? arg.c_str() + 13
+                                                  : argv[++i];
+            char *end = nullptr;
+            slo_target = std::strtod(text, &end);
+            if (end == text || *end != '\0' || !(slo_target > 0.0) ||
+                !(slo_target < 1.0)) {
+                std::fprintf(stderr, "%s: bad --slo-target '%s': expected "
+                             "a number in (0, 1)\n", argv[0], text);
+                usage(argv[0]);
+                return 2;
+            }
         } else if (arg == "--policy" && i + 1 < argc) {
             const std::string p = argv[++i];
             if (p == "continuous") {
@@ -232,8 +277,35 @@ main(int argc, char **argv)
 
     LlmEngine engine(config);
     TraceSession trace;
-    if (!trace_out.empty())
+    std::unique_ptr<RequestTracer> tracer;
+    if (!trace_out.empty()) {
         engine.setTrace(&trace);
+        RequestTracerConfig rc;
+        rc.headSampleRate = tail_sample;
+        rc.seed = seed;
+        tracer = std::make_unique<RequestTracer>(rc);
+        engine.setRequestTracer(tracer.get());
+    }
+
+    // SLO monitor + timeseries share one window grid: 1% of the run.
+    const double window_ns = horizon_ns / 100.0;
+    SloMonitorConfig slo_config;
+    slo_config.target = slo_target;
+    slo_config.windowNs = window_ns;
+    SloMonitor slo(slo_config);
+    MetricsTimeseries timeseries(window_ns);
+    if (!timeseries_out.empty()) {
+        StatsRegistry &registry = engine.statsRegistry();
+        timeseries.trackCounter("completed", registry.group("llm"),
+                                "completed");
+        timeseries.trackCounter("iterations", registry.group("llm"),
+                                "iterations");
+        timeseries.trackCounter("kv_blocks_allocated",
+                                registry.group("llm.kv"),
+                                "blocksAllocated");
+        timeseries.trackHistogram("ttft_ns", &engine.ttftHistogram(0));
+        timeseries.trackHistogram("e2e_ns", &engine.e2eHistogram(0));
+    }
 
     std::printf("decoder %s on %u channels, policy %s, KV block %u "
                 "tokens\n",
@@ -245,8 +317,43 @@ main(int argc, char **argv)
                 deadline_ms,
                 burst > 1.0 ? ", burst window armed" : "");
 
-    const LlmReport r = runOpenLoop(engine, arrivals);
+    // Open loop with window marks: the llm/kv counter groups refresh
+    // lazily (report() updates them), so poke them at every boundary
+    // for exact per-window attribution.
+    double next_mark = window_ns;
+    const auto close_windows = [&](double upto) {
+        while (next_mark <= upto) {
+            engine.advanceTo(next_mark);
+            slo.feed(engine.takeSloObservations());
+            if (!timeseries_out.empty()) {
+                (void)engine.report();
+                timeseries.advanceTo(next_mark);
+            }
+            next_mark += window_ns;
+        }
+    };
+    for (const LlmArrival &a : arrivals) {
+        close_windows(a.ns);
+        engine.submit(a.tenant, a.ns, a.promptTokens, a.outputTokens);
+    }
+    close_windows(horizon_ns);
+    engine.drain();
+    slo.feed(engine.takeSloObservations());
+    slo.finish(engine.nowNs());
+    if (!timeseries_out.empty()) {
+        (void)engine.report();
+        timeseries.finish(engine.nowNs());
+    }
+
+    const LlmReport r = engine.report();
     r.reconcile();
+
+    if (tracer != nullptr) {
+        tracer->flush(trace);
+        engine.statsRegistry().retainExemplars(tracer->keptTraceIds());
+        trace.registerStats(engine.statsRegistry());
+        slo.emitTrace(trace);
+    }
 
     const LlmTenantReport &t = r.total;
     std::printf("completed %llu / %llu (rejected %llu, shed %llu, timed "
@@ -276,6 +383,29 @@ main(int argc, char **argv)
     std::printf("e2e: p50 %.1f ms, p99 %.1f ms, max %.1f ms\n",
                 t.e2e.p50Ns / 1e6, t.e2e.p99Ns / 1e6, t.e2e.maxNs / 1e6);
 
+    std::size_t fired = 0;
+    for (const auto &tr : slo.transitions())
+        fired += tr.firing ? 1 : 0;
+    std::printf("slo(%.3f): %llu good / %llu bad over %zu windows, "
+                "%zu alert firings\n",
+                slo_target,
+                static_cast<unsigned long long>(slo.totalGood()),
+                static_cast<unsigned long long>(slo.totalBad()),
+                slo.numWindows(), fired);
+    if (tracer != nullptr) {
+        std::printf("tail sampling: kept %zu / %llu traces (%llu "
+                    "must-keep, %llu head, %llu slow), %llu events "
+                    "flushed\n",
+                    tracer->keptTraceIds().size(),
+                    static_cast<unsigned long long>(tracer->tracesEnded()),
+                    static_cast<unsigned long long>(tracer->mustKeepCount()),
+                    static_cast<unsigned long long>(
+                        tracer->headSampledCount()),
+                    static_cast<unsigned long long>(tracer->slowKeptCount()),
+                    static_cast<unsigned long long>(
+                        tracer->eventsFlushed()));
+    }
+
     if (!stats_json.empty()) {
         std::ofstream os(stats_json);
         if (!os) {
@@ -284,11 +414,33 @@ main(int argc, char **argv)
             return 1;
         }
         // Wrap the registry dump so the seed rides along with the stats
-        // (replay provenance).
-        os << "{\n  \"seed\": " << seed << ",\n  \"stats\": ";
+        // (replay provenance), plus the SLO and tail-sampling verdicts.
+        os << "{\n  \"seed\": " << seed << ",\n  \"slo\": ";
+        {
+            JsonWriter w(os);
+            slo.writeJson(w);
+        }
+        if (tracer != nullptr) {
+            os << ",\n  \"tail\": ";
+            JsonWriter w(os);
+            w.beginObject();
+            w.field("head_sample_rate", tracer->config().headSampleRate);
+            w.field("traces_started", tracer->tracesStarted());
+            w.field("traces_ended", tracer->tracesEnded());
+            w.field("traces_kept", tracer->keptTraceIds().size());
+            w.field("must_keep", tracer->mustKeepCount());
+            w.field("head_sampled", tracer->headSampledCount());
+            w.field("slow_kept", tracer->slowKeptCount());
+            w.field("events_flushed", tracer->eventsFlushed());
+            w.field("events_truncated", tracer->eventsTruncated());
+            w.endObject();
+        }
+        os << ",\n  \"stats\": ";
         engine.writeStats(os);
         os << "\n}\n";
     }
+    if (!timeseries_out.empty() && !timeseries.writeFile(timeseries_out))
+        return 1;
     if (!trace_out.empty() && !trace.writeFile(trace_out))
         return 1;
     return 0;

@@ -19,8 +19,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 
+#include "common/json.h"
 #include "common/logging.h"
 #include "common/trace.h"
 #include "serve/chaos.h"
@@ -53,10 +55,17 @@ usage(const char *prog)
                  "  --retries      PIM retry budget per failed batch, "
                  ">= 0 (default 2)\n"
                  "  --breaker      enable the per-shard circuit breaker\n"
+                 "  --slo-target F     SLO monitor good-fraction target, "
+                 "in (0, 1) (default 0.99)\n"
                  "  --stats-json=PATH  dump the system stats registry "
-                 "(serving counters, latency histograms) as JSON\n"
+                 "(serving counters, latency histograms, SLO summary) as "
+                 "JSON\n"
                  "  --trace-out=PATH   write a Chrome-trace timeline of "
-                 "batch dispatches per shard\n",
+                 "batch dispatches per shard,\n"
+                 "                     sampled per-request span trees and "
+                 "SLO alert instants\n"
+                 "  --timeseries-out=PATH  windowed latency percentiles "
+                 "per tenant\n",
                  prog);
 }
 
@@ -94,8 +103,10 @@ main(int argc, char **argv)
     double fault_rate = 0.0;
     unsigned retries = 2;
     bool breaker = false;
+    double slo_target = 0.99;
     std::string stats_json;
     std::string trace_out;
+    std::string timeseries_out;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -103,6 +114,22 @@ main(int argc, char **argv)
             stats_json = arg.substr(13);
         } else if (arg.rfind("--trace-out=", 0) == 0) {
             trace_out = arg.substr(12);
+        } else if (arg.rfind("--timeseries-out=", 0) == 0) {
+            timeseries_out = arg.substr(17);
+        } else if ((arg == "--slo-target" && i + 1 < argc) ||
+                   arg.rfind("--slo-target=", 0) == 0) {
+            const char *text =
+                arg.size() > 12 && arg[12] == '=' ? arg.c_str() + 13
+                                                  : argv[++i];
+            char *end = nullptr;
+            slo_target = std::strtod(text, &end);
+            if (end == text || *end != '\0' || !(slo_target > 0.0) ||
+                !(slo_target < 1.0)) {
+                std::fprintf(stderr, "%s: bad --slo-target '%s': expected "
+                             "a number in (0, 1)\n", argv[0], text);
+                usage(argv[0]);
+                return 2;
+            }
         } else if (arg == "--shard") {
             shard = true;
         } else if (arg == "--policy" && i + 1 < argc) {
@@ -210,8 +237,14 @@ main(int argc, char **argv)
 
     ServingEngine engine(config);
     TraceSession trace;
-    if (!trace_out.empty())
+    std::unique_ptr<RequestTracer> tracer;
+    if (!trace_out.empty()) {
         engine.setTrace(&trace);
+        RequestTracerConfig rc;
+        rc.seed = seed;
+        tracer = std::make_unique<RequestTracer>(rc);
+        engine.setRequestTracer(tracer.get());
+    }
 
     ChaosConfig chaos_config;
     chaos_config.faultsPerSec = fault_rate;
@@ -254,7 +287,56 @@ main(int argc, char **argv)
                 load, load * capacity_rps, horizon_ns / 1e9,
                 arrivals.size());
 
-    const ServeReport report = runOpenLoop(engine, arrivals);
+    // SLO monitor + timeseries share one window grid: 2% of the run.
+    const double window_ns = horizon_ns / 50.0;
+    SloMonitorConfig slo_config;
+    slo_config.target = slo_target;
+    slo_config.windowNs = window_ns;
+    SloMonitor slo(slo_config);
+    MetricsTimeseries timeseries(window_ns);
+    if (!timeseries_out.empty()) {
+        StatsRegistry &registry = engine.system().statsRegistry();
+        for (const auto &t : config.tenants) {
+            const std::string base = "serve.tenant." + t.name;
+            timeseries.trackHistogram(t.name + "_e2e_ns",
+                                      registry.histogram(base + ".e2eNs"));
+            timeseries.trackHistogram(
+                t.name + "_queue_ns",
+                registry.histogram(base + ".queueNs"));
+        }
+    }
+
+    double next_mark = window_ns;
+    const auto close_windows = [&](double upto) {
+        while (next_mark <= upto) {
+            engine.advanceTo(next_mark);
+            slo.feed(engine.takeSloObservations());
+            if (!timeseries_out.empty())
+                timeseries.advanceTo(next_mark);
+            next_mark += window_ns;
+        }
+    };
+    for (const Arrival &a : arrivals) {
+        close_windows(a.ns);
+        engine.submit(a.tenant, a.ns);
+    }
+    close_windows(horizon_ns);
+    engine.drain();
+    slo.feed(engine.takeSloObservations());
+    slo.finish(engine.nowNs());
+    if (!timeseries_out.empty())
+        timeseries.finish(engine.nowNs());
+
+    const ServeReport report = engine.report();
+    report.reconcile();
+
+    if (tracer != nullptr) {
+        tracer->flush(trace);
+        engine.system().statsRegistry().retainExemplars(
+            tracer->keptTraceIds());
+        trace.registerStats(engine.system().statsRegistry());
+        slo.emitTrace(trace);
+    }
 
     std::printf("  %-6s %7s %7s %7s %8s %8s %8s %8s\n", "tenant", "submit",
                 "reject", "batch", "rps", "p50(ms)", "p95(ms)", "p99(ms)");
@@ -289,6 +371,27 @@ main(int argc, char **argv)
         }
     }
 
+    std::size_t fired = 0;
+    for (const auto &tr : slo.transitions())
+        fired += tr.firing ? 1 : 0;
+    std::printf("slo(%.3f): %llu good / %llu bad over %zu windows, "
+                "%zu alert firings\n",
+                slo_target,
+                static_cast<unsigned long long>(slo.totalGood()),
+                static_cast<unsigned long long>(slo.totalBad()),
+                slo.numWindows(), fired);
+    if (tracer != nullptr) {
+        std::printf("tail sampling: kept %zu / %llu traces (%llu "
+                    "must-keep, %llu head, %llu slow)\n",
+                    tracer->keptTraceIds().size(),
+                    static_cast<unsigned long long>(tracer->tracesEnded()),
+                    static_cast<unsigned long long>(tracer->mustKeepCount()),
+                    static_cast<unsigned long long>(
+                        tracer->headSampledCount()),
+                    static_cast<unsigned long long>(
+                        tracer->slowKeptCount()));
+    }
+
     if (!stats_json.empty()) {
         std::ofstream os(stats_json);
         if (!os) {
@@ -296,10 +399,17 @@ main(int argc, char **argv)
         }
         // Record the seed alongside the registry dump so a run's stats
         // identify the arrival/chaos stream that produced them.
-        os << "{\"seed\": " << seed << ", \"stats\": ";
+        os << "{\"seed\": " << seed << ", \"slo\": ";
+        {
+            JsonWriter w(os);
+            slo.writeJson(w);
+        }
+        os << ", \"stats\": ";
         engine.system().dumpStatsJson(os);
         os << "}\n";
     }
+    if (!timeseries_out.empty() && !timeseries.writeFile(timeseries_out))
+        return 1;
     if (!trace_out.empty() && !trace.writeFile(trace_out))
         return 1;
     return 0;

@@ -113,6 +113,7 @@ ClusterEngine::setTrace(TraceSession *session)
     if (trace_ == nullptr)
         return;
     trace_->setProcessName(kTracePidCluster, "cluster");
+    trace_->setThreadName(kTracePidCluster, requestTid(), "router");
     for (unsigned h = 0; h < numHosts(); ++h) {
         trace_->setThreadName(kTracePidCluster, static_cast<int>(h),
                               "host" + std::to_string(h));
@@ -171,8 +172,14 @@ ClusterEngine::submit(double arrival_ns)
     const double deadline =
         config_.deadlineNs > 0.0 ? arrival_ns + config_.deadlineNs : 0.0;
 
+    Queued q{id, arrival_ns, deadline, 0, -1, {}};
+    if (reqTracer_ != nullptr)
+        q.trace = reqTracer_->begin(arrival_ns);
+
     if (queue_.size() >= config_.queueDepth) {
         ++rejected_;
+        finishRequestTrace(q.trace, arrival_ns, deadline, nowNs_,
+                           "rejected", /*erred=*/true, false, false);
         return false;
     }
     if (config_.admission && deadline > 0.0) {
@@ -180,10 +187,12 @@ ClusterEngine::submit(double arrival_ns)
             nowNs_ + backlogEstimateNs() + attemptEstimateNs_;
         if (eta > deadline) {
             ++shed_;
+            finishRequestTrace(q.trace, arrival_ns, deadline, nowNs_,
+                               "shed", /*erred=*/true, false, false);
             return false;
         }
     }
-    queue_.push_back(Queued{id, arrival_ns, deadline, 0, -1});
+    queue_.push_back(q);
     dispatchAll();
     return true;
 }
@@ -301,6 +310,13 @@ ClusterEngine::expireQueue()
     if (n == 0)
         return;
     timedOut_ += static_cast<std::uint64_t>(n);
+    for (const Queued &q : queue_) {
+        if (expired(q)) {
+            finishRequestTrace(q.trace, q.arrivalNs, q.deadlineNs, nowNs_,
+                               "queue-timeout", /*erred=*/true,
+                               /*hedged=*/false, q.attempts > 1);
+        }
+    }
     queue_.erase(std::remove_if(queue_.begin(), queue_.end(), expired),
                  queue_.end());
 }
@@ -386,6 +402,8 @@ ClusterEngine::startCopy(Active &a, Copy &c, unsigned host_id,
     c.host = host_id;
     c.stack = static_cast<unsigned>(stack);
     c.dispatchNs = nowNs_;
+    c.trace = reqTracer_ != nullptr ? reqTracer_->child(a.trace)
+                                    : RequestTraceContext{};
     // A doomed copy holds its stack until the client-side timeout fires
     // — failure detection is not free.
     c.eventNs = doomed ? nowNs_ + timeoutNs_ : done;
@@ -405,8 +423,17 @@ ClusterEngine::finishCopy(Active &a, Copy &c, bool is_hedge)
     router_.recordOutcome(c.host, ok, nowNs_);
     noteHealth(c.host);
 
+    if (reqTracer_ != nullptr) {
+        const char *name = ok ? (is_hedge ? "rpc hedge" : "rpc")
+                              : "rpc failed";
+        reqTracer_->span(c.trace, kTracePidCluster,
+                         static_cast<int>(c.host), name, "rpc",
+                         c.dispatchNs, nowNs_ - c.dispatchNs);
+    }
+
     if (ok) {
-        attemptH_.sample(static_cast<std::uint64_t>(nowNs_ - c.dispatchNs));
+        attemptH_.sample(static_cast<std::uint64_t>(nowNs_ - c.dispatchNs),
+                         a.trace.traceId);
         completeRequest(a, c, /*hedge_won=*/is_hedge);
         active_.erase(a.id);
         return;
@@ -423,8 +450,9 @@ ClusterEngine::finishCopy(Active &a, Copy &c, bool is_hedge)
     if (a.attempts < config_.maxAttempts) {
         // Cross-host retry: never back to the host that just failed,
         // never to a Suspect replica.
+        const unsigned failed_host = c.host;
         const int h = pickHost(/*avoid_suspect=*/true,
-                               static_cast<int>(c.host));
+                               static_cast<int>(failed_host));
         if (h >= 0 && startCopy(a, a.primary, static_cast<unsigned>(h),
                                 /*is_hedge=*/false)) {
             ++a.attempts;
@@ -434,18 +462,29 @@ ClusterEngine::finishCopy(Active &a, Copy &c, bool is_hedge)
             if (trace_ != nullptr)
                 trace_->instant(kTracePidCluster, h, "failover",
                                 "cluster", nowNs_);
+            if (reqTracer_ != nullptr) {
+                reqTracer_->instant(a.trace, kTracePidCluster, h,
+                                    "failover", "failover", nowNs_);
+                reqTracer_->flow(a.trace, "failover", kTracePidCluster,
+                                 static_cast<int>(failed_host), nowNs_,
+                                 kTracePidCluster, h, nowNs_);
+            }
             return;
         }
         // No eligible capacity right now: back to the queue front with
         // the failed host remembered, so the budget survives the wait.
         ++retries_;
         queue_.push_front(Queued{a.id, a.arrivalNs, a.deadlineNs,
-                                 a.attempts, static_cast<int>(c.host)});
+                                 a.attempts, static_cast<int>(c.host),
+                                 a.trace});
         active_.erase(a.id);
         return;
     }
 
     ++failed_;
+    finishRequestTrace(a.trace, a.arrivalNs, a.deadlineNs, nowNs_,
+                       "attempts-exhausted", /*erred=*/true,
+                       a.hedgeFired, a.attempts > 1);
     active_.erase(a.id);
 }
 
@@ -460,18 +499,27 @@ ClusterEngine::completeRequest(Active &a, const Copy &winner,
         hosts_[loser.host]->release(loser.stack, nowNs_);
         loser.active = false;
         ++hedgeCancels_;
+        if (reqTracer_ != nullptr) {
+            reqTracer_->span(loser.trace, kTracePidCluster,
+                             static_cast<int>(loser.host), "rpc cancelled",
+                             "rpc", loser.dispatchNs,
+                             nowNs_ - loser.dispatchNs);
+        }
     }
     if (hedge_won)
         ++hedgeWins_;
 
     ++completed_;
     const double lat = nowNs_ - a.arrivalNs;
-    e2eH_.sample(static_cast<std::uint64_t>(lat));
+    e2eH_.sample(static_cast<std::uint64_t>(lat), a.trace.traceId);
     if (a.deadlineNs > 0.0 && nowNs_ > a.deadlineNs)
         ++sloViolations_;
     completions_.push_back(ClusterCompletion{
         a.id, a.arrivalNs, nowNs_, a.deadlineNs, winner.host,
         std::max(a.attempts, 1u), hedge_won});
+    finishRequestTrace(a.trace, a.arrivalNs, a.deadlineNs, nowNs_,
+                       /*terminal=*/nullptr, /*erred=*/false,
+                       a.hedgeFired, a.attempts > 1);
 }
 
 void
@@ -495,6 +543,13 @@ ClusterEngine::fireHedge(Active &a)
     ++hedgesFired_;
     if (trace_ != nullptr)
         trace_->instant(kTracePidCluster, h, "hedge", "cluster", nowNs_);
+    if (reqTracer_ != nullptr) {
+        reqTracer_->instant(a.trace, kTracePidCluster, h, "hedge",
+                            "hedge", nowNs_);
+        reqTracer_->flow(a.trace, "hedge", kTracePidCluster,
+                         static_cast<int>(a.primary.host), nowNs_,
+                         kTracePidCluster, h, nowNs_);
+    }
 }
 
 void
@@ -549,6 +604,16 @@ ClusterEngine::dispatchAll()
         a.arrivalNs = q.arrivalNs;
         a.deadlineNs = q.deadlineNs;
         a.attempts = q.attempts;
+        a.trace = q.trace;
+        if (reqTracer_ != nullptr && q.attempts == 0 &&
+            nowNs_ > q.arrivalNs) {
+            // Router queue wait before the first dispatch (requeued
+            // retries have no recorded wait start; their gap is visible
+            // between the failed and the next rpc span).
+            reqTracer_->span(reqTracer_->child(a.trace),
+                             kTracePidCluster, requestTid(), "queue",
+                             "queue", q.arrivalNs, nowNs_ - q.arrivalNs);
+        }
         const bool started = startCopy(a, a.primary,
                                        static_cast<unsigned>(h),
                                        /*is_hedge=*/false);
@@ -558,6 +623,39 @@ ClusterEngine::dispatchAll()
             a.hedgeAtNs = nowNs_ + hedgeDelayNs();
         active_.emplace(a.id, a);
     }
+}
+
+void
+ClusterEngine::finishRequestTrace(const RequestTraceContext &ctx,
+                                  double arrival_ns, double deadline_ns,
+                                  double end_ns, const char *terminal,
+                                  bool erred, bool hedged,
+                                  bool failed_over)
+{
+    const bool missed =
+        !erred && deadline_ns > 0.0 && end_ns > deadline_ns;
+    sloObs_.push_back(SloObservation{end_ns, !erred && !missed});
+    if (reqTracer_ == nullptr || !ctx.active())
+        return;
+    if (terminal != nullptr) {
+        reqTracer_->instant(ctx, kTracePidCluster, requestTid(),
+                            terminal, "terminal", end_ns);
+    }
+    reqTracer_->span(ctx, kTracePidCluster, requestTid(), "request",
+                    "request", arrival_ns, end_ns - arrival_ns);
+    TraceOutcome outcome;
+    outcome.latencyNs = end_ns - arrival_ns;
+    outcome.erred = erred;
+    outcome.deadlineMissed = missed;
+    outcome.hedged = hedged;
+    outcome.failedOver = failed_over;
+    reqTracer_->end(ctx, outcome);
+}
+
+std::vector<SloObservation>
+ClusterEngine::takeSloObservations()
+{
+    return std::exchange(sloObs_, {});
 }
 
 std::vector<ClusterCompletion>

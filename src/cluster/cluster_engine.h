@@ -48,6 +48,8 @@
 #include "cluster/host.h"
 #include "cluster/interconnect.h"
 #include "cluster/router.h"
+#include "common/reqtrace.h"
+#include "common/slo.h"
 #include "common/stats.h"
 #include "serve/resilience.h"
 #include "serve/serving_engine.h" // LatencySummary
@@ -196,6 +198,11 @@ class ClusterEngine
     /** The hedge delay a request dispatched now would get. */
     double hedgeDelayNs() const;
 
+    /** Successful attempt latencies (drives the hedge-delay p95). */
+    const Histogram &attemptHistogram() const { return attemptH_; }
+    /** Request end-to-end latencies, completions only. */
+    const Histogram &e2eHistogram() const { return e2eH_; }
+
     /**
      * Attach the host-level fault source (nullptr detaches). Queried at
      * dispatch time over the attempt's service window. Not owned.
@@ -205,6 +212,23 @@ class ClusterEngine
     /** Record health spans and hedge/failover instants on the cluster
      *  trace track (pid 5, one tid per host); nullptr disables. */
     void setTrace(TraceSession *session);
+
+    /**
+     * Attach a per-request causal tracer (nullptr detaches). Every
+     * arrival is minted a RequestTraceContext; its queue wait, every
+     * RPC copy (primary, retries, hedge), failover/hedge instants with
+     * cross-host flow edges, and its terminal state are buffered as a
+     * span tree and tail-sampled at the tracer. Not owned.
+     */
+    void setRequestTracer(RequestTracer *tracer) { reqTracer_ = tracer; }
+
+    /**
+     * Per-request terminal observations (timestamp + met-its-SLO)
+     * accumulated since the last call — the SloMonitor feed. Sheds,
+     * rejections, timeouts, failures and late completions are bad;
+     * in-deadline completions are good.
+     */
+    std::vector<SloObservation> takeSloObservations();
 
     /**
      * Submit one request arriving at `arrival_ns` (>= the engine clock).
@@ -239,6 +263,8 @@ class ClusterEngine
         double dispatchNs = 0.0;
         double eventNs = 0.0; ///< completion or timeout observation
         bool doomed = false;  ///< crash/link-drop decided at dispatch
+        /** This copy's "rpc" span identity (child of the request). */
+        RequestTraceContext trace;
     };
 
     /** A request between admission and its terminal state. */
@@ -252,6 +278,7 @@ class ClusterEngine
         Copy hedge;
         bool hedgeFired = false;
         double hedgeAtNs = kNoEventNs;
+        RequestTraceContext trace; ///< the request's root span
     };
 
     struct Queued
@@ -261,6 +288,7 @@ class ClusterEngine
         double deadlineNs = 0.0;
         unsigned attempts = 0; ///< > 0 for requeued retries
         int lastHost = -1;     ///< host the last attempt failed on
+        RequestTraceContext trace;
     };
 
     void processDue();
@@ -275,6 +303,14 @@ class ClusterEngine
     int pickHost(bool avoid_suspect, int exclude);
     void completeRequest(Active &a, const Copy &winner, bool hedge_won);
     void noteHealth(unsigned host_id);
+    /** The per-request track on the cluster pid ("router" timeline). */
+    int requestTid() const { return static_cast<int>(numHosts()); }
+    /** Close a request's trace (root span + outcome) and record its
+     *  SLO observation. `terminal` names non-completed ends. */
+    void finishRequestTrace(const RequestTraceContext &ctx,
+                            double arrival_ns, double deadline_ns,
+                            double end_ns, const char *terminal,
+                            bool erred, bool hedged, bool failed_over);
     double backlogEstimateNs() const;
     std::uint64_t transferId(const Active &a, bool is_hedge) const;
 
@@ -309,7 +345,9 @@ class ClusterEngine
     std::vector<std::uint64_t> hostFailures_;
 
     std::vector<ClusterCompletion> completions_;
+    std::vector<SloObservation> sloObs_;
 
+    RequestTracer *reqTracer_ = nullptr;
     TraceSession *trace_ = nullptr;
     std::vector<HealthState> traceState_;
     std::vector<double> traceSinceNs_;

@@ -9,43 +9,110 @@
 
 namespace pimsim {
 
+namespace {
+
+/**
+ * Length of the well-formed UTF-8 sequence starting at s[i], or 0 if
+ * the bytes there are not valid UTF-8 (truncated sequence, stray
+ * continuation byte, overlong encoding, surrogate, or > U+10FFFF).
+ */
+std::size_t
+utf8SequenceLength(const std::string &s, std::size_t i)
+{
+    const auto byte = [&](std::size_t k) {
+        return static_cast<unsigned char>(s[k]);
+    };
+    const auto cont = [&](std::size_t k) {
+        return k < s.size() && (byte(k) & 0xC0) == 0x80;
+    };
+    const unsigned char b0 = byte(i);
+    if (b0 >= 0xC2 && b0 <= 0xDF)
+        return cont(i + 1) ? 2 : 0;
+    if (b0 == 0xE0) // exclude overlong: next byte must be A0..BF
+        return cont(i + 1) && byte(i + 1) >= 0xA0 && cont(i + 2) ? 3 : 0;
+    if (b0 == 0xED) // exclude UTF-16 surrogates: next byte must be 80..9F
+        return cont(i + 1) && byte(i + 1) <= 0x9F && cont(i + 2) ? 3 : 0;
+    if ((b0 >= 0xE1 && b0 <= 0xEC) || b0 == 0xEE || b0 == 0xEF)
+        return cont(i + 1) && cont(i + 2) ? 3 : 0;
+    if (b0 == 0xF0) // exclude overlong: next byte must be 90..BF
+        return cont(i + 1) && byte(i + 1) >= 0x90 && cont(i + 2) &&
+                       cont(i + 3)
+                   ? 4
+                   : 0;
+    if (b0 >= 0xF1 && b0 <= 0xF3)
+        return cont(i + 1) && cont(i + 2) && cont(i + 3) ? 4 : 0;
+    if (b0 == 0xF4) // exclude > U+10FFFF: next byte must be 80..8F
+        return cont(i + 1) && byte(i + 1) <= 0x8F && cont(i + 2) &&
+                       cont(i + 3)
+                   ? 4
+                   : 0;
+    return 0; // 0x80..0xC1, 0xC0/0xC1 overlongs, 0xF5..0xFF
+}
+
+} // namespace
+
 std::string
 jsonEscape(const std::string &s)
 {
     std::string out;
     out.reserve(s.size());
-    for (const char c : s) {
+    for (std::size_t i = 0; i < s.size();) {
+        const char c = s[i];
         switch (c) {
           case '"':
             out += "\\\"";
-            break;
+            ++i;
+            continue;
           case '\\':
             out += "\\\\";
-            break;
+            ++i;
+            continue;
           case '\b':
             out += "\\b";
-            break;
+            ++i;
+            continue;
           case '\f':
             out += "\\f";
-            break;
+            ++i;
+            continue;
           case '\n':
             out += "\\n";
-            break;
+            ++i;
+            continue;
           case '\r':
             out += "\\r";
-            break;
+            ++i;
+            continue;
           case '\t':
             out += "\\t";
-            break;
+            ++i;
+            continue;
           default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x",
-                              static_cast<unsigned>(
-                                  static_cast<unsigned char>(c)));
-                out += buf;
+            break;
+        }
+        const unsigned char b = static_cast<unsigned char>(c);
+        if (b < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(b));
+            out += buf;
+            ++i;
+        } else if (b < 0x80) {
+            out += c;
+            ++i;
+        } else {
+            // Non-ASCII: pass well-formed UTF-8 through untouched so
+            // the output stays readable; replace each malformed byte
+            // with an escaped U+FFFD so the document is always valid
+            // UTF-8 (strict parsers reject raw invalid bytes even
+            // inside strings).
+            const std::size_t len = utf8SequenceLength(s, i);
+            if (len > 0) {
+                out.append(s, i, len);
+                i += len;
             } else {
-                out += c;
+                out += "\\ufffd";
+                ++i;
             }
         }
     }
@@ -491,13 +558,23 @@ iso8601UtcNow()
 void
 writeBenchPreamble(JsonWriter &w, const std::string &bench,
                    std::uint64_t seed, bool smoke,
-                   const std::string &config_summary)
+                   const std::string &config_summary,
+                   const RunSelfMetrics *self)
 {
     w.field("bench", bench);
     w.field("seed", seed);
     w.field("smoke", smoke);
     w.field("config", config_summary);
     w.field("generated_at", iso8601UtcNow());
+    if (self != nullptr) {
+        w.key("self").beginObject();
+        w.field("wall_ms", self->wallMs);
+        w.field("simulated_ns", self->simulatedNs);
+        w.field("sim_ns_per_wall_s", self->simNsPerWallSec());
+        w.field("trace_events_recorded", self->traceEventsRecorded);
+        w.field("trace_events_dropped", self->traceEventsDropped);
+        w.endObject();
+    }
 }
 
 } // namespace pimsim

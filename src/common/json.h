@@ -96,14 +96,37 @@ std::string iso8601Utc(std::int64_t unix_seconds);
 std::string iso8601UtcNow();
 
 /**
+ * Self-metrics of one bench run: how expensive the run itself was.
+ * The first datapoint toward a BENCH_selfperf.json trajectory — the
+ * benches measure themselves so a simulator slowdown shows up in the
+ * same artifacts as a modeled-system regression.
+ */
+struct RunSelfMetrics
+{
+    double wallMs = 0.0;       ///< wall-clock time of the experiments
+    double simulatedNs = 0.0;  ///< virtual time covered by the run
+    std::uint64_t traceEventsRecorded = 0;
+    std::uint64_t traceEventsDropped = 0;
+
+    /** Simulated nanoseconds advanced per wall-clock second. */
+    double simNsPerWallSec() const
+    {
+        return wallMs > 0.0 ? simulatedNs * 1e3 / wallMs : 0.0;
+    }
+};
+
+/**
  * Emit the standard BENCH_*.json metadata preamble into an open object:
  * bench name, campaign seed, smoke flag, one-line config summary, and
  * the ISO-8601 generation timestamp. Every bench result writer uses
- * this so downstream tooling can rely on one schema.
+ * this so downstream tooling can rely on one schema. When `self` is
+ * non-null a "self" object records the run's own cost (wall-clock ms,
+ * simulated-ns-per-wall-second, trace events recorded/dropped).
  */
 void writeBenchPreamble(JsonWriter &w, const std::string &bench,
                         std::uint64_t seed, bool smoke,
-                        const std::string &config_summary);
+                        const std::string &config_summary,
+                        const RunSelfMetrics *self = nullptr);
 
 } // namespace pimsim
 

@@ -1,0 +1,292 @@
+#include "common/reqtrace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace pimsim {
+
+namespace {
+
+/** One SplitMix64 step: a stateless 64-bit mix of (traceId ^ seed). */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    return SplitMix64(x).next();
+}
+
+} // namespace
+
+RequestTraceContext
+RequestTracer::begin(double ts_ns)
+{
+    (void)ts_ns; // admission time is recorded by the root span itself
+    RequestTraceContext ctx;
+    ctx.traceId = nextTraceId_++;
+    ctx.spanId = nextSpanId_++;
+    ctx.parentSpanId = 0;
+    TraceBuffer buf;
+    buf.rootSpanId = ctx.spanId;
+    active_.emplace(ctx.traceId, std::move(buf));
+    ++tracesStarted_;
+    return ctx;
+}
+
+RequestTraceContext
+RequestTracer::child(const RequestTraceContext &parent)
+{
+    if (!parent.active())
+        return {};
+    RequestTraceContext ctx;
+    ctx.traceId = parent.traceId;
+    ctx.spanId = nextSpanId_++;
+    ctx.parentSpanId = parent.spanId;
+    return ctx;
+}
+
+std::uint16_t
+RequestTracer::internName(const std::string &name)
+{
+    auto it = nameIds_.find(name);
+    if (it != nameIds_.end())
+        return it->second;
+    PIMSIM_ASSERT(names_.size() < 0xFFFF,
+                  "RequestTracer name-intern table overflow");
+    const auto id = static_cast<std::uint16_t>(names_.size());
+    names_.push_back(name);
+    nameIds_.emplace(name, id);
+    return id;
+}
+
+std::uint8_t
+RequestTracer::internCat(const std::string &cat)
+{
+    auto it = catIds_.find(cat);
+    if (it != catIds_.end())
+        return it->second;
+    PIMSIM_ASSERT(cats_.size() < 0xFF,
+                  "RequestTracer category-intern table overflow");
+    const auto id = static_cast<std::uint8_t>(cats_.size());
+    cats_.push_back(cat);
+    catIds_.emplace(cat, id);
+    return id;
+}
+
+void
+RequestTracer::buffer(const RequestTraceContext &ctx,
+                      TraceEvent::Phase phase, int pid, int tid,
+                      const std::string &name, const std::string &cat,
+                      double ts_ns, double dur_ns, std::uint32_t flow_id)
+{
+    if (!ctx.active())
+        return;
+    auto it = active_.find(ctx.traceId);
+    if (it == active_.end())
+        return; // already terminal (or never begun): drop silently
+    TraceBuffer &buf = it->second;
+    if (buf.events.size() >= config_.maxEventsPerTrace) {
+        ++buf.truncated;
+        ++eventsTruncated_;
+        return;
+    }
+    BufferedEvent e;
+    e.tsNs = ts_ns;
+    e.durNs = dur_ns;
+    e.spanId = ctx.spanId;
+    e.parentSpanId = ctx.parentSpanId;
+    e.flowId = flow_id;
+    e.nameId = internName(name);
+    e.catId = internCat(cat);
+    e.phase = static_cast<std::uint8_t>(phase);
+    buf.events.push_back(e);
+    buf.tracks.push_back(static_cast<std::uint32_t>(pid) << 16 |
+                         (static_cast<std::uint32_t>(tid) & 0xFFFF));
+    ++eventsBuffered_;
+    ++eventsLive_;
+}
+
+void
+RequestTracer::span(const RequestTraceContext &ctx, int pid, int tid,
+                    const std::string &name, const std::string &cat,
+                    double start_ns, double dur_ns)
+{
+    buffer(ctx, TraceEvent::Phase::Complete, pid, tid, name, cat,
+           start_ns, dur_ns, 0);
+}
+
+void
+RequestTracer::instant(const RequestTraceContext &ctx, int pid, int tid,
+                       const std::string &name, const std::string &cat,
+                       double ts_ns)
+{
+    buffer(ctx, TraceEvent::Phase::Instant, pid, tid, name, cat, ts_ns,
+           0.0, 0);
+}
+
+void
+RequestTracer::flow(const RequestTraceContext &ctx,
+                    const std::string &name, int src_pid, int src_tid,
+                    double src_ts_ns, int dst_pid, int dst_tid,
+                    double dst_ts_ns)
+{
+    if (!ctx.active())
+        return;
+    const std::uint32_t id = nextFlowId_++;
+    buffer(ctx, TraceEvent::Phase::FlowStart, src_pid, src_tid, name,
+           "flow", src_ts_ns, 0.0, id);
+    buffer(ctx, TraceEvent::Phase::FlowEnd, dst_pid, dst_tid, name,
+           "flow", dst_ts_ns, 0.0, id);
+}
+
+bool
+RequestTracer::headSampled(std::uint64_t trace_id) const
+{
+    if (config_.headSampleRate <= 0.0)
+        return false;
+    if (config_.headSampleRate >= 1.0)
+        return true;
+    // Top 53 bits as a uniform double in [0, 1): stateless, so the
+    // decision depends only on (traceId, seed) — replay-stable.
+    const double u =
+        static_cast<double>(mix64(trace_id ^ config_.seed) >> 11) *
+        0x1.0p-53;
+    return u < config_.headSampleRate;
+}
+
+void
+RequestTracer::keep(std::uint64_t trace_id, TraceBuffer &&buf)
+{
+    keptIds_.insert(trace_id);
+    retained_.emplace(trace_id, std::move(buf));
+}
+
+void
+RequestTracer::discard(TraceBuffer &&buf)
+{
+    eventsLive_ -= buf.events.size();
+    TraceBuffer released(std::move(buf));
+    (void)released;
+}
+
+void
+RequestTracer::end(const RequestTraceContext &ctx,
+                   const TraceOutcome &outcome)
+{
+    if (!ctx.active())
+        return;
+    auto it = active_.find(ctx.traceId);
+    if (it == active_.end())
+        return; // double end()
+    TraceBuffer buf = std::move(it->second);
+    active_.erase(it);
+    ++tracesEnded_;
+
+    if (outcome.mustKeep()) {
+        ++mustKeep_;
+        keep(ctx.traceId, std::move(buf));
+        return;
+    }
+    if (headSampled(ctx.traceId)) {
+        ++headSampled_;
+        keep(ctx.traceId, std::move(buf));
+        return;
+    }
+    if (config_.slowestFraction <= 0.0) {
+        discard(std::move(buf));
+        return;
+    }
+    // Slowest-k% pool. Capacity tracks the terminal count seen so far,
+    // so early in the run the pool is small and grows with it; an
+    // early-evicted trace cannot re-enter, which makes the final set an
+    // approximation of the true slowest-k% — but a deterministic one.
+    candidates_.emplace(std::make_pair(outcome.latencyNs, ctx.traceId),
+                        std::move(buf));
+    const auto capacity = static_cast<std::size_t>(std::max(
+        1.0, std::ceil(config_.slowestFraction *
+                       static_cast<double>(tracesEnded_))));
+    while (candidates_.size() > capacity) {
+        auto fastest = candidates_.begin();
+        discard(std::move(fastest->second));
+        candidates_.erase(fastest);
+    }
+}
+
+void
+RequestTracer::flushTrace(
+    TraceSession &session, std::uint64_t trace_id, const TraceBuffer &buf,
+    std::unordered_map<std::uint32_t, std::uint64_t> &flow_remap)
+{
+    const std::string trace_str = std::to_string(trace_id);
+    for (std::size_t i = 0; i < buf.events.size(); ++i) {
+        const BufferedEvent &e = buf.events[i];
+        const int pid = static_cast<int>(buf.tracks[i] >> 16);
+        const int tid = static_cast<int>(buf.tracks[i] & 0xFFFF);
+        const std::string &name = names_[e.nameId];
+        const std::string &cat = cats_[e.catId];
+        const auto phase = static_cast<TraceEvent::Phase>(e.phase);
+        switch (phase) {
+          case TraceEvent::Phase::Complete:
+            session.span(pid, tid, name, cat, e.tsNs, e.durNs,
+                         {{"trace", trace_str},
+                          {"span", std::to_string(e.spanId)},
+                          {"parent", std::to_string(e.parentSpanId)}});
+            break;
+          case TraceEvent::Phase::Instant:
+            session.instant(pid, tid, name, cat, e.tsNs,
+                            {{"trace", trace_str},
+                             {"span", std::to_string(e.spanId)},
+                             {"parent",
+                              std::to_string(e.parentSpanId)}});
+            break;
+          case TraceEvent::Phase::FlowStart:
+          case TraceEvent::Phase::FlowStep:
+          case TraceEvent::Phase::FlowEnd: {
+            auto [remapped, inserted] =
+                flow_remap.try_emplace(e.flowId, 0);
+            if (inserted)
+                remapped->second = session.nextFlowId();
+            if (phase == TraceEvent::Phase::FlowStart)
+                session.flowStart(pid, tid, name, cat, e.tsNs,
+                                  remapped->second);
+            else if (phase == TraceEvent::Phase::FlowStep)
+                session.flowStep(pid, tid, name, cat, e.tsNs,
+                                 remapped->second);
+            else
+                session.flowEnd(pid, tid, name, cat, e.tsNs,
+                                remapped->second);
+            break;
+          }
+        }
+        ++eventsFlushed_;
+    }
+    if (buf.truncated > 0) {
+        session.instant(kTracePidSlo, 0, "trace-truncated", "reqtrace",
+                        buf.events.empty() ? 0.0 : buf.events.back().tsNs,
+                        {{"trace", trace_str},
+                         {"dropped", std::to_string(buf.truncated)}});
+    }
+}
+
+void
+RequestTracer::flush(TraceSession &session)
+{
+    // Promote the surviving slowest-k% candidates.
+    for (auto &[key, buf] : candidates_) {
+        ++slowKept_;
+        keep(key.second, std::move(buf));
+    }
+    candidates_.clear();
+
+    // Emit in trace-id order so the output is replay-stable.
+    std::unordered_map<std::uint32_t, std::uint64_t> flow_remap;
+    for (auto &[trace_id, buf] : retained_) {
+        flushTrace(session, trace_id, buf, flow_remap);
+        eventsLive_ -= buf.events.size();
+        buf = TraceBuffer{}; // release the buffer, keep the id
+    }
+    retained_.clear();
+}
+
+} // namespace pimsim

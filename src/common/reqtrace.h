@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Per-request causal tracing with tail-based sampling.
+ *
+ * TraceSession (common/trace.h) records *track*-oriented timelines:
+ * what each channel / shard / host was doing over time. RequestTracer
+ * adds the *request*-oriented view: a RequestTraceContext (trace id,
+ * span id, parent span id) is minted when a request is admitted and
+ * propagated through every layer it crosses — serving queue and batch
+ * attempts, cluster RPCs with failover and hedging, LLM decode
+ * iterations and KV evictions — so one request renders as a connected
+ * span tree in Perfetto, stitched across tracks by flow events.
+ *
+ * Recording everything for every request is unaffordable on
+ * million-request campaigns, so sampling is **tail-based**: every
+ * request's events are buffered cheaply (interned names, POD records —
+ * no JSON, no std::string per event) until the request reaches a
+ * terminal state, and the buffer is kept only if the request
+ *
+ *   - erred (failed, rejected, timed out),
+ *   - missed its deadline/SLO,
+ *   - was hedged or failed over,
+ *   - falls in the slowest-k% of terminals seen so far, or
+ *   - is picked by a deterministic seeded head-sample of the rest.
+ *
+ * Everything is decided from (traceId, seed) and the observed outcome,
+ * so the same seed replays to a bit-identical kept set. Kept trace ids
+ * are attached as exemplars to latency Histogram buckets (stats.h) so
+ * a p99 bucket in the stats JSON links straight to a full trace.
+ *
+ * flush() materialises the kept buffers into a TraceSession; every
+ * span/instant carries "trace"/"span"/"parent" args (decimal strings)
+ * from which the tree can be rebuilt, and flow chains get
+ * session-unique ids.
+ */
+
+#ifndef PIMSIM_COMMON_REQTRACE_H
+#define PIMSIM_COMMON_REQTRACE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/trace.h"
+
+namespace pimsim {
+
+/**
+ * The causal identity a request carries through the stack. POD and
+ * cheap to copy; traceId 0 means "not traced" and every tracer call
+ * with an inactive context is a no-op.
+ */
+struct RequestTraceContext
+{
+    std::uint64_t traceId = 0;
+    std::uint32_t spanId = 0;
+    std::uint32_t parentSpanId = 0;
+
+    bool active() const { return traceId != 0; }
+};
+
+/** What happened to a request, observed at its terminal state. */
+struct TraceOutcome
+{
+    double latencyNs = 0.0;
+    bool erred = false;          ///< failed / rejected / timed out
+    bool deadlineMissed = false; ///< completed but blew the SLO
+    bool hedged = false;         ///< a backup copy was fired
+    bool failedOver = false;     ///< retried on another shard/host
+
+    /** Requests in the always-keep class of the sampling policy. */
+    bool mustKeep() const
+    {
+        return erred || deadlineMissed || hedged || failedOver;
+    }
+};
+
+struct RequestTracerConfig
+{
+    /** Deterministic head-sample rate for unremarkable requests. */
+    double headSampleRate = 0.01;
+    /** Keep roughly this fraction of slowest terminals (0 disables). */
+    double slowestFraction = 0.01;
+    /** Seed for the head-sample hash (replay-stable). */
+    std::uint64_t seed = 1;
+    /** Per-trace buffered-event cap; extra events are counted, not kept. */
+    std::size_t maxEventsPerTrace = 4096;
+};
+
+/**
+ * Buffers per-request events between begin() and end(), applies the
+ * tail-based keep policy at end(), and materialises survivors into a
+ * TraceSession on flush().
+ */
+class RequestTracer
+{
+  public:
+    explicit RequestTracer(const RequestTracerConfig &config = {})
+        : config_(config)
+    {
+    }
+
+    /** Mint a new trace with its root span. `ts_ns` = admission time. */
+    RequestTraceContext begin(double ts_ns);
+
+    /** Mint a child span context under `parent` (same trace). */
+    RequestTraceContext child(const RequestTraceContext &parent);
+
+    /** Buffer a duration span recorded as `ctx`'s node in the tree. */
+    void span(const RequestTraceContext &ctx, int pid, int tid,
+              const std::string &name, const std::string &cat,
+              double start_ns, double dur_ns);
+
+    /** Buffer a point event attached to `ctx`'s node. */
+    void instant(const RequestTraceContext &ctx, int pid, int tid,
+                 const std::string &name, const std::string &cat,
+                 double ts_ns);
+
+    /**
+     * Buffer a flow arrow from (src_pid, src_tid, src_ts) to
+     * (dst_pid, dst_tid, dst_ts) — e.g. a cross-host failover or a
+     * root-to-iteration link. The pair shares one flow id, remapped to
+     * a session-unique id at flush().
+     */
+    void flow(const RequestTraceContext &ctx, const std::string &name,
+              int src_pid, int src_tid, double src_ts_ns, int dst_pid,
+              int dst_tid, double dst_ts_ns);
+
+    /**
+     * The request reached a terminal state: decide its fate. Must-keep
+     * and head-sampled traces are retained immediately; the rest
+     * compete for the slowest-k% pool (losers are discarded, freeing
+     * their buffers). Calling end() twice for one context is a no-op.
+     */
+    void end(const RequestTraceContext &ctx, const TraceOutcome &outcome);
+
+    /**
+     * Materialise every kept trace into `session`, in trace-id order.
+     * Also promotes the surviving slowest-k% candidates. Idempotent
+     * per-trace: flushed buffers are released.
+     */
+    void flush(TraceSession &session);
+
+    /** Kept trace ids (stable after flush()). */
+    const std::unordered_set<std::uint64_t> &keptTraceIds() const
+    {
+        return keptIds_;
+    }
+    bool kept(std::uint64_t trace_id) const
+    {
+        return keptIds_.count(trace_id) != 0;
+    }
+
+    const RequestTracerConfig &config() const { return config_; }
+    std::uint64_t tracesStarted() const { return tracesStarted_; }
+    std::uint64_t tracesEnded() const { return tracesEnded_; }
+    std::uint64_t mustKeepCount() const { return mustKeep_; }
+    std::uint64_t headSampledCount() const { return headSampled_; }
+    /** Slowest-k% survivors (final only after flush()). */
+    std::uint64_t slowKeptCount() const { return slowKept_; }
+    std::uint64_t eventsBuffered() const { return eventsBuffered_; }
+    std::uint64_t eventsTruncated() const { return eventsTruncated_; }
+    std::uint64_t eventsFlushed() const { return eventsFlushed_; }
+    /** Live buffered events across active + retained traces. */
+    std::uint64_t eventsLive() const { return eventsLive_; }
+
+    /** Would this trace id pass the deterministic head sample? */
+    bool headSampled(std::uint64_t trace_id) const;
+
+  private:
+    /** Compact POD event record; strings are interned once per name. */
+    struct BufferedEvent
+    {
+        double tsNs = 0.0;
+        double durNs = 0.0;
+        std::uint32_t spanId = 0;
+        std::uint32_t parentSpanId = 0;
+        std::uint32_t flowId = 0;
+        std::uint16_t nameId = 0;
+        std::uint8_t catId = 0;
+        std::uint8_t phase = 0; ///< TraceEvent::Phase
+    };
+
+    struct TraceBuffer
+    {
+        std::vector<BufferedEvent> events;
+        /** Packed (pid << 16 | tid) per event, parallel to `events`. */
+        std::vector<std::uint32_t> tracks;
+        std::uint32_t rootSpanId = 0;
+        std::uint32_t truncated = 0;
+    };
+
+    std::uint16_t internName(const std::string &name);
+    std::uint8_t internCat(const std::string &cat);
+    void buffer(const RequestTraceContext &ctx, TraceEvent::Phase phase,
+                int pid, int tid, const std::string &name,
+                const std::string &cat, double ts_ns, double dur_ns,
+                std::uint32_t flow_id);
+    void keep(std::uint64_t trace_id, TraceBuffer &&buf);
+    void discard(TraceBuffer &&buf);
+    void flushTrace(TraceSession &session, std::uint64_t trace_id,
+                    const TraceBuffer &buf,
+                    std::unordered_map<std::uint32_t, std::uint64_t>
+                        &flow_remap);
+
+    RequestTracerConfig config_;
+    std::uint64_t nextTraceId_ = 1;
+    std::uint32_t nextSpanId_ = 1;
+    std::uint32_t nextFlowId_ = 1;
+
+    std::unordered_map<std::uint64_t, TraceBuffer> active_;
+    std::map<std::uint64_t, TraceBuffer> retained_;
+    /** Slowest-k% pool keyed (latency, traceId); begin() = fastest. */
+    std::map<std::pair<double, std::uint64_t>, TraceBuffer> candidates_;
+    std::unordered_set<std::uint64_t> keptIds_;
+
+    std::vector<std::string> names_;
+    std::unordered_map<std::string, std::uint16_t> nameIds_;
+    std::vector<std::string> cats_;
+    std::unordered_map<std::string, std::uint8_t> catIds_;
+
+    std::uint64_t tracesStarted_ = 0;
+    std::uint64_t tracesEnded_ = 0;
+    std::uint64_t mustKeep_ = 0;
+    std::uint64_t headSampled_ = 0;
+    std::uint64_t slowKept_ = 0;
+    std::uint64_t eventsBuffered_ = 0;
+    std::uint64_t eventsTruncated_ = 0;
+    std::uint64_t eventsFlushed_ = 0;
+    std::uint64_t eventsLive_ = 0;
+};
+
+} // namespace pimsim
+
+#endif // PIMSIM_COMMON_REQTRACE_H

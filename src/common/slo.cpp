@@ -1,0 +1,426 @@
+#include "common/slo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "common/json.h"
+#include "common/logging.h"
+#include "common/trace.h"
+
+namespace pimsim {
+
+// ---------------------------------------------------------------------------
+// SloMonitor
+
+SloMonitor::SloMonitor(const SloMonitorConfig &config) : config_(config)
+{
+    PIMSIM_ASSERT(config_.target > 0.0 && config_.target < 1.0,
+                  "SLO target must be in (0, 1), got ", config_.target);
+    PIMSIM_ASSERT(config_.windowNs > 0.0, "SLO window must be positive");
+    if (config_.rules.empty()) {
+        // Google SRE-style pair: a fast page on a hard burn and a slow
+        // ticket on a sustained mild burn.
+        config_.rules.push_back(SloAlertRule{"page", 10.0, 3, 1});
+        config_.rules.push_back(SloAlertRule{"ticket", 3.0, 6, 2});
+    }
+    for (const auto &r : config_.rules) {
+        PIMSIM_ASSERT(r.longWindows >= r.shortWindows &&
+                          r.shortWindows >= 1,
+                      "SLO rule '", r.name,
+                      "' needs longWindows >= shortWindows >= 1");
+    }
+}
+
+void
+SloMonitor::observe(double ts_ns, bool good)
+{
+    const auto idx = static_cast<std::size_t>(
+        std::max(0.0, ts_ns) / config_.windowNs);
+    if (idx >= windows_.size())
+        windows_.resize(idx + 1);
+    if (good) {
+        ++windows_[idx].good;
+        ++totalGood_;
+    } else {
+        ++windows_[idx].bad;
+        ++totalBad_;
+    }
+}
+
+void
+SloMonitor::feed(const std::vector<SloObservation> &observations)
+{
+    for (const auto &o : observations)
+        observe(o);
+}
+
+double
+SloMonitor::burnRate(std::size_t window, unsigned windows) const
+{
+    if (windows_.empty() || windows == 0)
+        return 0.0;
+    window = std::min(window, windows_.size() - 1);
+    const std::size_t first =
+        window + 1 >= windows ? window + 1 - windows : 0;
+    std::uint64_t good = 0, bad = 0;
+    for (std::size_t i = first; i <= window; ++i) {
+        good += windows_[i].good;
+        bad += windows_[i].bad;
+    }
+    const std::uint64_t total = good + bad;
+    if (total == 0)
+        return 0.0;
+    const double bad_fraction =
+        static_cast<double>(bad) / static_cast<double>(total);
+    return bad_fraction / (1.0 - config_.target);
+}
+
+void
+SloMonitor::finish(double horizon_ns)
+{
+    horizonNs_ = horizon_ns;
+    const auto last = static_cast<std::size_t>(
+        std::max(0.0, horizon_ns) / config_.windowNs);
+    if (last >= windows_.size())
+        windows_.resize(last + 1);
+
+    transitions_.clear();
+    intervals_.clear();
+    for (const auto &rule : config_.rules) {
+        bool firing = false;
+        double fired_at = 0.0;
+        for (std::size_t w = 0; w < windows_.size(); ++w) {
+            const double long_burn = burnRate(w, rule.longWindows);
+            const double short_burn = burnRate(w, rule.shortWindows);
+            const bool now = long_burn >= rule.burnThreshold &&
+                             short_burn >= rule.burnThreshold;
+            if (now == firing)
+                continue;
+            const double ts =
+                static_cast<double>(w + 1) * config_.windowNs;
+            transitions_.push_back(
+                AlertTransition{rule.name, ts, now, long_burn,
+                                short_burn});
+            if (now) {
+                fired_at = ts;
+            } else {
+                intervals_.push_back(
+                    FiringInterval{rule.name, fired_at, ts});
+            }
+            firing = now;
+        }
+        if (firing)
+            intervals_.push_back(FiringInterval{
+                rule.name, fired_at,
+                static_cast<double>(windows_.size()) *
+                    config_.windowNs});
+    }
+}
+
+bool
+SloMonitor::firingBetween(double start_ns, double end_ns) const
+{
+    for (const auto &iv : intervals_) {
+        if (iv.startNs < end_ns && iv.endNs > start_ns)
+            return true;
+    }
+    return false;
+}
+
+bool
+SloMonitor::firingBetween(const std::string &rule, double start_ns,
+                          double end_ns) const
+{
+    for (const auto &iv : intervals_) {
+        if (iv.rule == rule && iv.startNs < end_ns && iv.endNs > start_ns)
+            return true;
+    }
+    return false;
+}
+
+void
+SloMonitor::emitTrace(TraceSession &session) const
+{
+    session.setProcessName(kTracePidSlo, "slo");
+    for (std::size_t r = 0; r < config_.rules.size(); ++r)
+        session.setThreadName(kTracePidSlo, static_cast<int>(r),
+                              "alert:" + config_.rules[r].name);
+    for (const auto &t : transitions_) {
+        int tid = 0;
+        for (std::size_t r = 0; r < config_.rules.size(); ++r) {
+            if (config_.rules[r].name == t.rule)
+                tid = static_cast<int>(r);
+        }
+        char long_buf[32], short_buf[32];
+        std::snprintf(long_buf, sizeof(long_buf), "%.3g", t.longBurn);
+        std::snprintf(short_buf, sizeof(short_buf), "%.3g", t.shortBurn);
+        session.instant(
+            kTracePidSlo, tid,
+            t.rule + (t.firing ? "-fire" : "-resolve"), "slo", t.tsNs,
+            {{"long_burn", long_buf}, {"short_burn", short_buf}});
+    }
+}
+
+void
+SloMonitor::writeJson(JsonWriter &w) const
+{
+    w.beginObject();
+    w.field("target", config_.target);
+    w.field("window_ns", config_.windowNs);
+    w.field("windows", static_cast<std::uint64_t>(windows_.size()));
+    w.field("good", totalGood_);
+    w.field("bad", totalBad_);
+    w.key("rules").beginArray();
+    for (const auto &rule : config_.rules) {
+        std::uint64_t fires = 0;
+        double firing_ns = 0.0;
+        for (const auto &t : transitions_) {
+            if (t.rule == rule.name && t.firing)
+                ++fires;
+        }
+        for (const auto &iv : intervals_) {
+            if (iv.rule == rule.name)
+                firing_ns += iv.endNs - iv.startNs;
+        }
+        w.beginObject();
+        w.field("name", rule.name);
+        w.field("burn_threshold", rule.burnThreshold);
+        w.field("long_windows", rule.longWindows);
+        w.field("short_windows", rule.shortWindows);
+        w.field("fired", fires);
+        w.field("firing_ns", firing_ns);
+        w.key("transitions").beginArray();
+        for (const auto &t : transitions_) {
+            if (t.rule != rule.name)
+                continue;
+            w.beginObject();
+            w.field("ts_ns", t.tsNs);
+            w.field("firing", t.firing);
+            w.field("long_burn", t.longBurn);
+            w.field("short_burn", t.shortBurn);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+// ---------------------------------------------------------------------------
+// MetricsTimeseries
+
+MetricsTimeseries::MetricsTimeseries(double window_ns)
+    : windowNs_(window_ns), nextWindowEndNs_(window_ns)
+{
+    PIMSIM_ASSERT(window_ns > 0.0,
+                  "timeseries window must be positive, got ", window_ns);
+}
+
+void
+MetricsTimeseries::trackCounter(const std::string &label,
+                                const StatGroup *group,
+                                const std::string &stat)
+{
+    PIMSIM_ASSERT(group != nullptr, "null StatGroup for ", label);
+    CounterTrack t;
+    t.label = label;
+    t.group = group;
+    t.stat = stat;
+    t.prev = group->counter(stat);
+    counters_.push_back(std::move(t));
+}
+
+void
+MetricsTimeseries::trackHistogram(const std::string &label,
+                                  const Histogram *hist)
+{
+    PIMSIM_ASSERT(hist != nullptr, "null Histogram for ", label);
+    HistogramTrack t;
+    t.label = label;
+    t.hist = hist;
+    t.prevBuckets = hist->buckets();
+    t.prevOverflow = hist->overflow();
+    t.prevCount = hist->count();
+    histograms_.push_back(std::move(t));
+}
+
+namespace {
+
+/**
+ * Nearest-rank percentile of a delta bucket distribution, linearly
+ * interpolated within the owning bucket (overflow resolves to the top
+ * of the last regular bucket — the delta view has no per-window max).
+ */
+double
+deltaPercentile(const std::vector<std::uint64_t> &delta,
+                std::uint64_t overflow, std::uint64_t width, double p)
+{
+    std::uint64_t count = overflow;
+    for (const auto c : delta)
+        count += c;
+    if (count == 0)
+        return 0.0;
+    const std::uint64_t rank = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(p * static_cast<double>(count) +
+                                      0.5));
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < delta.size(); ++i) {
+        if (delta[i] == 0)
+            continue;
+        if (cumulative + delta[i] >= rank) {
+            const double within =
+                static_cast<double>(rank - cumulative) /
+                static_cast<double>(delta[i]);
+            return static_cast<double>(i * width) +
+                   within * static_cast<double>(width);
+        }
+        cumulative += delta[i];
+    }
+    return static_cast<double>(delta.size() * width);
+}
+
+} // namespace
+
+void
+MetricsTimeseries::closeWindow(double span_ns)
+{
+    const double span_s = span_ns > 0.0 ? span_ns / 1e9 : 1e-12;
+    for (auto &t : counters_) {
+        const std::uint64_t cur = t.group->counter(t.stat);
+        const std::uint64_t delta = cur >= t.prev ? cur - t.prev : 0;
+        t.rates.push_back(static_cast<double>(delta) / span_s);
+        t.prev = cur;
+    }
+    for (auto &t : histograms_) {
+        const auto &cur = t.hist->buckets();
+        std::vector<std::uint64_t> delta(cur.size(), 0);
+        for (std::size_t i = 0; i < cur.size(); ++i) {
+            const std::uint64_t prev =
+                i < t.prevBuckets.size() ? t.prevBuckets[i] : 0;
+            delta[i] = cur[i] >= prev ? cur[i] - prev : 0;
+        }
+        const std::uint64_t overflow_delta =
+            t.hist->overflow() >= t.prevOverflow
+                ? t.hist->overflow() - t.prevOverflow
+                : 0;
+        const std::uint64_t count_delta =
+            t.hist->count() >= t.prevCount
+                ? t.hist->count() - t.prevCount
+                : 0;
+        const std::uint64_t width = t.hist->bucketWidth();
+        t.counts.push_back(count_delta);
+        t.p50.push_back(deltaPercentile(delta, overflow_delta, width, 0.50));
+        t.p95.push_back(deltaPercentile(delta, overflow_delta, width, 0.95));
+        t.p99.push_back(deltaPercentile(delta, overflow_delta, width, 0.99));
+        t.prevBuckets = cur;
+        t.prevOverflow = t.hist->overflow();
+        t.prevCount = t.hist->count();
+    }
+    ++numWindows_;
+}
+
+void
+MetricsTimeseries::advanceTo(double ts_ns)
+{
+    if (finished_)
+        return;
+    while (nextWindowEndNs_ <= ts_ns) {
+        closeWindow(windowNs_);
+        nextWindowEndNs_ += windowNs_;
+    }
+}
+
+void
+MetricsTimeseries::finish(double ts_ns)
+{
+    if (finished_)
+        return;
+    advanceTo(ts_ns);
+    const double partial = ts_ns - (nextWindowEndNs_ - windowNs_);
+    if (partial > 0.0)
+        closeWindow(partial);
+    finished_ = true;
+}
+
+const std::vector<double> &
+MetricsTimeseries::counterRates(const std::string &label) const
+{
+    static const std::vector<double> empty;
+    for (const auto &t : counters_) {
+        if (t.label == label)
+            return t.rates;
+    }
+    return empty;
+}
+
+std::vector<double>
+MetricsTimeseries::histogramPercentiles(const std::string &label,
+                                        double p) const
+{
+    for (const auto &t : histograms_) {
+        if (t.label != label)
+            continue;
+        if (p <= 0.50)
+            return t.p50;
+        if (p <= 0.95)
+            return t.p95;
+        return t.p99;
+    }
+    return {};
+}
+
+void
+MetricsTimeseries::writeJson(JsonWriter &w) const
+{
+    w.beginObject();
+    w.field("window_ns", windowNs_);
+    w.field("windows", static_cast<std::uint64_t>(numWindows_));
+    w.key("counters").beginObject();
+    for (const auto &t : counters_) {
+        w.key(t.label).beginArray();
+        for (const double r : t.rates)
+            w.value(r);
+        w.endArray();
+    }
+    w.endObject();
+    w.key("histograms").beginObject();
+    for (const auto &t : histograms_) {
+        w.key(t.label).beginObject();
+        w.key("count").beginArray();
+        for (const auto c : t.counts)
+            w.value(c);
+        w.endArray();
+        const auto series = [&w](const char *name,
+                                 const std::vector<double> &v) {
+            w.key(name).beginArray();
+            for (const double x : v)
+                w.value(x);
+            w.endArray();
+        };
+        series("p50", t.p50);
+        series("p95", t.p95);
+        series("p99", t.p99);
+        w.endObject();
+    }
+    w.endObject();
+    w.endObject();
+}
+
+bool
+MetricsTimeseries::writeFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os) {
+        PIMSIM_WARN("cannot open timeseries output '", path, "'");
+        return false;
+    }
+    JsonWriter w(os, /*pretty=*/true);
+    writeJson(w);
+    os << "\n";
+    return static_cast<bool>(os);
+}
+
+} // namespace pimsim

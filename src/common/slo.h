@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Windowed SLO monitoring and metrics timeseries.
+ *
+ * End-of-run aggregates (StatsRegistry) answer "how did the run go";
+ * they cannot answer "when did it go bad". This header adds the time
+ * dimension:
+ *
+ *  - MetricsTimeseries snapshots registered counters and histograms
+ *    into fixed simulated-time windows: per-window counter rates and
+ *    per-window p50/p95/p99 computed from bucket-count deltas, so a
+ *    latency regression is visible *as it happens*, not smeared over
+ *    the whole run.
+ *
+ *  - SloMonitor consumes per-request terminal observations
+ *    (SloObservation: timestamp + good/bad) from the engines and
+ *    computes multi-window error-budget burn rates in the Google SRE
+ *    style: burn = badFraction / (1 - target), alert rules pair a long
+ *    window (sustained burn) with a short window (still happening),
+ *    and fire/resolve transitions are recorded — and emitted as
+ *    instants on the pid-7 "slo" trace track so alerts line up with
+ *    the device/serving/cluster/llm timelines in Perfetto.
+ *
+ * Everything runs on simulated time and observed data only, so the
+ * monitor is replay-stable like the rest of the stack.
+ */
+
+#ifndef PIMSIM_COMMON_SLO_H
+#define PIMSIM_COMMON_SLO_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace pimsim {
+
+class JsonWriter;
+class TraceSession;
+
+/** One request's terminal fate, as fed to the SloMonitor. */
+struct SloObservation
+{
+    double tsNs = 0.0; ///< simulated time of the terminal event
+    bool good = true;  ///< met its deadline/SLO and did not error
+};
+
+/**
+ * One burn-rate alert rule: fire when the error-budget burn rate over
+ * the last `longWindows` windows AND over the last `shortWindows`
+ * windows both reach `burnThreshold`. The long window makes the alert
+ * meaningful (sustained burn), the short window makes it resolve
+ * quickly once the episode ends.
+ */
+struct SloAlertRule
+{
+    std::string name = "page";
+    double burnThreshold = 10.0;
+    unsigned longWindows = 3;
+    unsigned shortWindows = 1;
+};
+
+struct SloMonitorConfig
+{
+    double target = 0.99;  ///< SLO target (fraction of good requests)
+    double windowNs = 1e6; ///< evaluation window, simulated ns
+    /** Alert rules; defaults to a fast "page" + slow "ticket" pair. */
+    std::vector<SloAlertRule> rules;
+};
+
+/** Multi-window, multi-burn-rate SLO alerting over simulated time. */
+class SloMonitor
+{
+  public:
+    explicit SloMonitor(const SloMonitorConfig &config);
+
+    void observe(double ts_ns, bool good);
+    void observe(const SloObservation &o) { observe(o.tsNs, o.good); }
+    void feed(const std::vector<SloObservation> &observations);
+
+    /**
+     * Evaluate every window up to and including the one containing
+     * `horizon_ns` and record alert transitions. Call once after the
+     * run (idempotent: re-evaluates from scratch).
+     */
+    void finish(double horizon_ns);
+
+    struct AlertTransition
+    {
+        std::string rule;
+        double tsNs = 0.0; ///< window end at which the state flipped
+        bool firing = false;
+        double longBurn = 0.0;
+        double shortBurn = 0.0;
+    };
+
+    const std::vector<AlertTransition> &transitions() const
+    {
+        return transitions_;
+    }
+
+    /** Was any rule firing at any instant of [start_ns, end_ns)? */
+    bool firingBetween(double start_ns, double end_ns) const;
+    /** Was `rule` firing at any instant of [start_ns, end_ns)? */
+    bool firingBetween(const std::string &rule, double start_ns,
+                       double end_ns) const;
+
+    /** Burn rate over the last `windows` windows ending at `window`. */
+    double burnRate(std::size_t window, unsigned windows) const;
+
+    std::uint64_t totalGood() const { return totalGood_; }
+    std::uint64_t totalBad() const { return totalBad_; }
+    std::size_t numWindows() const { return windows_.size(); }
+    const SloMonitorConfig &config() const { return config_; }
+
+    /**
+     * Emit alert fire/resolve instants on the pid-7 "slo" track, one
+     * tid per rule, with burn rates as args. Call after finish().
+     */
+    void emitTrace(TraceSession &session) const;
+
+    /** Emit {"target": ..., "rules": [...]} into an open value slot. */
+    void writeJson(JsonWriter &w) const;
+
+  private:
+    struct Window
+    {
+        std::uint64_t good = 0;
+        std::uint64_t bad = 0;
+    };
+    struct FiringInterval
+    {
+        std::string rule;
+        double startNs = 0.0;
+        double endNs = 0.0; ///< horizon end if still firing at finish()
+    };
+
+    SloMonitorConfig config_;
+    std::vector<Window> windows_;
+    std::vector<AlertTransition> transitions_;
+    std::vector<FiringInterval> intervals_;
+    std::uint64_t totalGood_ = 0;
+    std::uint64_t totalBad_ = 0;
+    double horizonNs_ = 0.0;
+};
+
+/**
+ * Snapshots registered counters / histograms into fixed simulated-time
+ * windows. Sources are non-owning pointers and are read at window
+ * boundaries via advanceTo(); counters report per-window rates (delta
+ * per second), histograms report per-window count and p50/p95/p99
+ * derived from bucket-count deltas.
+ */
+class MetricsTimeseries
+{
+  public:
+    explicit MetricsTimeseries(double window_ns);
+
+    void trackCounter(const std::string &label, const StatGroup *group,
+                      const std::string &stat);
+    void trackHistogram(const std::string &label, const Histogram *hist);
+
+    /**
+     * Close every window whose end time is <= ts_ns. The sources are
+     * read once per call, so if the caller lets simulated time jump
+     * several windows between calls, the whole delta lands in the
+     * first window closed (call at least once per window for exact
+     * attribution).
+     */
+    void advanceTo(double ts_ns);
+
+    /** Close the final (possibly partial) window at `ts_ns`. */
+    void finish(double ts_ns);
+
+    std::size_t numWindows() const { return numWindows_; }
+    double windowNs() const { return windowNs_; }
+
+    /** Per-window rate series for a tracked counter (empty if unknown). */
+    const std::vector<double> &counterRates(const std::string &label) const;
+
+    /** Per-window p-th percentile series for a tracked histogram. */
+    std::vector<double> histogramPercentiles(const std::string &label,
+                                             double p) const;
+
+    /** Emit the whole timeseries into an open value slot. */
+    void writeJson(JsonWriter &w) const;
+
+    /** Standalone JSON document; false (and a warning) on I/O failure. */
+    bool writeFile(const std::string &path) const;
+
+  private:
+    struct CounterTrack
+    {
+        std::string label;
+        const StatGroup *group = nullptr;
+        std::string stat;
+        std::uint64_t prev = 0;
+        std::vector<double> rates;
+    };
+    struct HistogramTrack
+    {
+        std::string label;
+        const Histogram *hist = nullptr;
+        std::vector<std::uint64_t> prevBuckets;
+        std::uint64_t prevOverflow = 0;
+        std::uint64_t prevCount = 0;
+        std::vector<std::uint64_t> counts;
+        /** Per-window delta-distribution percentiles. */
+        std::vector<double> p50, p95, p99;
+    };
+
+    void closeWindow(double span_ns);
+
+    double windowNs_;
+    double nextWindowEndNs_;
+    std::size_t numWindows_ = 0;
+    bool finished_ = false;
+    std::vector<CounterTrack> counters_;
+    std::vector<HistogramTrack> histograms_;
+};
+
+} // namespace pimsim
+
+#endif // PIMSIM_COMMON_SLO_H

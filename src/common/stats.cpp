@@ -59,6 +59,7 @@ void
 Histogram::reset()
 {
     std::fill(buckets_.begin(), buckets_.end(), 0);
+    exemplars_.clear();
     overflow_ = 0;
     count_ = 0;
     sum_ = 0;
@@ -78,6 +79,38 @@ Histogram::sample(std::uint64_t value)
     sum_ += value;
     min_ = std::min(min_, value);
     max_ = std::max(max_, value);
+}
+
+void
+Histogram::sample(std::uint64_t value, std::uint64_t trace_id)
+{
+    sample(value);
+    if (trace_id == 0)
+        return;
+    const std::size_t idx =
+        std::min(static_cast<std::size_t>(value / bucketWidth_),
+                 buckets_.size()); // buckets_.size() = overflow bucket
+    auto &slot = exemplars_[idx];
+    if (slot.size() >= kExemplarsPerBucket)
+        slot.erase(slot.begin());
+    slot.push_back(Exemplar{value, trace_id});
+}
+
+void
+Histogram::retainExemplars(const std::unordered_set<std::uint64_t> &kept)
+{
+    for (auto it = exemplars_.begin(); it != exemplars_.end();) {
+        auto &slot = it->second;
+        slot.erase(std::remove_if(slot.begin(), slot.end(),
+                                  [&](const Exemplar &e) {
+                                      return kept.count(e.traceId) == 0;
+                                  }),
+                   slot.end());
+        if (slot.empty())
+            it = exemplars_.erase(it);
+        else
+            ++it;
+    }
 }
 
 double

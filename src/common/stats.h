@@ -14,6 +14,7 @@
 #include <iosfwd>
 #include <map>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 namespace pimsim {
@@ -98,10 +99,46 @@ class StatGroup
 class Histogram
 {
   public:
+    /**
+     * A sampled value annotated with the trace id of the request that
+     * produced it — the OpenMetrics "exemplar" idea: a histogram bucket
+     * links to a concrete trace showing *why* a sample landed there.
+     */
+    struct Exemplar
+    {
+        std::uint64_t value = 0;
+        std::uint64_t traceId = 0;
+    };
+
     /** Buckets [0,width), [width,2*width), ...; overflow collects the rest. */
     Histogram(std::uint64_t bucket_width, std::size_t num_buckets);
 
     void sample(std::uint64_t value);
+
+    /**
+     * sample() plus an exemplar: remember up to kExemplarsPerBucket
+     * recent (value, trace_id) pairs for the bucket the value lands in
+     * (newest overwrites oldest). trace_id 0 records no exemplar.
+     */
+    void sample(std::uint64_t value, std::uint64_t trace_id);
+
+    /**
+     * Drop every exemplar whose trace id is not in `kept` — called
+     * after tail-based sampling decides which traces survive, so a
+     * stats dump never links to a trace that was discarded.
+     */
+    void retainExemplars(const std::unordered_set<std::uint64_t> &kept);
+
+    /**
+     * Exemplars by bucket index (buckets().size() = the overflow
+     * bucket), insertion-ordered oldest first within a bucket.
+     */
+    const std::map<std::size_t, std::vector<Exemplar>> &exemplars() const
+    {
+        return exemplars_;
+    }
+
+    static constexpr std::size_t kExemplarsPerBucket = 2;
 
     /**
      * Forget every sample (bucket counts, overflow, min/max/sum); the
@@ -128,6 +165,7 @@ class Histogram
 
     std::uint64_t min() const { return count_ ? min_ : 0; }
     std::uint64_t max() const { return max_; }
+    std::uint64_t bucketWidth() const { return bucketWidth_; }
     const std::vector<std::uint64_t> &buckets() const { return buckets_; }
     std::uint64_t overflow() const { return overflow_; }
 
@@ -136,6 +174,7 @@ class Histogram
   private:
     std::uint64_t bucketWidth_;
     std::vector<std::uint64_t> buckets_;
+    std::map<std::size_t, std::vector<Exemplar>> exemplars_;
     std::uint64_t overflow_ = 0;
     std::uint64_t count_ = 0;
     std::uint64_t sum_ = 0;

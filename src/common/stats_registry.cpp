@@ -74,6 +74,16 @@ StatsRegistry::group(const std::string &path) const
     return nullptr;
 }
 
+const Histogram *
+StatsRegistry::histogram(const std::string &path) const
+{
+    for (const auto &entry : histograms_) {
+        if (entry.first == path)
+            return entry.second;
+    }
+    return nullptr;
+}
+
 std::uint64_t
 StatsRegistry::counterTotal(const std::string &path_suffix,
                             const std::string &stat) const
@@ -93,6 +103,20 @@ StatsRegistry::reset()
         entry.second->reset();
     for (auto &entry : histograms_)
         entry.second->reset();
+}
+
+void
+StatsRegistry::retainExemplars(
+    const std::unordered_set<std::uint64_t> &kept)
+{
+    for (auto &entry : histograms_)
+        entry.second->retainExemplars(kept);
+    for (auto &entry : groups_) {
+        for (const auto &kv : entry.second->histograms()) {
+            if (kv.second)
+                kv.second->retainExemplars(kept);
+        }
+    }
 }
 
 void
@@ -146,6 +170,21 @@ StatsRegistry::dumpJson(std::ostream &os) const
         w.field("p99", hist->p99());
         w.field("max", hist->max());
         w.field("overflow", hist->overflow());
+        if (!hist->exemplars().empty()) {
+            // Trace ids as strings: they pair with the "trace" args in
+            // the Chrome trace file, which are strings too.
+            w.key("exemplars").beginArray();
+            for (const auto &[bucket, slot] : hist->exemplars()) {
+                for (const auto &ex : slot) {
+                    w.beginObject();
+                    w.field("bucket_lo", bucket * hist->bucketWidth());
+                    w.field("value", ex.value);
+                    w.field("trace_id", std::to_string(ex.traceId));
+                    w.endObject();
+                }
+            }
+            w.endArray();
+        }
         w.endObject();
     }
     w.endObject();

@@ -44,6 +44,9 @@ class StatsRegistry
     /** The group registered at exactly `path` (nullptr if absent). */
     const StatGroup *group(const std::string &path) const;
 
+    /** The histogram registered at exactly `path` (nullptr if absent). */
+    const Histogram *histogram(const std::string &path) const;
+
     /**
      * Sum of counter `stat` over every group whose path equals
      * `path_suffix` or ends with ".<path_suffix>" — e.g.
@@ -55,6 +58,13 @@ class StatsRegistry
 
     /** Reset every registered group and histogram (new window). */
     void reset();
+
+    /**
+     * Prune histogram exemplars to trace ids in `kept` — called after
+     * tail-based sampling so a stats dump never links to a discarded
+     * trace (see Histogram::retainExemplars).
+     */
+    void retainExemplars(const std::unordered_set<std::uint64_t> &kept);
 
     /** "path.stat value" lines, groups in registration order. */
     void dumpText(std::ostream &os) const;

@@ -7,6 +7,7 @@
 
 #include "common/json.h"
 #include "common/logging.h"
+#include "common/stats_registry.h"
 
 namespace pimsim {
 
@@ -15,8 +16,10 @@ TraceSession::admit()
 {
     if (events_.size() >= maxEvents_) {
         ++dropped_;
+        selfStats_.add("eventsDropped");
         return false;
     }
+    selfStats_.add("eventsRecorded");
     return true;
 }
 
@@ -42,15 +45,40 @@ TraceSession::span(int pid, int tid, const std::string &name,
                    const std::string &cat, double start_ns, double dur_ns,
                    const std::string &arg_key, const std::string &arg_value)
 {
+    span(pid, tid, name, cat, start_ns, dur_ns,
+         {{arg_key, arg_value}});
+}
+
+void
+TraceSession::span(int pid, int tid, const std::string &name,
+                   const std::string &cat, double start_ns, double dur_ns,
+                   std::vector<std::pair<std::string, std::string>> args)
+{
     if (!admit())
         return;
-    span(pid, tid, name, cat, start_ns, dur_ns);
-    events_.back().args.emplace_back(arg_key, arg_value);
+    TraceEvent e;
+    e.phase = TraceEvent::Phase::Complete;
+    e.pid = pid;
+    e.tid = tid;
+    e.name = name;
+    e.cat = cat;
+    e.tsUs = start_ns / 1e3;
+    e.durUs = dur_ns / 1e3;
+    e.args = std::move(args);
+    events_.push_back(std::move(e));
 }
 
 void
 TraceSession::instant(int pid, int tid, const std::string &name,
                       const std::string &cat, double ts_ns)
+{
+    instant(pid, tid, name, cat, ts_ns, {});
+}
+
+void
+TraceSession::instant(int pid, int tid, const std::string &name,
+                      const std::string &cat, double ts_ns,
+                      std::vector<std::pair<std::string, std::string>> args)
 {
     if (!admit())
         return;
@@ -61,7 +89,50 @@ TraceSession::instant(int pid, int tid, const std::string &name,
     e.name = name;
     e.cat = cat;
     e.tsUs = ts_ns / 1e3;
+    e.args = std::move(args);
     events_.push_back(std::move(e));
+}
+
+void
+TraceSession::flow(TraceEvent::Phase phase, int pid, int tid,
+                   const std::string &name, const std::string &cat,
+                   double ts_ns, std::uint64_t flow_id)
+{
+    if (!admit())
+        return;
+    TraceEvent e;
+    e.phase = phase;
+    e.pid = pid;
+    e.tid = tid;
+    e.name = name;
+    e.cat = cat;
+    e.tsUs = ts_ns / 1e3;
+    e.flowId = flow_id;
+    events_.push_back(std::move(e));
+}
+
+void
+TraceSession::flowStart(int pid, int tid, const std::string &name,
+                        const std::string &cat, double ts_ns,
+                        std::uint64_t flow_id)
+{
+    flow(TraceEvent::Phase::FlowStart, pid, tid, name, cat, ts_ns, flow_id);
+}
+
+void
+TraceSession::flowStep(int pid, int tid, const std::string &name,
+                       const std::string &cat, double ts_ns,
+                       std::uint64_t flow_id)
+{
+    flow(TraceEvent::Phase::FlowStep, pid, tid, name, cat, ts_ns, flow_id);
+}
+
+void
+TraceSession::flowEnd(int pid, int tid, const std::string &name,
+                      const std::string &cat, double ts_ns,
+                      std::uint64_t flow_id)
+{
+    flow(TraceEvent::Phase::FlowEnd, pid, tid, name, cat, ts_ns, flow_id);
 }
 
 void
@@ -75,6 +146,34 @@ TraceSession::setThreadName(int pid, int tid, const std::string &name)
 {
     threadNames_[{pid, tid}] = name;
 }
+
+void
+TraceSession::registerStats(StatsRegistry &registry)
+{
+    registry.addGroup("trace", &selfStats_);
+}
+
+namespace {
+
+const char *
+phaseString(TraceEvent::Phase phase)
+{
+    switch (phase) {
+      case TraceEvent::Phase::Complete:
+        return "X";
+      case TraceEvent::Phase::Instant:
+        return "i";
+      case TraceEvent::Phase::FlowStart:
+        return "s";
+      case TraceEvent::Phase::FlowStep:
+        return "t";
+      case TraceEvent::Phase::FlowEnd:
+        return "f";
+    }
+    return "X";
+}
+
+} // namespace
 
 void
 TraceSession::write(std::ostream &os) const
@@ -120,15 +219,26 @@ TraceSession::write(std::ostream &os) const
         w.field("name", e.name);
         if (!e.cat.empty())
             w.field("cat", e.cat);
-        w.field("ph",
-                e.phase == TraceEvent::Phase::Complete ? "X" : "i");
+        w.field("ph", phaseString(e.phase));
         w.field("pid", e.pid);
         w.field("tid", e.tid);
         w.field("ts", e.tsUs);
-        if (e.phase == TraceEvent::Phase::Complete)
+        switch (e.phase) {
+          case TraceEvent::Phase::Complete:
             w.field("dur", e.durUs);
-        else
+            break;
+          case TraceEvent::Phase::Instant:
             w.field("s", "t"); // thread-scoped instant
+            break;
+          case TraceEvent::Phase::FlowStart:
+          case TraceEvent::Phase::FlowStep:
+            w.field("id", e.flowId);
+            break;
+          case TraceEvent::Phase::FlowEnd:
+            w.field("id", e.flowId);
+            w.field("bp", "e"); // bind to the enclosing slice
+            break;
+        }
         if (!e.args.empty()) {
             w.key("args").beginObject();
             for (const auto &[k, v] : e.args)
@@ -140,8 +250,7 @@ TraceSession::write(std::ostream &os) const
 
     w.endArray();
     w.field("displayTimeUnit", "ns");
-    if (dropped_)
-        w.field("droppedEvents", dropped_);
+    w.field("droppedEvents", dropped_);
     w.endObject();
     os << "\n";
 }
@@ -153,6 +262,11 @@ TraceSession::writeFile(const std::string &path) const
     if (!os) {
         PIMSIM_WARN("cannot open trace output '", path, "'");
         return false;
+    }
+    if (dropped_ > 0) {
+        PIMSIM_WARN("trace '", path, "' is truncated: ", dropped_,
+                    " events dropped past the ", maxEvents_,
+                    "-event cap");
     }
     write(os);
     return static_cast<bool>(os);

@@ -4,6 +4,7 @@
 #include <tuple>
 
 #include "common/logging.h"
+#include "common/trace.h"
 
 namespace pimsim::llm {
 
@@ -60,7 +61,7 @@ bool
 ContinuousBatcher::beginIteration(double now, std::vector<LlmRequest> &joined)
 {
     joined.clear();
-    (void)now;
+    nowNs_ = now;
 
     // Join pass. AdmitOnce only refills an empty batch (the static
     // baseline); Continuous tops the batch up every iteration.
@@ -187,6 +188,12 @@ ContinuousBatcher::preemptYoungest()
     victim.kvSeq = KvSeqId{};
     ++victim.preemptions;
     ++leavesPreempted_;
+    if (reqTracer_ != nullptr) {
+        // The eviction lands on the KV track so the victim's span tree
+        // shows *why* its decode has a hole.
+        reqTracer_->instant(victim.trace, kTracePidLlm, 1, "kv-evict",
+                            "kv", nowNs_);
+    }
     // Requeue at the age-correct position — for the youngest running
     // member that is the queue front, ahead of everything that arrived
     // after it joined.

@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "common/reqtrace.h"
 #include "llm/kv_cache.h"
 
 namespace pimsim::llm {
@@ -63,6 +64,8 @@ struct LlmRequest
     double firstTokenNs = -1.0; ///< TTFT timestamp (< 0 until produced)
     double completeNs = 0.0;
     KvSeqId kvSeq;             ///< valid only while running
+    /** Causal trace identity (inactive unless a RequestTracer is set). */
+    RequestTraceContext trace;
 
     unsigned contextTokens() const { return promptTokens + decoded; }
     bool done() const { return decoded >= outputTokens; }
@@ -142,12 +145,21 @@ class ContinuousBatcher
     /** PIMSIM_ASSERTs the join/leave ledger balances. */
     void reconcile() const;
 
+    /**
+     * Attach a per-request causal tracer (nullptr detaches): evict-and-
+     * requeue emits a "kv-evict" instant on the victim's span tree
+     * (pid 6, KV track). Not owned.
+     */
+    void setRequestTracer(RequestTracer *tracer) { reqTracer_ = tracer; }
+
   private:
     /** Evict the youngest running member; requeue front, age-ordered. */
     void preemptYoungest();
 
     BatcherConfig config_;
     KvCacheManager &kv_;
+    RequestTracer *reqTracer_ = nullptr;
+    double nowNs_ = 0.0; ///< last beginIteration timestamp (evict traces)
     std::deque<LlmRequest> waiting_; ///< FCFS by arrival (age order)
     std::vector<LlmRequest> running_; ///< age order (oldest first)
     unsigned waveBatch_ = 0; ///< AdmitOnce: padded size of current wave

@@ -129,16 +129,6 @@ LlmEngine::submit(unsigned tenant, double arrival_ns, unsigned prompt_tokens,
     TenantState &t = tenants_[tenant];
     ++t.submitted;
 
-    // Feasibility: an admitted request must be guaranteed to fit its
-    // tenant's KV budget at terminal length, or preemption could churn
-    // forever without ever seating it.
-    const unsigned total_tokens = prompt_tokens + output_tokens;
-    if (total_tokens > config_.decoder.maxContextTokens ||
-        kv_->blocksFor(total_tokens) > kv_->capBlocks(tenant)) {
-        ++t.rejected;
-        return false;
-    }
-
     LlmRequest req;
     req.id = nextId_++;
     req.tenant = tenant;
@@ -147,6 +137,19 @@ LlmEngine::submit(unsigned tenant, double arrival_ns, unsigned prompt_tokens,
     req.arrivalNs = arrival_ns;
     if (t.spec.deadlineNs > 0.0)
         req.deadlineNs = arrival_ns + t.spec.deadlineNs;
+    if (reqTracer_ != nullptr)
+        req.trace = reqTracer_->begin(arrival_ns);
+
+    // Feasibility: an admitted request must be guaranteed to fit its
+    // tenant's KV budget at terminal length, or preemption could churn
+    // forever without ever seating it.
+    const unsigned total_tokens = prompt_tokens + output_tokens;
+    if (total_tokens > config_.decoder.maxContextTokens ||
+        kv_->blocksFor(total_tokens) > kv_->capBlocks(tenant)) {
+        ++t.rejected;
+        finishRequestTrace(req, nowNs_, "rejected", /*erred=*/true);
+        return false;
+    }
 
     if (config_.deadlineAdmission && req.hasDeadline()) {
         // Optimistic estimate (zero queueing, full batch amortisation
@@ -155,12 +158,16 @@ LlmEngine::submit(unsigned tenant, double arrival_ns, unsigned prompt_tokens,
         const double est = estimateNs(tenant, prompt_tokens, output_tokens);
         if (arrival_ns + est > req.deadlineNs) {
             ++t.shed;
+            finishRequestTrace(req, nowNs_, "shed", /*erred=*/true);
             return false;
         }
     }
 
+    const LlmRequest admitted = req; // admit() consumes the request
     if (!batcher_->admit(std::move(req))) {
         ++t.rejected;
+        finishRequestTrace(admitted, nowNs_, "queue-full",
+                           /*erred=*/true);
         return false;
     }
     if (!iterationInFlight_)
@@ -209,6 +216,12 @@ LlmEngine::nextEventNs() const
     return iterationInFlight_ ? iterationEndNs_ : serve::kNoEventNs;
 }
 
+StatsRegistry &
+LlmEngine::statsRegistry()
+{
+    return system_->statsRegistry();
+}
+
 std::vector<LlmRequest>
 LlmEngine::takeCompletions()
 {
@@ -225,7 +238,23 @@ LlmEngine::setTrace(TraceSession *session)
         trace_->setProcessName(kTracePidLlm, "llm");
         trace_->setThreadName(kTracePidLlm, 0, "decode iterations");
         trace_->setThreadName(kTracePidLlm, 1, "kv occupancy");
+        trace_->setThreadName(kTracePidLlm, 2, "requests");
     }
+}
+
+void
+LlmEngine::setRequestTracer(RequestTracer *tracer)
+{
+    reqTracer_ = tracer;
+    batcher_->setRequestTracer(tracer);
+}
+
+std::vector<SloObservation>
+LlmEngine::takeSloObservations()
+{
+    std::vector<SloObservation> out;
+    out.swap(sloObs_);
+    return out;
 }
 
 double
@@ -284,6 +313,22 @@ LlmEngine::dispatch()
     PIMSIM_ASSERT(!iterationInFlight_, "dispatch over a running iteration");
     if (!batcher_->beginIteration(nowNs_, lastJoined_))
         return;
+    if (reqTracer_ != nullptr) {
+        for (const LlmRequest &r : lastJoined_) {
+            if (r.preemptions == 0 && nowNs_ > r.arrivalNs) {
+                reqTracer_->span(reqTracer_->child(r.trace), kTracePidLlm,
+                                 2, "queue", "queue", r.arrivalNs,
+                                 nowNs_ - r.arrivalNs);
+            } else if (r.preemptions > 0) {
+                reqTracer_->instant(r.trace, kTracePidLlm, 2, "rejoin",
+                                    "batch", nowNs_);
+            }
+            // Link the request's span tree to the shared decode-iteration
+            // timeline it now rides.
+            reqTracer_->flow(r.trace, "join", kTracePidLlm, 2, nowNs_,
+                             kTracePidLlm, 0, nowNs_);
+        }
+    }
     const double dur = iterationNs(lastJoined_);
     iterationStartNs_ = nowNs_;
     iterationEndNs_ = nowNs_ + dur;
@@ -315,6 +360,18 @@ LlmEngine::finishIteration()
                             "join x" + std::to_string(lastJoined_.size()),
                             "llm", start);
     }
+    if (reqTracer_ != nullptr) {
+        // Every member of the batch decoded (or lost) one token this
+        // iteration: each gets a child span of its own request tree.
+        const char *name = faulted ? "decode-iter(fault)" : "decode-iter";
+        for (const LlmRequest &r : batcher_->running()) {
+            reqTracer_->span(reqTracer_->child(r.trace), kTracePidLlm, 2,
+                             name, "iter", start, end - start);
+            if (!faulted && r.firstTokenNs < 0.0)
+                reqTracer_->instant(r.trace, kTracePidLlm, 2,
+                                    "first-token", "token", end);
+        }
+    }
     lastJoined_.clear();
     if (faulted) {
         // The fault struck mid-iteration: the batch's token is lost and
@@ -334,7 +391,33 @@ LlmEngine::expireDue()
         TenantState &t = tenants_[dead.tenant];
         ++t.timedOut;
         t.preemptions += dead.preemptions;
+        finishRequestTrace(dead, nowNs_, "queue-timeout", /*erred=*/true);
     }
+}
+
+void
+LlmEngine::finishRequestTrace(const LlmRequest &request, double end_ns,
+                              const char *terminal, bool erred)
+{
+    const bool missed = !erred && request.hasDeadline() &&
+                        end_ns > request.deadlineNs;
+    sloObs_.push_back(SloObservation{end_ns, !erred && !missed});
+    if (reqTracer_ == nullptr || !request.trace.active())
+        return;
+    if (terminal != nullptr) {
+        reqTracer_->instant(request.trace, kTracePidLlm, 2, terminal,
+                            "terminal", end_ns);
+    }
+    reqTracer_->span(request.trace, kTracePidLlm, 2, "request", "request",
+                     request.arrivalNs, end_ns - request.arrivalNs);
+    TraceOutcome outcome;
+    outcome.latencyNs = end_ns - request.arrivalNs;
+    outcome.erred = erred;
+    outcome.deadlineMissed = missed;
+    // Evict-and-requeue is the LLM tier's failover analogue: preempted
+    // requests are always worth keeping.
+    outcome.failedOver = request.preemptions > 0;
+    reqTracer_->end(request.trace, outcome);
 }
 
 void
@@ -345,19 +428,24 @@ LlmEngine::recordCompletion(const LlmRequest &request)
     t.tokensOut += request.outputTokens;
     t.preemptions += request.preemptions;
     t.ttftH.sample(static_cast<std::uint64_t>(
-        std::max(0.0, request.firstTokenNs - request.arrivalNs)));
+                       std::max(0.0, request.firstTokenNs -
+                                         request.arrivalNs)),
+                   request.trace.traceId);
     const double e2e = std::max(0.0, request.completeNs - request.arrivalNs);
     // Normalized latency (e2e per output token): the standard metric
     // for comparing batch schedulers — it charges queueing and
     // preemption stalls to every token, which raw inter-token gaps
     // would hide.
     t.perTokenH.sample(static_cast<std::uint64_t>(
-        e2e / std::max(1u, request.outputTokens)));
-    t.e2eH.sample(static_cast<std::uint64_t>(e2e));
+                           e2e / std::max(1u, request.outputTokens)),
+                       request.trace.traceId);
+    t.e2eH.sample(static_cast<std::uint64_t>(e2e), request.trace.traceId);
     if (request.hasDeadline() && request.completeNs > request.deadlineNs)
         ++t.sloViolations;
     else
         t.goodTokens += request.outputTokens;
+    finishRequestTrace(request, request.completeNs, /*terminal=*/nullptr,
+                       /*erred=*/false);
     completions_.push_back(request);
 }
 

@@ -40,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "common/slo.h"
 #include "common/stats.h"
 #include "llm/batcher.h"
 #include "llm/decoder.h"
@@ -171,6 +172,20 @@ class LlmEngine
     const KvCacheManager &kv() const { return *kv_; }
     const ContinuousBatcher &batcher() const { return *batcher_; }
 
+    /** The primary system's stats registry (exemplar pruning, extra
+     *  registrations such as the trace self-stats group). */
+    StatsRegistry &statsRegistry();
+
+    /** One tenant's latency histograms (timeseries tracking). */
+    const Histogram &ttftHistogram(unsigned tenant) const
+    {
+        return tenants_[tenant].ttftH;
+    }
+    const Histogram &e2eHistogram(unsigned tenant) const
+    {
+        return tenants_[tenant].e2eH;
+    }
+
     /**
      * Attach the source of uncorrectable fault events (nullptr
      * detaches; shard 0 is queried — the engine runs the device as one
@@ -186,6 +201,23 @@ class LlmEngine
      * iteration boundaries.
      */
     void setTrace(TraceSession *session);
+
+    /**
+     * Attach a per-request causal tracer (nullptr detaches). Every
+     * submitted request is minted a RequestTraceContext; its queue
+     * wait, every decode iteration it participates in, first-token and
+     * KV-evict instants, and its terminal state are buffered as a span
+     * tree on pid 6 tid 2 and tail-sampled at the tracer. Not owned.
+     */
+    void setRequestTracer(RequestTracer *tracer);
+
+    /**
+     * Per-request terminal observations (timestamp + met-its-SLO)
+     * accumulated since the last call — the SloMonitor feed. Sheds,
+     * rejections, timeouts and late completions are bad; in-deadline
+     * completions are good.
+     */
+    std::vector<SloObservation> takeSloObservations();
 
     /** Aggregate statistics over everything served so far. */
     LlmReport report() const;
@@ -238,6 +270,10 @@ class LlmEngine
     void expireDue();
     void recordCompletion(const LlmRequest &request);
     void traceKvSpan(double start_ns, double end_ns);
+    /** Close a request's trace (root span + outcome) and record its
+     *  SLO observation. `terminal` names non-completed ends. */
+    void finishRequestTrace(const LlmRequest &request, double end_ns,
+                            const char *terminal, bool erred);
     LlmTenantReport summarise(const TenantState &t, double horizon_ns) const;
 
     LlmEngineConfig config_;
@@ -253,6 +289,8 @@ class LlmEngine
 
     serve::FaultModel *faults_ = nullptr;
     TraceSession *trace_ = nullptr;
+    RequestTracer *reqTracer_ = nullptr;
+    std::vector<SloObservation> sloObs_;
     mutable StatGroup stats_{"llm"};
 
     bool iterationInFlight_ = false;

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/reqtrace.h"
 #include "stack/workloads.h"
 
 namespace pimsim::serve {
@@ -55,6 +56,9 @@ struct ServeRequest
     /** Result came from the host golden path (shard tripped / retries
      *  exhausted), not the PIM kernel. */
     bool hostFallback = false;
+
+    /** Causal trace identity (inactive unless a RequestTracer is set). */
+    RequestTraceContext trace;
 
     bool hasDeadline() const { return deadlineNs > 0.0; }
 

@@ -165,6 +165,34 @@ ServingEngine::backlogNs(unsigned s)
     return backlog;
 }
 
+void
+ServingEngine::finishRequestTrace(ServeRequest &request, double end_ns,
+                                  const char *terminal, bool erred)
+{
+    const bool missed =
+        !erred && request.hasDeadline() && end_ns > request.deadlineNs;
+    sloObs_.push_back(SloObservation{end_ns, !erred && !missed});
+    if (reqTracer_ == nullptr || !request.trace.active())
+        return;
+    if (terminal != nullptr) {
+        reqTracer_->instant(request.trace,
+                            kTracePidServing,
+                            static_cast<int>(plan_.shardOf(request.tenant)),
+                            terminal, "terminal", end_ns);
+    }
+    reqTracer_->span(request.trace, kTracePidServing,
+                     static_cast<int>(plan_.shardOf(request.tenant)),
+                     "request " + tenants_[request.tenant].spec.name,
+                     "request", request.arrivalNs,
+                     end_ns - request.arrivalNs);
+    TraceOutcome outcome;
+    outcome.latencyNs = end_ns - request.arrivalNs;
+    outcome.erred = erred;
+    outcome.deadlineMissed = missed;
+    outcome.failedOver = request.attempts > 1 || request.hostFallback;
+    reqTracer_->end(request.trace, outcome);
+}
+
 bool
 ServingEngine::submit(unsigned tenant, double arrival_ns)
 {
@@ -181,6 +209,8 @@ ServingEngine::submit(unsigned tenant, double arrival_ns)
     request.arrivalNs = arrival_ns;
     if (state.spec.deadlineNs > 0.0)
         request.deadlineNs = arrival_ns + state.spec.deadlineNs;
+    if (reqTracer_ != nullptr)
+        request.trace = reqTracer_->begin(arrival_ns);
 
     ++state.submitted;
     auto &stats = system_->serveStats();
@@ -193,12 +223,14 @@ ServingEngine::submit(unsigned tenant, double arrival_ns)
         if (estimate > request.deadlineNs) {
             ++state.shed;
             stats.add("tenant." + state.spec.name + ".shed");
+            finishRequestTrace(request, nowNs_, "shed", true);
             return false;
         }
     }
 
     if (!queue_.tryPush(request)) {
         stats.add("tenant." + state.spec.name + ".rejected");
+        finishRequestTrace(request, nowNs_, "rejected", true);
         return false;
     }
     stats.add("tenant." + state.spec.name + ".admitted");
@@ -306,9 +338,11 @@ ServingEngine::expireDue()
             if (!head || !head->hasDeadline() ||
                 head->deadlineNs > nowNs_)
                 break;
+            ServeRequest expired = *head;
             queue_.popFront(t);
             ++tenants_[t].timedOut;
             stats.add("tenant." + tenants_[t].spec.name + ".timedOut");
+            finishRequestTrace(expired, nowNs_, "queue-timeout", true);
         }
     }
 }
@@ -380,6 +414,24 @@ ServingEngine::startBatch(unsigned s, Batch &&batch, bool force_host)
     for (auto &r : batch.requests) {
         r.dispatchNs = nowNs_;
         ++r.attempts;
+        if (reqTracer_ != nullptr && r.trace.active()) {
+            if (r.attempts == 1) {
+                reqTracer_->span(reqTracer_->child(r.trace),
+                                 kTracePidServing, static_cast<int>(s),
+                                 "queue", "queue", r.arrivalNs,
+                                 nowNs_ - r.arrivalNs);
+            } else {
+                reqTracer_->instant(r.trace, kTracePidServing,
+                                    static_cast<int>(s),
+                                    "retry a" + std::to_string(r.attempts),
+                                    "retry", nowNs_);
+            }
+            reqTracer_->span(reqTracer_->child(r.trace),
+                             kTracePidServing, static_cast<int>(s),
+                             host ? "attempt host" : "attempt",
+                             host ? "fallback" : "batch", nowNs_,
+                             service_ns);
+        }
     }
 
     auto &stats = system_->serveStats();
@@ -489,9 +541,12 @@ ServingEngine::finishBatch(unsigned shard)
         for (auto &r : server.inFlight.requests) {
             r.completeNs = server.freeNs;
             r.hostFallback = server.fallback;
-            state.queueH.sample(toNsSample(r.queueNs()));
-            state.serviceH.sample(toNsSample(r.serviceNs()));
-            state.e2eH.sample(toNsSample(r.latencyNs()));
+            state.queueH.sample(toNsSample(r.queueNs()),
+                                r.trace.traceId);
+            state.serviceH.sample(toNsSample(r.serviceNs()),
+                                  r.trace.traceId);
+            state.e2eH.sample(toNsSample(r.latencyNs()),
+                              r.trace.traceId);
             ++state.completed;
             if (server.fallback) {
                 ++state.fallbackCompleted;
@@ -503,6 +558,7 @@ ServingEngine::finishBatch(unsigned shard)
                 stats.add("tenant." + state.spec.name +
                           ".sloViolations");
             }
+            finishRequestTrace(r, r.completeNs, nullptr, false);
             completions_.push_back(r);
         }
         ++state.batches;
@@ -522,6 +578,14 @@ ServingEngine::takeCompletions()
 {
     std::vector<ServeRequest> out;
     out.swap(completions_);
+    return out;
+}
+
+std::vector<SloObservation>
+ServingEngine::takeSloObservations()
+{
+    std::vector<SloObservation> out;
+    out.swap(sloObs_);
     return out;
 }
 

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/slo.h"
 #include "common/stats.h"
 #include "serve/request.h"
 #include "serve/request_queue.h"
@@ -219,6 +220,23 @@ class ServingEngine
      */
     void setTrace(TraceSession *session);
 
+    /**
+     * Attach a per-request causal tracer (nullptr detaches). Every
+     * submitted request is minted a RequestTraceContext; its queue
+     * wait, batch attempts, retries and terminal state are buffered as
+     * a span tree and tail-sampled at the tracer (see
+     * common/reqtrace.h). Not owned; must outlive the engine's use.
+     */
+    void setRequestTracer(RequestTracer *tracer) { reqTracer_ = tracer; }
+
+    /**
+     * Per-request terminal observations (timestamp + met-its-SLO)
+     * accumulated since the last call — the SloMonitor feed. Sheds,
+     * rejections, timeouts and late completions are bad; in-deadline
+     * completions are good.
+     */
+    std::vector<SloObservation> takeSloObservations();
+
   private:
     struct TenantState
     {
@@ -286,6 +304,10 @@ class ServingEngine
     double backlogNs(unsigned s);
     /** Emit breaker state-change trace spans and stats. */
     void noteBreakerState(unsigned s);
+    /** Close a request's trace (root span + outcome) and record its
+     *  SLO observation. `terminal` names non-completed ends. */
+    void finishRequestTrace(ServeRequest &request, double end_ns,
+                            const char *terminal, bool erred);
     TenantReport summarise(const TenantState &t, double horizon_ns) const;
 
     ServeConfig config_;
@@ -304,7 +326,9 @@ class ServingEngine
     Rng retryRng_;
 
     std::vector<ServeRequest> completions_;
+    std::vector<SloObservation> sloObs_;
     TraceSession *trace_ = nullptr;
+    RequestTracer *reqTracer_ = nullptr;
     double nowNs_ = 0.0;
     std::uint64_t nextId_ = 0;
 };

@@ -5,11 +5,15 @@
  * cycle-level device, and the Chrome-trace exporter.
  */
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 #include <map>
+#include <set>
 #include <sstream>
+#include <string>
 #include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -94,6 +98,46 @@ TEST(Json, ValidatorRejectsMalformedDocuments)
         std::string error;
         EXPECT_TRUE(validateJson(good, &error)) << good << ": " << error;
     }
+}
+
+TEST(Json, EscapedStringsRoundTripThroughTheValidator)
+{
+    // Every string the writer can be handed — quotes, backslashes,
+    // control bytes, valid multi-byte UTF-8, malformed UTF-8 — must
+    // produce a document the validator accepts.
+    const std::string nasty[] = {
+        "plain",
+        "quote \" backslash \\ slash /",
+        "\\\\network\\share\\\"path\"",
+        std::string("embedded\0nul", 12),
+        "\b\f\n\r\t",
+        "\x01\x02\x1f control",
+        "\x7f del",
+        "caf\xc3\xa9 \xe6\xbc\xa2 \xf0\x9f\x9a\x80", // é 漢 🚀
+        "\xff\xfe invalid bytes",
+        "truncated \xe4\xb8",       // 3-byte sequence cut short
+        "\x80 lone continuation",
+        "overlong-ish \xc3",        // lead byte at end of string
+    };
+    for (const auto &s : nasty) {
+        std::ostringstream os;
+        JsonWriter w(os, /*pretty=*/false);
+        w.beginObject();
+        w.field("k", s);
+        w.key(s).value(42); // keys are escaped through the same path
+        w.endObject();
+        std::string error;
+        EXPECT_TRUE(validateJson(os.str(), &error))
+            << error << "\n" << os.str();
+    }
+
+    // Malformed bytes are replaced, not emitted raw.
+    std::ostringstream os;
+    JsonWriter w(os, /*pretty=*/false);
+    w.beginObject();
+    w.field("k", "\xff");
+    w.endObject();
+    EXPECT_NE(os.str().find("\\ufffd"), std::string::npos) << os.str();
 }
 
 // ------------------------------------------------------------------
@@ -318,6 +362,97 @@ TEST(TraceSession, DropsEventsPastTheCapInsteadOfGrowing)
     trace.write(os);
     EXPECT_TRUE(validateJson(os.str(), nullptr));
     EXPECT_NE(os.str().find("\"droppedEvents\":6"), std::string::npos);
+}
+
+TEST(TraceSession, KeepsRecordOrderForEqualTimestamps)
+{
+    // The writer's sort is stable: events sharing a timestamp must
+    // serialise in recording order, so an enclosing span recorded
+    // before its zero-offset child stays first (Perfetto nests by
+    // order at equal ts) and replays are byte-identical.
+    TraceSession trace;
+    trace.span(kTracePidServing, 0, "outer", "c", 100.0, 50.0);
+    trace.span(kTracePidServing, 0, "inner", "c", 100.0, 20.0);
+    trace.instant(kTracePidServing, 0, "mark", "c", 100.0);
+    trace.span(kTracePidServing, 0, "early", "c", 50.0, 10.0);
+
+    std::ostringstream os;
+    trace.write(os);
+    const std::string out = os.str();
+    const std::size_t early = out.find("\"early\"");
+    const std::size_t outer = out.find("\"outer\"");
+    const std::size_t inner = out.find("\"inner\"");
+    const std::size_t mark = out.find("\"mark\"");
+    ASSERT_NE(early, std::string::npos);
+    ASSERT_NE(mark, std::string::npos);
+    EXPECT_LT(early, outer); // ts order across distinct timestamps
+    EXPECT_LT(outer, inner); // record order within the 100.0 tie
+    EXPECT_LT(inner, mark);
+
+    // Byte-identical on a second serialisation (no unstable tie-break).
+    std::ostringstream os2;
+    trace.write(os2);
+    EXPECT_EQ(out, os2.str());
+}
+
+TEST(TraceSession, SerialisesMetadataBeforeDataEvents)
+{
+    // Track names registered *after* the data was recorded must still
+    // lead the stream — the viewer applies them to everything after.
+    TraceSession trace;
+    trace.span(kTracePidDevice, 0, "RD", "sb", 0.0, 1.0);
+    trace.instant(kTracePidLlm, 2, "evict", "kv", 0.0);
+    trace.setProcessName(kTracePidDevice, "device");
+    trace.setThreadName(kTracePidLlm, 2, "requests");
+
+    std::ostringstream os;
+    trace.write(os);
+    const std::string out = os.str();
+    const std::size_t process_at = out.find("\"process_name\"");
+    const std::size_t thread_at = out.find("\"thread_name\"");
+    ASSERT_NE(process_at, std::string::npos);
+    ASSERT_NE(thread_at, std::string::npos);
+    const std::size_t first_data =
+        std::min(out.find("\"ph\":\"X\""), out.find("\"ph\":\"i\""));
+    ASSERT_NE(first_data, std::string::npos);
+    EXPECT_LT(process_at, first_data);
+    EXPECT_LT(thread_at, first_data);
+}
+
+TEST(TraceSession, MintsUniqueMonotonicFlowIds)
+{
+    TraceSession trace;
+    std::vector<std::uint64_t> ids;
+    for (int i = 0; i < 100; ++i) {
+        const std::uint64_t id = trace.nextFlowId();
+        if (!ids.empty()) {
+            EXPECT_GT(id, ids.back());
+        }
+        ids.push_back(id);
+        trace.flowStart(kTracePidServing, 0, "hop", "flow", i * 10.0, id);
+        trace.flowEnd(kTracePidCluster, 1, "hop", "flow", i * 10.0 + 5.0,
+                      id);
+    }
+    ASSERT_EQ(std::set<std::uint64_t>(ids.begin(), ids.end()).size(),
+              ids.size());
+
+    // Start/end events pair up 1:1 on the recorded ids.
+    std::map<std::uint64_t, std::pair<int, int>> uses; // id -> (s, f)
+    for (const auto &e : trace.events()) {
+        if (e.phase == TraceEvent::Phase::FlowStart)
+            ++uses[e.flowId].first;
+        else if (e.phase == TraceEvent::Phase::FlowEnd)
+            ++uses[e.flowId].second;
+    }
+    ASSERT_EQ(uses.size(), ids.size());
+    for (const auto &[id, counts] : uses) {
+        EXPECT_EQ(counts.first, 1) << "flow " << id;
+        EXPECT_EQ(counts.second, 1) << "flow " << id;
+    }
+
+    std::ostringstream os;
+    trace.write(os);
+    EXPECT_TRUE(validateJson(os.str(), nullptr));
 }
 
 TEST(Observability, GemvTraceRecordsDeviceAndKernelSpans)

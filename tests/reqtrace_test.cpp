@@ -1,0 +1,390 @@
+/**
+ * @file
+ * RequestTracer tests: tail-based keep policy, seeded replay
+ * determinism, span-tree connectivity of flushed traces, per-trace
+ * buffering caps, and exemplar retention in the stats registry.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/reqtrace.h"
+#include "common/stats.h"
+#include "common/stats_registry.h"
+#include "common/trace.h"
+
+namespace pimsim {
+namespace {
+
+/** Find an arg value on a flushed TraceEvent ("" if absent). */
+std::string
+arg(const TraceEvent &e, const std::string &key)
+{
+    for (const auto &[k, v] : e.args) {
+        if (k == key)
+            return v;
+    }
+    return "";
+}
+
+/**
+ * Drive a deterministic synthetic workload through a tracer: `n`
+ * requests, every 17th erred, every 23rd hedged, latencies a fixed
+ * function of the index. Returns the kept ids after flush, sorted.
+ */
+std::vector<std::uint64_t>
+runWorkload(const RequestTracerConfig &config, int n)
+{
+    RequestTracer tracer(config);
+    TraceSession session;
+    for (int i = 0; i < n; ++i) {
+        RequestTraceContext ctx = tracer.begin(i * 10.0);
+        tracer.span(ctx, kTracePidServing, 0, "request", "serve",
+                    i * 10.0, 5.0);
+        TraceOutcome out;
+        out.latencyNs = static_cast<double>((i * 37) % 1000);
+        out.erred = (i % 17) == 0;
+        out.hedged = (i % 23) == 0;
+        tracer.end(ctx, out);
+    }
+    tracer.flush(session);
+    std::vector<std::uint64_t> ids(tracer.keptTraceIds().begin(),
+                                   tracer.keptTraceIds().end());
+    std::sort(ids.begin(), ids.end());
+    return ids;
+}
+
+// ------------------------------------------------------------------
+// Keep policy
+// ------------------------------------------------------------------
+
+TEST(RequestTracer, MustKeepOutcomesAreAlwaysKept)
+{
+    RequestTracerConfig config;
+    config.headSampleRate = 0.0; // isolate the must-keep class
+    config.slowestFraction = 0.0;
+    RequestTracer tracer(config);
+
+    const auto end_with = [&tracer](TraceOutcome out) {
+        RequestTraceContext ctx = tracer.begin(0.0);
+        tracer.span(ctx, kTracePidServing, 0, "r", "serve", 0.0, 1.0);
+        tracer.end(ctx, out);
+        return ctx.traceId;
+    };
+
+    TraceOutcome erred;
+    erred.erred = true;
+    TraceOutcome missed;
+    missed.deadlineMissed = true;
+    TraceOutcome hedged;
+    hedged.hedged = true;
+    TraceOutcome failed_over;
+    failed_over.failedOver = true;
+    TraceOutcome clean;
+    clean.latencyNs = 1e9; // slow, but the slow pool is disabled
+
+    EXPECT_TRUE(tracer.kept(end_with(erred)));
+    EXPECT_TRUE(tracer.kept(end_with(missed)));
+    EXPECT_TRUE(tracer.kept(end_with(hedged)));
+    EXPECT_TRUE(tracer.kept(end_with(failed_over)));
+    EXPECT_FALSE(tracer.kept(end_with(clean)));
+
+    EXPECT_EQ(tracer.mustKeepCount(), 4u);
+    EXPECT_EQ(tracer.headSampledCount(), 0u);
+    EXPECT_EQ(tracer.tracesEnded(), 5u);
+}
+
+TEST(RequestTracer, SlowestPoolKeepsTheSlowestTerminals)
+{
+    RequestTracerConfig config;
+    config.headSampleRate = 0.0;
+    config.slowestFraction = 0.05;
+    RequestTracer tracer(config);
+    TraceSession session;
+
+    // Latency == trace index, ended in increasing order: the pool
+    // always holds the slowest-so-far, so the final set is exactly the
+    // ceil(0.05 * 100) = 5 slowest requests.
+    std::vector<std::uint64_t> ids;
+    for (int i = 1; i <= 100; ++i) {
+        RequestTraceContext ctx = tracer.begin(0.0);
+        ids.push_back(ctx.traceId);
+        TraceOutcome out;
+        out.latencyNs = static_cast<double>(i);
+        tracer.end(ctx, out);
+    }
+    tracer.flush(session); // promotes the surviving candidates
+
+    EXPECT_EQ(tracer.slowKeptCount(), 5u);
+    EXPECT_EQ(tracer.keptTraceIds().size(), 5u);
+    for (int i = 95; i < 100; ++i)
+        EXPECT_TRUE(tracer.kept(ids[i])) << "latency " << i + 1;
+    EXPECT_FALSE(tracer.kept(ids[0]));
+}
+
+TEST(RequestTracer, KeptCountsPartitionExactly)
+{
+    RequestTracerConfig config;
+    config.headSampleRate = 0.10;
+    config.slowestFraction = 0.02;
+    config.seed = 7;
+    RequestTracer tracer(config);
+    TraceSession session;
+    for (int i = 0; i < 500; ++i) {
+        RequestTraceContext ctx = tracer.begin(0.0);
+        TraceOutcome out;
+        out.latencyNs = static_cast<double>((i * 131) % 997);
+        out.erred = (i % 50) == 0;
+        tracer.end(ctx, out);
+    }
+    tracer.flush(session);
+
+    EXPECT_EQ(tracer.keptTraceIds().size(),
+              tracer.mustKeepCount() + tracer.headSampledCount() +
+                  tracer.slowKeptCount());
+    EXPECT_EQ(tracer.mustKeepCount(), 10u); // the erred requests
+    EXPECT_GT(tracer.headSampledCount(), 0u);
+    EXPECT_GT(tracer.slowKeptCount(), 0u);
+}
+
+// ------------------------------------------------------------------
+// Replay determinism
+// ------------------------------------------------------------------
+
+TEST(RequestTracer, SameSeedReplaysBitIdenticalKeptSet)
+{
+    RequestTracerConfig config;
+    config.headSampleRate = 0.05;
+    config.slowestFraction = 0.02;
+    config.seed = 42;
+
+    const auto first = runWorkload(config, 2000);
+    const auto replay = runWorkload(config, 2000);
+    EXPECT_EQ(first, replay);
+    EXPECT_FALSE(first.empty());
+
+    config.seed = 43; // a different seed picks a different head sample
+    const auto other = runWorkload(config, 2000);
+    EXPECT_NE(first, other);
+}
+
+TEST(RequestTracer, HeadSampleIsAPureFunctionOfIdAndSeed)
+{
+    RequestTracerConfig config;
+    config.headSampleRate = 0.25;
+    config.seed = 9;
+    const RequestTracer a(config), b(config);
+    std::uint64_t sampled = 0;
+    for (std::uint64_t id = 1; id <= 4000; ++id) {
+        EXPECT_EQ(a.headSampled(id), b.headSampled(id));
+        sampled += a.headSampled(id) ? 1 : 0;
+    }
+    // ~25% +- a loose tolerance: the hash is uniform, not exact.
+    EXPECT_GT(sampled, 800u);
+    EXPECT_LT(sampled, 1200u);
+
+    config.headSampleRate = 0.0;
+    EXPECT_FALSE(RequestTracer(config).headSampled(1));
+    config.headSampleRate = 1.0;
+    EXPECT_TRUE(RequestTracer(config).headSampled(1));
+}
+
+// ------------------------------------------------------------------
+// Flushed span trees
+// ------------------------------------------------------------------
+
+TEST(RequestTracer, FlushedTraceFormsAConnectedSpanTree)
+{
+    RequestTracerConfig config;
+    config.headSampleRate = 0.0;
+    config.slowestFraction = 0.0;
+    RequestTracer tracer(config);
+    TraceSession session;
+
+    // Root span on the serving track, a cluster attempt under it, an
+    // LLM decode iteration under the attempt, plus an instant and a
+    // flow stitching serving -> cluster.
+    RequestTraceContext root = tracer.begin(100.0);
+    tracer.span(root, kTracePidServing, 0, "request", "serve", 100.0,
+                900.0);
+    RequestTraceContext attempt = tracer.child(root);
+    tracer.span(attempt, kTracePidCluster, 2, "attempt", "rpc", 150.0,
+                700.0);
+    RequestTraceContext iter = tracer.child(attempt);
+    tracer.span(iter, kTracePidLlm, 0, "decode-iter", "llm", 200.0,
+                100.0);
+    tracer.instant(attempt, kTracePidCluster, 2, "retry", "rpc", 400.0);
+    tracer.flow(root, "dispatch", kTracePidServing, 0, 140.0,
+                kTracePidCluster, 2, 150.0);
+
+    TraceOutcome out;
+    out.erred = true;
+    tracer.end(root, out);
+    tracer.flush(session);
+
+    // Rebuild the tree from the emitted args.
+    std::set<std::string> span_ids;
+    std::map<std::string, std::string> parent_of;
+    int roots = 0, flow_starts = 0, flow_ends = 0;
+    for (const auto &e : session.events()) {
+        if (e.phase == TraceEvent::Phase::FlowStart)
+            ++flow_starts;
+        if (e.phase == TraceEvent::Phase::FlowEnd)
+            ++flow_ends;
+        if (e.phase != TraceEvent::Phase::Complete &&
+            e.phase != TraceEvent::Phase::Instant)
+            continue;
+        EXPECT_EQ(arg(e, "trace"), "1");
+        ASSERT_FALSE(arg(e, "span").empty()) << e.name;
+        ASSERT_FALSE(arg(e, "parent").empty()) << e.name;
+        if (e.phase == TraceEvent::Phase::Complete) {
+            span_ids.insert(arg(e, "span"));
+            parent_of[arg(e, "span")] = arg(e, "parent");
+            if (arg(e, "parent") == "0")
+                ++roots;
+        }
+    }
+    EXPECT_EQ(roots, 1);
+    EXPECT_EQ(span_ids.size(), 3u);
+    EXPECT_EQ(flow_starts, 1);
+    EXPECT_EQ(flow_ends, 1);
+    // Every non-root parent resolves to a recorded span: no orphans.
+    for (const auto &[span, parent] : parent_of) {
+        if (parent != "0") {
+            EXPECT_TRUE(span_ids.count(parent))
+                << "span " << span << " orphaned under " << parent;
+        }
+    }
+    EXPECT_EQ(tracer.eventsFlushed(), 6u);
+}
+
+TEST(RequestTracer, FlowIdsStaySessionUniqueAcrossTraces)
+{
+    RequestTracerConfig config;
+    config.headSampleRate = 0.0;
+    config.slowestFraction = 0.0;
+    RequestTracer tracer(config);
+    TraceSession session;
+    session.flowStart(1, 0, "pre", "flow", 0.0,
+                      session.nextFlowId()); // session already has one
+
+    for (int i = 0; i < 3; ++i) {
+        RequestTraceContext ctx = tracer.begin(0.0);
+        tracer.flow(ctx, "hop", kTracePidServing, 0, 1.0,
+                    kTracePidCluster, 0, 2.0);
+        tracer.flow(ctx, "hop2", kTracePidCluster, 0, 3.0, kTracePidLlm,
+                    0, 4.0);
+        TraceOutcome out;
+        out.erred = true;
+        tracer.end(ctx, out);
+    }
+    tracer.flush(session);
+
+    std::map<std::uint64_t, int> starts_per_id;
+    for (const auto &e : session.events()) {
+        if (e.phase == TraceEvent::Phase::FlowStart)
+            ++starts_per_id[e.flowId];
+    }
+    ASSERT_EQ(starts_per_id.size(), 7u); // 1 pre-existing + 3*2 remapped
+    for (const auto &[id, count] : starts_per_id)
+        EXPECT_EQ(count, 1) << "flow id " << id << " reused";
+}
+
+TEST(RequestTracer, TruncatesPerTraceBufferAtTheCap)
+{
+    RequestTracerConfig config;
+    config.headSampleRate = 0.0;
+    config.slowestFraction = 0.0;
+    config.maxEventsPerTrace = 4;
+    RequestTracer tracer(config);
+    TraceSession session;
+
+    RequestTraceContext ctx = tracer.begin(0.0);
+    for (int i = 0; i < 10; ++i)
+        tracer.span(ctx, kTracePidServing, 0, "e", "serve", i * 10.0,
+                    1.0);
+    TraceOutcome out;
+    out.erred = true;
+    tracer.end(ctx, out);
+    tracer.flush(session);
+
+    EXPECT_EQ(tracer.eventsTruncated(), 6u);
+    EXPECT_EQ(tracer.eventsFlushed(), 4u);
+    // The truncation is visible in the trace itself as an instant.
+    bool saw_marker = false;
+    for (const auto &e : session.events()) {
+        if (e.name == "trace-truncated") {
+            saw_marker = true;
+            EXPECT_EQ(arg(e, "dropped"), "6");
+        }
+    }
+    EXPECT_TRUE(saw_marker);
+}
+
+TEST(RequestTracer, InactiveAndEndedContextsAreNoOps)
+{
+    RequestTracer tracer;
+    TraceSession session;
+
+    RequestTraceContext inactive; // traceId 0
+    tracer.span(inactive, 1, 0, "x", "c", 0.0, 1.0);
+    EXPECT_EQ(tracer.eventsBuffered(), 0u);
+    EXPECT_FALSE(tracer.child(inactive).active());
+
+    RequestTraceContext ctx = tracer.begin(0.0);
+    TraceOutcome out;
+    out.erred = true;
+    tracer.end(ctx, out);
+    tracer.end(ctx, out); // double end: no double counting
+    EXPECT_EQ(tracer.tracesEnded(), 1u);
+    tracer.span(ctx, 1, 0, "late", "c", 5.0, 1.0); // after terminal
+    tracer.flush(session);
+    for (const auto &e : session.events())
+        EXPECT_NE(e.name, "late");
+}
+
+// ------------------------------------------------------------------
+// Exemplars
+// ------------------------------------------------------------------
+
+TEST(RequestTracer, ExemplarRetentionPrunesToKeptTraces)
+{
+    Histogram h(100, 64);
+    h.sample(150, /*trace_id=*/1);
+    h.sample(160, /*trace_id=*/2);  // same bucket: newest wins the slot
+    h.sample(1250, /*trace_id=*/3); // different bucket
+    h.sample(1260, /*trace_id=*/0); // no exemplar recorded
+
+    StatGroup g("g");
+    Histogram owned(100, 64);
+    owned.sample(50, /*trace_id=*/9);
+    g.registerHistogram("owned", &owned);
+
+    StatsRegistry reg;
+    reg.addHistogram("lat", &h);
+    reg.addGroup("grp", &g);
+
+    std::unordered_set<std::uint64_t> kept = {2, 3};
+    reg.retainExemplars(kept);
+
+    std::set<std::uint64_t> surviving;
+    for (const auto &[bucket, slots] : h.exemplars()) {
+        (void)bucket;
+        for (const auto &ex : slots)
+            surviving.insert(ex.traceId);
+    }
+    EXPECT_TRUE(surviving.count(2));
+    EXPECT_TRUE(surviving.count(3));
+    EXPECT_FALSE(surviving.count(1));
+    // The group-owned histogram's id 9 was not kept: pruned too.
+    EXPECT_TRUE(owned.exemplars().empty());
+}
+
+} // namespace
+} // namespace pimsim

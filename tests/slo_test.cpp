@@ -1,0 +1,252 @@
+/**
+ * @file
+ * SloMonitor / MetricsTimeseries tests: window binning, burn-rate
+ * arithmetic, multi-window fire/resolve transitions, trace emission,
+ * and windowed counter-rate / percentile series.
+ */
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "common/slo.h"
+#include "common/stats.h"
+#include "common/trace.h"
+
+namespace pimsim {
+namespace {
+
+SloMonitorConfig
+oneRuleConfig(double window_ns, double threshold, unsigned long_w,
+              unsigned short_w)
+{
+    SloMonitorConfig c;
+    c.target = 0.99;
+    c.windowNs = window_ns;
+    c.rules.push_back(SloAlertRule{"page", threshold, long_w, short_w});
+    return c;
+}
+
+// ------------------------------------------------------------------
+// SloMonitor
+// ------------------------------------------------------------------
+
+TEST(SloMonitor, BinsObservationsByTheirOwnTimestamps)
+{
+    SloMonitor slo(oneRuleConfig(100.0, 10.0, 1, 1));
+    // Deliberately unsorted: observations carry their own time, so one
+    // post-run feed() must bin identically to an incremental one.
+    std::vector<SloObservation> obs = {
+        {250.0, false}, {50.0, true}, {150.0, false}, {60.0, true}};
+    slo.feed(obs);
+    slo.finish(300.0);
+
+    EXPECT_EQ(slo.totalGood(), 2u);
+    EXPECT_EQ(slo.totalBad(), 2u);
+    EXPECT_EQ(slo.numWindows(), 4u); // finish(300) touches window 3
+    // Window 0 is clean, windows 1 and 2 are all-bad.
+    EXPECT_DOUBLE_EQ(slo.burnRate(0, 1), 0.0);
+    EXPECT_NEAR(slo.burnRate(1, 1), 100.0, 1e-9);
+    EXPECT_NEAR(slo.burnRate(2, 1), 100.0, 1e-9);
+}
+
+TEST(SloMonitor, BurnRateIsBadFractionOverErrorBudget)
+{
+    SloMonitor slo(oneRuleConfig(100.0, 10.0, 2, 1));
+    // Window 0: 90 good, 10 bad -> badFrac 0.1 -> burn 10 at target .99.
+    for (int i = 0; i < 90; ++i)
+        slo.observe(10.0, true);
+    for (int i = 0; i < 10; ++i)
+        slo.observe(20.0, false);
+    // Window 1: 100 good -> the 2-window burn halves.
+    for (int i = 0; i < 100; ++i)
+        slo.observe(110.0, true);
+    slo.finish(200.0);
+
+    EXPECT_NEAR(slo.burnRate(0, 1), 10.0, 1e-9);
+    EXPECT_DOUBLE_EQ(slo.burnRate(1, 1), 0.0);
+    EXPECT_NEAR(slo.burnRate(1, 2), 5.0, 1e-9);
+    EXPECT_DOUBLE_EQ(slo.burnRate(5, 1), 0.0); // empty trailing window
+}
+
+TEST(SloMonitor, FiresDuringTheBurstAndResolvesAfter)
+{
+    // long=2 short=1: needs two consecutive hot windows to fire, one
+    // cool window (plus the long tail draining) to resolve.
+    SloMonitor slo(oneRuleConfig(100.0, 10.0, 2, 1));
+    const auto fill = [&slo](int window, int good, int bad) {
+        const double ts = window * 100.0 + 50.0;
+        for (int i = 0; i < good; ++i)
+            slo.observe(ts, true);
+        for (int i = 0; i < bad; ++i)
+            slo.observe(ts, false);
+    };
+    for (int w = 0; w < 4; ++w)
+        fill(w, 100, 0); // steady state
+    for (int w = 4; w < 8; ++w)
+        fill(w, 50, 50); // burst: burn 50 >> threshold 10
+    for (int w = 8; w < 12; ++w)
+        fill(w, 100, 0); // recovered
+    slo.finish(1200.0);
+
+    ASSERT_EQ(slo.transitions().size(), 2u);
+    const auto &fire = slo.transitions()[0];
+    const auto &resolve = slo.transitions()[1];
+    EXPECT_TRUE(fire.firing);
+    // At window 4 the 2-window long burn is (0+50%)/2 budget-relative
+    // = 25 >= 10 and the short burn is 50 >= 10: fires immediately.
+    EXPECT_DOUBLE_EQ(fire.tsNs, 500.0); // end of window 4
+    EXPECT_FALSE(resolve.firing);
+    // At window 8 the long burn still sees hot window 7, but the
+    // 1-window short burn drops to 0: the alert resolves fast.
+    EXPECT_DOUBLE_EQ(resolve.tsNs, 900.0);
+
+    EXPECT_TRUE(slo.firingBetween(400.0, 800.0));
+    EXPECT_TRUE(slo.firingBetween("page", 600.0, 700.0));
+    EXPECT_FALSE(slo.firingBetween(0.0, 400.0));    // steady state
+    EXPECT_FALSE(slo.firingBetween(1000.0, 1200.0)); // recovered
+    EXPECT_FALSE(slo.firingBetween("ticket", 0.0, 1200.0)); // no rule
+}
+
+TEST(SloMonitor, FinishIsIdempotentAndStillFiringClosesAtHorizon)
+{
+    SloMonitor slo(oneRuleConfig(100.0, 10.0, 1, 1));
+    for (int i = 0; i < 10; ++i)
+        slo.observe(150.0, false); // bad from window 1 on, never ends
+    for (int i = 0; i < 10; ++i)
+        slo.observe(250.0, false);
+    slo.finish(299.0);
+    const auto first = slo.transitions().size();
+    slo.finish(299.0); // idempotent: re-evaluates from scratch
+    EXPECT_EQ(slo.transitions().size(), first);
+    ASSERT_EQ(first, 1u);
+    EXPECT_TRUE(slo.transitions()[0].firing);
+    EXPECT_DOUBLE_EQ(slo.transitions()[0].tsNs, 200.0);
+    // Still firing at finish(): the interval closes at the horizon.
+    EXPECT_TRUE(slo.firingBetween(250.0, 299.0));
+    EXPECT_FALSE(slo.firingBetween(0.0, 200.0));
+}
+
+TEST(SloMonitor, DefaultRulesAreThePageTicketPair)
+{
+    SloMonitorConfig c;
+    c.windowNs = 100.0;
+    SloMonitor slo(c);
+    ASSERT_EQ(slo.config().rules.size(), 2u);
+    EXPECT_EQ(slo.config().rules[0].name, "page");
+    EXPECT_EQ(slo.config().rules[1].name, "ticket");
+}
+
+TEST(SloMonitor, EmitsTraceInstantsAndValidJson)
+{
+    SloMonitor slo(oneRuleConfig(100.0, 10.0, 1, 1));
+    for (int i = 0; i < 5; ++i)
+        slo.observe(150.0, false);
+    for (int i = 0; i < 5; ++i)
+        slo.observe(250.0, true);
+    slo.finish(300.0);
+
+    TraceSession trace;
+    slo.emitTrace(trace);
+    int fires = 0, resolves = 0;
+    for (const auto &e : trace.events()) {
+        if (e.phase != TraceEvent::Phase::Instant)
+            continue;
+        EXPECT_EQ(e.pid, kTracePidSlo);
+        if (e.name == "page-fire")
+            ++fires;
+        if (e.name == "page-resolve")
+            ++resolves;
+    }
+    EXPECT_EQ(fires, 1);
+    EXPECT_EQ(resolves, 1);
+
+    std::ostringstream os;
+    JsonWriter w(os);
+    slo.writeJson(w);
+    std::string error;
+    ASSERT_TRUE(validateJson(os.str(), &error)) << error << "\n" << os.str();
+    EXPECT_NE(os.str().find("\"fired\""), std::string::npos);
+    EXPECT_NE(os.str().find("\"transitions\""), std::string::npos);
+}
+
+// ------------------------------------------------------------------
+// MetricsTimeseries
+// ------------------------------------------------------------------
+
+TEST(MetricsTimeseries, ReportsPerWindowCounterRates)
+{
+    StatGroup g("g");
+    MetricsTimeseries ts(1e9); // 1s windows: rate == delta
+    ts.trackCounter("ops", &g, "ops");
+
+    g.add("ops", 100);
+    ts.advanceTo(1e9); // closes window 0
+    g.add("ops", 300);
+    ts.advanceTo(2e9); // closes window 1
+    ts.finish(2.5e9);  // partial half-second window: rate doubles
+
+    const auto &rates = ts.counterRates("ops");
+    ASSERT_EQ(rates.size(), 3u);
+    EXPECT_DOUBLE_EQ(rates[0], 100.0);
+    EXPECT_DOUBLE_EQ(rates[1], 300.0);
+    EXPECT_DOUBLE_EQ(rates[2], 0.0);
+    EXPECT_EQ(ts.numWindows(), 3u);
+    EXPECT_TRUE(ts.counterRates("absent").empty());
+}
+
+TEST(MetricsTimeseries, WindowPercentilesTrackOnlyThatWindowsSamples)
+{
+    Histogram h(10, 64);
+    MetricsTimeseries ts(100.0);
+    ts.trackHistogram("lat", &h);
+
+    for (int i = 0; i < 100; ++i)
+        h.sample(15); // window 0: everything in the 10-20 bucket
+    ts.advanceTo(100.0);
+    for (int i = 0; i < 100; ++i)
+        h.sample(255); // window 1: 25x slower
+    ts.advanceTo(200.0);
+    ts.finish(200.0);
+
+    const auto p50 = ts.histogramPercentiles("lat", 0.50);
+    ASSERT_EQ(p50.size(), 2u);
+    EXPECT_GE(p50[0], 10.0);
+    EXPECT_LE(p50[0], 20.0);
+    // The cumulative histogram would smear this to ~20; the delta view
+    // must place window 1's median in the 250-260 bucket.
+    EXPECT_GE(p50[1], 250.0);
+    EXPECT_LE(p50[1], 260.0);
+    EXPECT_TRUE(ts.histogramPercentiles("absent", 0.5).empty());
+}
+
+TEST(MetricsTimeseries, EmitsValidJsonWithAllSeries)
+{
+    StatGroup g("g");
+    Histogram h(10, 16);
+    MetricsTimeseries ts(100.0);
+    ts.trackCounter("ops", &g, "ops");
+    ts.trackHistogram("lat", &h);
+
+    g.add("ops", 5);
+    h.sample(42);
+    ts.advanceTo(100.0);
+    ts.finish(150.0);
+
+    std::ostringstream os;
+    JsonWriter w(os);
+    ts.writeJson(w);
+    std::string error;
+    ASSERT_TRUE(validateJson(os.str(), &error)) << error << "\n" << os.str();
+    for (const char *key :
+         {"\"window_ns\"", "\"counters\"", "\"ops\"", "\"histograms\"",
+          "\"lat\"", "\"count\"", "\"p50\"", "\"p95\"", "\"p99\""})
+        EXPECT_NE(os.str().find(key), std::string::npos) << key;
+}
+
+} // namespace
+} // namespace pimsim
