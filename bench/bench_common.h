@@ -30,10 +30,11 @@ struct Setup
 };
 
 inline Setup
-makeSetup(const SystemConfig &config)
+makeSetup(const SystemConfig &config, unsigned threads = 1)
 {
     Setup s;
     s.system = std::make_unique<PimSystem>(config);
+    s.system->setThreads(threads);
     s.host = std::make_unique<HostModel>(*s.system);
     if (config.withPim())
         s.blas = std::make_unique<PimBlas>(*s.system);

@@ -47,6 +47,28 @@ bf16BitsToFloat(std::uint16_t bits)
     return bitsFloat(static_cast<std::uint32_t>(bits) << 16);
 }
 
+void
+bf16ToFloatN(const std::uint16_t *in, float *out, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = bitsFloat(static_cast<std::uint32_t>(in[i]) << 16);
+}
+
+void
+floatToBf16N(const float *in, std::uint16_t *out, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = floatToBf16Bits(in[i]);
+}
+
+void
+bf16RoundFloatN(float *vals, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        vals[i] = bitsFloat(static_cast<std::uint32_t>(floatToBf16Bits(vals[i]))
+                            << 16);
+}
+
 Bf16::Bf16(float value) : bits_(floatToBf16Bits(value)) {}
 
 float

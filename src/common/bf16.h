@@ -11,6 +11,7 @@
 #ifndef PIMSIM_COMMON_BF16_H
 #define PIMSIM_COMMON_BF16_H
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 
@@ -62,6 +63,16 @@ Bf16 bf16Mac(Bf16 a, Bf16 b, Bf16 c);
 std::uint16_t floatToBf16Bits(float value);
 /** Widen bfloat16 bits to float. */
 float bf16BitsToFloat(std::uint16_t bits);
+
+/**
+ * Batch conversion kernels (see fp16.h): bit-identical to applying the
+ * scalar conversions per element, used by the PIM unit's convert-once
+ * SIMD row passes.
+ */
+void bf16ToFloatN(const std::uint16_t *in, float *out, std::size_t n);
+void floatToBf16N(const float *in, std::uint16_t *out, std::size_t n);
+/** Round `n` floats to bfloat16 precision in place. */
+void bf16RoundFloatN(float *vals, std::size_t n);
 
 std::ostream &operator<<(std::ostream &os, Bf16 b);
 

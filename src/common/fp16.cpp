@@ -1,5 +1,6 @@
 #include "common/fp16.h"
 
+#include <array>
 #include <cmath>
 #include <cstring>
 #include <ostream>
@@ -39,17 +40,9 @@ floatToFp16Bits(float value)
         const std::uint32_t mant = (abs >> 13) & 0x3ffu;
         return static_cast<Fp16Bits>(sign | 0x7c00u | (mant ? mant : 1u));
     }
-    // Infinity or overflow after rounding: half max finite is 65504;
-    // values >= 65520 round to infinity.
-    if (abs >= 0x47800000u) { // 65536.0f and above including inf
-        if (abs >= 0x7f800000u)
-            return static_cast<Fp16Bits>(sign | 0x7c00u);
-        // 65504 < |x| < 65536: rounds to inf iff |x| >= 65520.
-        if (abs >= 0x477ff000u)
-            return static_cast<Fp16Bits>(sign | 0x7c00u);
-        return static_cast<Fp16Bits>(sign | 0x7bffu);
-    }
-    if (abs >= 0x477ff000u) // 65520.0f .. 65536.0f rounds to inf
+    // Infinity and overflow: half's largest finite value is 65504, and
+    // RNE sends every |x| >= 65520 (bits 0x477ff000) to infinity.
+    if (abs >= 0x477ff000u) // 65520.0f and above, including +/-inf
         return static_cast<Fp16Bits>(sign | 0x7c00u);
 
     std::int32_t exp = static_cast<std::int32_t>(abs >> 23) - 127;
@@ -83,9 +76,7 @@ floatToFp16Bits(float value)
         ++hmant;
         if (hmant == 0x400u) { // mantissa overflow -> bump exponent
             hmant = 0;
-            ++hexp;
-            if (hexp >= 31)
-                return static_cast<Fp16Bits>(sign | 0x7c00u);
+            ++hexp; // cannot reach 31: |x| >= 65520 was cut above
         }
     }
     return static_cast<Fp16Bits>(sign | (hexp << 10) | hmant);
@@ -117,6 +108,96 @@ fp16BitsToFloat(Fp16Bits bits)
     }
     const std::uint32_t fexp = exp - 15 + 127;
     return bitsFloat(sign | (fexp << 23) | (mant << 13));
+}
+
+namespace {
+
+/**
+ * Widening table: all 65536 binary16 patterns pre-converted to float.
+ * Built once on first use (thread-safe magic static); copying a float
+ * out of the table preserves NaN payload bits exactly, so table lookups
+ * are bit-identical to fp16BitsToFloat.
+ */
+const float *
+fp16WidenTable()
+{
+    static const std::array<float, 65536> table = [] {
+        std::array<float, 65536> t{};
+        for (std::uint32_t i = 0; i < 65536; ++i)
+            t[i] = fp16BitsToFloat(static_cast<Fp16Bits>(i));
+        return t;
+    }();
+    return table.data();
+}
+
+/**
+ * Branch-light float -> binary16 rounder for the batch kernels.
+ *
+ * The normal band uses one fused rebias + RNE: subtracting the
+ * exponent-bias delta (112 << 23) and adding 0xfff + lsb rounds the low
+ * 13 bits with ties-to-even, and a mantissa carry propagates into the
+ * exponent — which also sends the [65520, 65536) band to infinity, the
+ * same cut floatToFp16Bits makes explicitly. The exhaustive suite in
+ * tests/fp16_test.cpp pins this bit-identical to the scalar rounder.
+ */
+inline Fp16Bits
+roundFloatBitsToFp16(std::uint32_t f)
+{
+    const std::uint32_t sign = (f >> 16) & 0x8000u;
+    const std::uint32_t abs = f & 0x7fffffffu;
+    if (abs >= 0x38800000u) { // normal half range and above
+        if (abs >= 0x47800000u) { // inf / NaN / >= 65536
+            if (abs > 0x7f800000u) {
+                const std::uint32_t mant = (abs >> 13) & 0x3ffu;
+                return static_cast<Fp16Bits>(sign | 0x7c00u |
+                                             (mant ? mant : 1u));
+            }
+            return static_cast<Fp16Bits>(sign | 0x7c00u);
+        }
+        return static_cast<Fp16Bits>(
+            sign |
+            ((abs - 0x38000000u + 0xfffu + ((abs >> 13) & 1u)) >> 13));
+    }
+    // Subnormal / underflow band (|x| < 2^-14), mirroring the scalar path.
+    const std::int32_t exp = static_cast<std::int32_t>(abs >> 23) - 127;
+    std::uint32_t mant = abs & 0x7fffffu;
+    if (exp < -24) {
+        return static_cast<Fp16Bits>(
+            sign | ((exp == -25 && mant != 0) ? 1u : 0u));
+    }
+    mant |= 0x800000u;
+    const int shift = -exp - 1; // == -exp - 14 + 13
+    const std::uint32_t dropped = mant & ((1u << shift) - 1u);
+    const std::uint32_t half = 1u << (shift - 1);
+    std::uint32_t result = mant >> shift;
+    if (dropped > half || (dropped == half && (result & 1u)))
+        ++result;
+    return static_cast<Fp16Bits>(sign | result);
+}
+
+} // namespace
+
+void
+fp16ToFloatN(const Fp16Bits *in, float *out, std::size_t n)
+{
+    const float *table = fp16WidenTable();
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = table[in[i]];
+}
+
+void
+floatToFp16N(const float *in, Fp16Bits *out, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = roundFloatBitsToFp16(floatBits(in[i]));
+}
+
+void
+fp16RoundFloatN(float *vals, std::size_t n)
+{
+    const float *table = fp16WidenTable();
+    for (std::size_t i = 0; i < n; ++i)
+        vals[i] = table[roundFloatBitsToFp16(floatBits(vals[i]))];
 }
 
 Fp16::Fp16(float value) : bits_(floatToFp16Bits(value)) {}

@@ -14,6 +14,7 @@
 #ifndef PIMSIM_COMMON_FP16_H
 #define PIMSIM_COMMON_FP16_H
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 
@@ -95,6 +96,24 @@ Fp16Bits floatToFp16Bits(float value);
 
 /** Widen binary16 bits to float. */
 float fp16BitsToFloat(Fp16Bits bits);
+
+/**
+ * Batch conversion kernels for the PIM SIMD datapath.
+ *
+ * These are the convert-once passes the execution unit uses to process a
+ * whole SIMD row: widen every lane to float, compute in float, round
+ * back once. Each is bit-identical to applying the scalar conversion
+ * per element (including NaN payloads, subnormals and the 65520
+ * overflow cut); tests/fp16_test.cpp runs the exhaustive RNE suite
+ * against both implementations.
+ */
+/** Widen `n` binary16 bit patterns to float (table-driven). */
+void fp16ToFloatN(const Fp16Bits *in, float *out, std::size_t n);
+/** Round `n` floats to binary16 bits with RNE. */
+void floatToFp16N(const float *in, Fp16Bits *out, std::size_t n);
+/** Round `n` floats to binary16 precision in place, keeping float
+ *  representation: vals[i] = fp16BitsToFloat(floatToFp16Bits(vals[i])). */
+void fp16RoundFloatN(float *vals, std::size_t n);
 
 std::ostream &operator<<(std::ostream &os, Fp16 h);
 

@@ -2,12 +2,16 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
 #include <stdexcept>
 
 namespace pimsim {
 
 namespace {
 bool quiet = false;
+/** Warnings can fire from worker threads (e.g. a PIM unit fault while
+ *  channels tick in parallel); serialise emission so lines stay whole. */
+std::mutex logMutex;
 } // namespace
 
 void
@@ -41,15 +45,19 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
-    if (!quiet)
+    if (!quiet) {
+        std::lock_guard<std::mutex> lock(logMutex);
         std::cerr << "warn: " << msg << std::endl;
+    }
 }
 
 void
 informImpl(const std::string &msg)
 {
-    if (!quiet)
+    if (!quiet) {
+        std::lock_guard<std::mutex> lock(logMutex);
         std::cout << "info: " << msg << std::endl;
+    }
 }
 
 } // namespace pimsim

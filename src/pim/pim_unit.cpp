@@ -42,6 +42,117 @@ laneMac(PimNumberFormat fmt, Fp16 a, Fp16 b, Fp16 c)
                               .bits());
 }
 
+/**
+ * Batch lane passes: widen the whole SIMD row to float once, compute in
+ * float, round back once. Bit-identical to the per-lane scalar helpers
+ * above — the float add/mul of two 16-bit-significand values is exact,
+ * and the MAC keeps the non-fused double rounding by rounding the
+ * product row to format precision before the accumulate.
+ */
+void
+lanesWiden(PimNumberFormat fmt, const LaneVector &v, float *out)
+{
+    Fp16Bits bits[kSimdLanes];
+    for (std::size_t i = 0; i < kSimdLanes; ++i)
+        bits[i] = v[i].bits();
+    if (fmt == PimNumberFormat::Fp16)
+        fp16ToFloatN(bits, out, kSimdLanes);
+    else
+        bf16ToFloatN(bits, out, kSimdLanes);
+}
+
+LaneVector
+lanesNarrow(PimNumberFormat fmt, const float *in)
+{
+    Fp16Bits bits[kSimdLanes];
+    if (fmt == PimNumberFormat::Fp16)
+        floatToFp16N(in, bits, kSimdLanes);
+    else
+        floatToBf16N(in, bits, kSimdLanes);
+    LaneVector r;
+    for (std::size_t i = 0; i < kSimdLanes; ++i)
+        r[i] = Fp16::fromBits(bits[i]);
+    return r;
+}
+
+LaneVector
+batchAdd(PimNumberFormat fmt, const LaneVector &a, const LaneVector &b)
+{
+    float fa[kSimdLanes], fb[kSimdLanes];
+    lanesWiden(fmt, a, fa);
+    lanesWiden(fmt, b, fb);
+    for (std::size_t i = 0; i < kSimdLanes; ++i)
+        fa[i] += fb[i];
+    return lanesNarrow(fmt, fa);
+}
+
+LaneVector
+batchMul(PimNumberFormat fmt, const LaneVector &a, const LaneVector &b)
+{
+    float fa[kSimdLanes], fb[kSimdLanes];
+    lanesWiden(fmt, a, fa);
+    lanesWiden(fmt, b, fb);
+    for (std::size_t i = 0; i < kSimdLanes; ++i)
+        fa[i] *= fb[i];
+    return lanesNarrow(fmt, fa);
+}
+
+LaneVector
+batchMac(PimNumberFormat fmt, const LaneVector &a, const LaneVector &b,
+         const LaneVector &acc)
+{
+    float fa[kSimdLanes], fb[kSimdLanes], fc[kSimdLanes];
+    lanesWiden(fmt, a, fa);
+    lanesWiden(fmt, b, fb);
+    lanesWiden(fmt, acc, fc);
+    for (std::size_t i = 0; i < kSimdLanes; ++i)
+        fa[i] *= fb[i];
+    // Non-fused datapath: round the product row before accumulating.
+    if (fmt == PimNumberFormat::Fp16)
+        fp16RoundFloatN(fa, kSimdLanes);
+    else
+        bf16RoundFloatN(fa, kSimdLanes);
+    for (std::size_t i = 0; i < kSimdLanes; ++i)
+        fa[i] += fc[i];
+    return lanesNarrow(fmt, fa);
+}
+
+LaneVector
+rowAdd(bool batched, PimNumberFormat fmt, const LaneVector &a,
+       const LaneVector &b)
+{
+    if (batched)
+        return batchAdd(fmt, a, b);
+    LaneVector r;
+    for (std::size_t i = 0; i < kSimdLanes; ++i)
+        r[i] = laneAdd(fmt, a[i], b[i]);
+    return r;
+}
+
+LaneVector
+rowMul(bool batched, PimNumberFormat fmt, const LaneVector &a,
+       const LaneVector &b)
+{
+    if (batched)
+        return batchMul(fmt, a, b);
+    LaneVector r;
+    for (std::size_t i = 0; i < kSimdLanes; ++i)
+        r[i] = laneMul(fmt, a[i], b[i]);
+    return r;
+}
+
+LaneVector
+rowMac(bool batched, PimNumberFormat fmt, const LaneVector &a,
+       const LaneVector &b, const LaneVector &acc)
+{
+    if (batched)
+        return batchMac(fmt, a, b, acc);
+    LaneVector r;
+    for (std::size_t i = 0; i < kSimdLanes; ++i)
+        r[i] = laneMac(fmt, a[i], b[i], acc[i]);
+    return r;
+}
+
 } // namespace
 
 PimUnit::PimUnit(const PimConfig &config, unsigned index, PseudoChannel &pch,
@@ -269,10 +380,8 @@ PimUnit::trigger(CommandType type, unsigned col, const Burst *bus_data)
             fetchOperand(inst.src0, s0, type, col, bus_data, false);
         const LaneVector b =
             fetchOperand(inst.src1, s1, type, col, bus_data, true);
-        LaneVector r;
-        for (std::size_t i = 0; i < kSimdLanes; ++i)
-            r[i] = laneAdd(config_.format, a[i], b[i]);
-        writeResult(inst.dst, d, col, r);
+        writeResult(inst.dst, d, col,
+                    rowAdd(config_.batchedLanes, config_.format, a, b));
         break;
       }
       case PimOpcode::Mul: {
@@ -280,10 +389,8 @@ PimUnit::trigger(CommandType type, unsigned col, const Burst *bus_data)
             fetchOperand(inst.src0, s0, type, col, bus_data, false);
         const LaneVector b =
             fetchOperand(inst.src1, s1, type, col, bus_data, true);
-        LaneVector r;
-        for (std::size_t i = 0; i < kSimdLanes; ++i)
-            r[i] = laneMul(config_.format, a[i], b[i]);
-        writeResult(inst.dst, d, col, r);
+        writeResult(inst.dst, d, col,
+                    rowMul(config_.batchedLanes, config_.format, a, b));
         break;
       }
       case PimOpcode::Mac: {
@@ -294,10 +401,8 @@ PimUnit::trigger(CommandType type, unsigned col, const Burst *bus_data)
             fetchOperand(inst.src1, s1, type, col, bus_data, true);
         const LaneVector acc =
             fetchOperand(inst.dst, d, type, col, bus_data, false);
-        LaneVector r;
-        for (std::size_t i = 0; i < kSimdLanes; ++i)
-            r[i] = laneMac(config_.format, a[i], b[i], acc[i]);
-        writeResult(inst.dst, d, col, r);
+        writeResult(inst.dst, d, col,
+                    rowMac(config_.batchedLanes, config_.format, a, b, acc));
         break;
       }
       case PimOpcode::Mad: {
@@ -310,10 +415,8 @@ PimUnit::trigger(CommandType type, unsigned col, const Burst *bus_data)
             inst.aam ? col % config_.srfPerFile
                      : inst.src1Idx % config_.srfPerFile;
         const LaneVector c = broadcast(regs_.srf(1, addend_idx));
-        LaneVector r;
-        for (std::size_t i = 0; i < kSimdLanes; ++i)
-            r[i] = laneMac(config_.format, a[i], b[i], c[i]);
-        writeResult(inst.dst, d, col, r);
+        writeResult(inst.dst, d, col,
+                    rowMac(config_.batchedLanes, config_.format, a, b, c));
         break;
       }
       default:

@@ -7,6 +7,23 @@
 
 namespace pimsim::serve {
 
+void
+RetryPolicy::validate() const
+{
+    // jitterFrac > 1 would let the +/-j draw turn the whole delay
+    // negative; catch the misconfiguration where it is written instead
+    // of deep in a chaos sweep where backoffNs()'s clamp hides it.
+    PIMSIM_ASSERT(jitterFrac >= 0.0 && jitterFrac <= 1.0,
+                  "RetryPolicy.jitterFrac must be in [0, 1], got ",
+                  jitterFrac);
+    PIMSIM_ASSERT(baseBackoffNs >= 0.0,
+                  "RetryPolicy.baseBackoffNs must be >= 0, got ",
+                  baseBackoffNs);
+    PIMSIM_ASSERT(maxBackoffNs >= 0.0,
+                  "RetryPolicy.maxBackoffNs must be >= 0, got ",
+                  maxBackoffNs);
+}
+
 double
 RetryPolicy::backoffNs(unsigned retry, Rng &rng) const
 {
@@ -15,12 +32,16 @@ RetryPolicy::backoffNs(unsigned retry, Rng &rng) const
     double delay = baseBackoffNs * std::pow(2.0, exponent);
     delay = std::min(delay, maxBackoffNs);
     if (jitterFrac > 0.0) {
-        // Uniform in [1 - j, 1 + j): full jitter decorrelates retries
-        // that failed together without ever shrinking the delay below
-        // a useful floor.
+        // Equal jitter: uniform in [1 - j, 1 + j) around the exponential
+        // delay. (Not AWS-style "full jitter", which draws from
+        // [0, delay); with j <= 1 this variant keeps a useful floor
+        // under the delay while still decorrelating retries that failed
+        // together.)
         const double u = rng.nextDouble();
         delay *= 1.0 + jitterFrac * (2.0 * u - 1.0);
     }
+    // Defense in depth: validate() bounds jitterFrac, but an
+    // unvalidated ad-hoc policy must still never schedule into the past.
     return std::max(delay, 0.0);
 }
 

@@ -46,13 +46,21 @@ struct RetryPolicy
     double baseBackoffNs = 50'000.0;
     /** Backoff cap (exponential growth saturates here). */
     double maxBackoffNs = 2'000'000.0;
-    /** Uniform jitter fraction: delay is drawn from base * [1-j, 1+j). */
+    /** Equal-jitter fraction in [0, 1]: the delay is drawn uniformly
+     *  from base * [1-j, 1+j). */
     double jitterFrac = 0.25;
 
     /**
+     * Assert the configuration is sane (jitterFrac in [0, 1], backoffs
+     * non-negative). Engines call this when the policy is installed so a
+     * bad config fails at setup, not mid-campaign.
+     */
+    void validate() const;
+
+    /**
      * Backoff before retry number `retry` (1-based): exponential in the
-     * retry index, capped, jittered from `rng`. Deterministic for a
-     * seeded generator.
+     * retry index, capped, jittered from `rng`, never negative.
+     * Deterministic for a seeded generator.
      */
     double backoffNs(unsigned retry, Rng &rng) const;
 };

@@ -54,6 +54,7 @@ ServingEngine::ServingEngine(const ServeConfig &config)
     PIMSIM_ASSERT(!config.tenants.empty(), "serving needs >= 1 tenant");
     PIMSIM_ASSERT(config.system.withPim(),
                   "the serving layer drives a PIM-HBM system");
+    config.retry.validate();
 
     const unsigned pim_rows =
         PimConfMap::forRows(config.system.geometry.rowsPerBank)
@@ -83,6 +84,9 @@ ServingEngine::ServingEngine(const ServeConfig &config)
     }
     hostModel_ = std::make_unique<HostFallbackModel>(config.system,
                                                      config.timingCache);
+    for (auto &model : models_)
+        model->setSimThreads(config.simThreads);
+    hostModel_->setSimThreads(config.simThreads);
     servers_.resize(plan_.numShards());
     shards_.resize(plan_.numShards());
     for (auto &shard : shards_)

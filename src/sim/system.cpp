@@ -8,6 +8,15 @@
 
 namespace pimsim {
 
+namespace {
+
+/** Staging logs must never evict: the barrier merge needs every event
+ *  to replay counters and handlers exactly. Cleared every epoch, so the
+ *  high-water mark is one epoch's events per channel. */
+constexpr std::size_t kUnboundedLog = ~std::size_t{0};
+
+} // namespace
+
 PimSystem::PimSystem(const SystemConfig &config)
     : config_(config),
       mapping_(config.geometry, config.numChannels(), config.mapping)
@@ -16,7 +25,12 @@ PimSystem::PimSystem(const SystemConfig &config)
         controllers_.push_back(std::make_unique<MemoryController>(
             config.geometry, config.timing, config.controller,
             config.withPim(), config.pim));
-        controllers_.back()->setErrorSink(&errorLog_, ch);
+        // Channels record ECC events into per-channel staging logs while
+        // ticking (possibly concurrently); mergeEpochSinks() replays
+        // them into errorLog_ at every barrier.
+        errorStaging_.push_back(
+            std::make_unique<MemErrorLog>(kUnboundedLog));
+        controllers_.back()->setErrorSink(errorStaging_.back().get(), ch);
         nextTick_.push_back(0);
 
         auto &ctrl = *controllers_.back();
@@ -27,6 +41,24 @@ PimSystem::PimSystem(const SystemConfig &config)
             registry_.addGroup(base + ".pim", &ctrl.pim()->stats());
     }
     registry_.addGroup("serve", &serveStats_);
+}
+
+PimSystem::~PimSystem() = default;
+
+MemErrorLog &
+PimSystem::errorLog()
+{
+    // Driver/runtime DataStore accesses between pump calls record into
+    // the per-channel staging logs; fold them in before the caller looks.
+    mergeEpochSinks();
+    return errorLog_;
+}
+
+const MemErrorLog &
+PimSystem::errorLog() const
+{
+    const_cast<PimSystem *>(this)->mergeEpochSinks();
+    return errorLog_;
 }
 
 void
@@ -75,17 +107,37 @@ PimSystem::dumpStatsJson(std::ostream &os)
 void
 PimSystem::setTraceSession(TraceSession *session)
 {
+    traceSession_ = session;
+    traceStaging_.clear();
     if (session) {
         session->setProcessName(kTracePidDevice, "device");
         for (unsigned ch = 0; ch < controllers_.size(); ++ch) {
             session->setThreadName(kTracePidDevice, static_cast<int>(ch),
                                    "ch" + std::to_string(ch));
         }
+        // Channels record into per-channel staging sessions (merged at
+        // every barrier) so ticking never touches the shared session.
+        // Staging carries the same cap as the destination: it can always
+        // hold at least as much as the global session could still admit.
+        for (unsigned ch = 0; ch < controllers_.size(); ++ch) {
+            traceStaging_.push_back(
+                std::make_unique<TraceSession>(session->maxEvents()));
+        }
     }
     for (unsigned ch = 0; ch < controllers_.size(); ++ch) {
-        controllers_[ch]->channel().setTraceSession(session,
-                                                    static_cast<int>(ch));
+        controllers_[ch]->channel().setTraceSession(
+            session ? traceStaging_[ch].get() : nullptr,
+            static_cast<int>(ch));
     }
+}
+
+void
+PimSystem::setThreads(unsigned threads)
+{
+    threads_ = std::max(1u, threads);
+    pool_.reset();
+    if (threads_ > 1)
+        pool_ = std::make_unique<SimThreadPool>(threads_);
 }
 
 bool
@@ -100,9 +152,159 @@ PimSystem::tryEnqueue(unsigned channel, const MemRequest &request)
     return true;
 }
 
+void
+PimSystem::assertTickInvariant() const
+{
+    // If a controller reports pending work while its next-tick hint was
+    // cleared to kNoCycle, the sentinel would win the target-min below
+    // and the loop would silently report "no work" with work pending.
+    // The only way to get here is enqueueing on MemoryController
+    // directly; tryEnqueue() re-arms the hint on every accept.
+    for (unsigned ch = 0; ch < controllers_.size(); ++ch) {
+        PIMSIM_ASSERT(nextTick_[ch] != kNoCycle ||
+                          controllers_[ch]->idle(now_),
+                      "channel ", ch,
+                      " has pending work but a cleared next-tick hint; "
+                      "requests must go through PimSystem::tryEnqueue");
+    }
+}
+
+Cycle
+PimSystem::runChannelEpoch(unsigned ch, Cycle target, bool allow_scrub)
+{
+    // Channels are independent below PimSystem, and every global target
+    // the serial loop would pick is a no-op for channels whose own next
+    // event lies later — so replaying just this channel's event (and
+    // scrub) times in order is exactly the serial execution, state for
+    // state. All writes land in channel-local state or this channel's
+    // staging sinks.
+    MemoryController &ctrl = *controllers_[ch];
+    Cycle ch_now = now_;
+    Cycle last = now_;
+    for (;;) {
+        Cycle next = kNoCycle;
+        if (!ctrl.idle(ch_now))
+            next = std::max(nextTick_[ch], ch_now);
+        if (allow_scrub) {
+            const Cycle scrub = ctrl.nextScrubDue();
+            if (scrub != kNoCycle)
+                next = std::min(next, std::max(scrub, ch_now));
+        }
+        if (next == kNoCycle || next > target) {
+            // An idle channel's hint is dead until tryEnqueue re-arms
+            // it: clear it so bypassing tryEnqueue (direct
+            // MemoryController::enqueue) trips the invariant check
+            // instead of silently riding a stale hint value.
+            if (ctrl.idle(ch_now))
+                nextTick_[ch] = kNoCycle;
+            return last;
+        }
+        ch_now = next;
+        last = next;
+        if (allow_scrub)
+            ctrl.scrubTick(ch_now);
+        if (ctrl.idle(ch_now))
+            continue;
+        while (nextTick_[ch] <= ch_now) {
+            const Cycle n = ctrl.tick(ch_now);
+            if (n == kNoCycle) {
+                nextTick_[ch] = kNoCycle;
+                break;
+            }
+            PIMSIM_ASSERT(n > ch_now, "controller did not advance");
+            nextTick_[ch] = n;
+        }
+    }
+}
+
+bool
+PimSystem::channelDue(unsigned ch, Cycle target, bool allow_scrub) const
+{
+    const MemoryController &ctrl = *controllers_[ch];
+    if (!ctrl.idle(now_) && std::max(nextTick_[ch], now_) <= target)
+        return true;
+    if (allow_scrub) {
+        const Cycle scrub = ctrl.nextScrubDue();
+        if (scrub != kNoCycle && std::max(scrub, now_) <= target)
+            return true;
+    }
+    return false;
+}
+
+void
+PimSystem::runEpoch(Cycle target, bool allow_scrub)
+{
+    const unsigned n = numChannels();
+    epochLast_.assign(n, now_);
+    // Fan out only when at least two channels actually have work in the
+    // epoch; a single due channel (common in fine-grained step() driving)
+    // is cheaper on the calling thread.
+    unsigned due = 0;
+    if (pool_) {
+        for (unsigned ch = 0; ch < n && due < 2; ++ch) {
+            if (channelDue(ch, target, allow_scrub))
+                ++due;
+        }
+    }
+    if (pool_ && due >= 2) {
+        pool_->parallelFor(n, [&](std::size_t ch) {
+            epochLast_[ch] = runChannelEpoch(static_cast<unsigned>(ch),
+                                             target, allow_scrub);
+        });
+    } else {
+        for (unsigned ch = 0; ch < n; ++ch)
+            epochLast_[ch] = runChannelEpoch(ch, target, allow_scrub);
+    }
+    mergeEpochSinks();
+}
+
+void
+PimSystem::mergeEpochSinks()
+{
+    // Replay staged ECC events into the global log in (cycle, channel)
+    // order — exactly the order the serial target-by-target sweep
+    // records them in (channels tick in index order at each target).
+    // record() reproduces counters, the bounded ring, and handler calls.
+    bool any = false;
+    for (const auto &log : errorStaging_) {
+        if (!log->recent().empty()) {
+            any = true;
+            break;
+        }
+    }
+    if (any) {
+        std::vector<MemErrorEvent> merged;
+        for (auto &log : errorStaging_) {
+            merged.insert(merged.end(), log->recent().begin(),
+                          log->recent().end());
+            log->clear();
+        }
+        std::stable_sort(merged.begin(), merged.end(),
+                         [](const MemErrorEvent &a, const MemErrorEvent &b) {
+                             return a.cycle < b.cycle;
+                         });
+        for (const MemErrorEvent &e : merged)
+            errorLog_.record(e);
+    }
+
+    // Device trace events: appending per-channel buffers in channel
+    // order reproduces the serial insertion order after write()'s stable
+    // timestamp sort (equal-timestamp events share a target cycle, where
+    // the serial loop also ticked channels in index order).
+    if (traceSession_) {
+        for (auto &staging : traceStaging_) {
+            const std::uint64_t dropped = staging->takeDropped();
+            auto events = staging->takeEvents();
+            if (!events.empty() || dropped)
+                traceSession_->append(std::move(events), dropped);
+        }
+    }
+}
+
 bool
 PimSystem::step()
 {
+    assertTickInvariant();
     // Find the earliest pending controller event.
     Cycle target = kNoCycle;
     for (unsigned ch = 0; ch < controllers_.size(); ++ch) {
@@ -112,64 +314,34 @@ PimSystem::step()
     if (target == kNoCycle)
         return false;
 
+    runEpoch(target, /*allow_scrub=*/false);
     now_ = target;
-    for (unsigned ch = 0; ch < controllers_.size(); ++ch) {
-        if (controllers_[ch]->idle(now_))
-            continue;
-        while (nextTick_[ch] <= now_) {
-            const Cycle next = controllers_[ch]->tick(now_);
-            if (next == kNoCycle) {
-                nextTick_[ch] = kNoCycle;
-                break;
-            }
-            PIMSIM_ASSERT(next > now_, "controller did not advance");
-            nextTick_[ch] = next;
-        }
-    }
     return true;
 }
 
 void
 PimSystem::advance(Cycle cycles)
 {
+    assertTickInvariant();
+    // Patrol-scrub steps ride on advance()'s explicit time budget
+    // (step()/runUntilIdle() must stay scrub-free or an enabled scrubber
+    // would keep them from ever going idle).
     const Cycle deadline = now_ + cycles;
-    while (now_ < deadline) {
-        Cycle target = deadline;
-        for (unsigned ch = 0; ch < controllers_.size(); ++ch) {
-            if (!controllers_[ch]->idle(now_))
-                target = std::min(target, std::max(nextTick_[ch], now_));
-            // Patrol-scrub steps ride on advance()'s explicit time
-            // budget (step()/runUntilIdle() must stay scrub-free or an
-            // enabled scrubber would keep them from ever going idle).
-            const Cycle scrub = controllers_[ch]->nextScrubDue();
-            if (scrub != kNoCycle)
-                target = std::min(target, std::max(scrub, now_));
-        }
-        now_ = target;
-        for (unsigned ch = 0; ch < controllers_.size(); ++ch) {
-            controllers_[ch]->scrubTick(now_);
-            if (controllers_[ch]->idle(now_))
-                continue;
-            while (nextTick_[ch] <= now_) {
-                const Cycle next = controllers_[ch]->tick(now_);
-                if (next == kNoCycle) {
-                    nextTick_[ch] = kNoCycle;
-                    break;
-                }
-                nextTick_[ch] = next;
-            }
-        }
-        if (target == deadline)
-            break;
-    }
+    runEpoch(deadline, /*allow_scrub=*/true);
     now_ = deadline;
 }
 
 void
 PimSystem::runUntilIdle()
 {
-    while (step()) {
-    }
+    assertTickInvariant();
+    // One unbounded epoch: every channel drains its own backlog to
+    // completion, which is also the coarsest (fastest) parallel grain.
+    runEpoch(kNoCycle - 1, /*allow_scrub=*/false);
+    Cycle last = now_;
+    for (const Cycle c : epochLast_)
+        last = std::max(last, c);
+    now_ = last;
 }
 
 bool

@@ -1,0 +1,92 @@
+#include "sim/worker_pool.h"
+
+#include <cstdint>
+
+namespace pimsim {
+
+SimThreadPool::SimThreadPool(unsigned threads)
+{
+    const unsigned n = threads > 1 ? threads - 1 : 0;
+    workers_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+SimThreadPool::~SimThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    start_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+SimThreadPool::drain(Job &job)
+{
+    for (;;) {
+        const std::size_t i = job.next.fetch_add(1);
+        if (i >= job.count)
+            return;
+        job.fn(i);
+        // The final increment releases every worker's writes; the
+        // caller's acquire read of completed then sees them all (the
+        // RMW chain forms one release sequence).
+        if (job.completed.fetch_add(1) + 1 == job.count) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            done_.notify_all();
+        }
+    }
+}
+
+void
+SimThreadPool::workerLoop()
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        std::shared_ptr<Job> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            start_.wait(lock, [&] {
+                return stop_ || generation_ != seen;
+            });
+            if (stop_)
+                return;
+            seen = generation_;
+            job = job_;
+        }
+        // A worker that woke late for an already-finished job sees its
+        // cursor exhausted and simply goes back to sleep; each Job owns
+        // its cursor, so a stale wake can never touch a newer job's
+        // indices with an older job's function.
+        if (job)
+            drain(*job);
+    }
+}
+
+void
+SimThreadPool::parallelFor(std::size_t count,
+                           const std::function<void(std::size_t)> &fn)
+{
+    if (workers_.empty() || count <= 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+    auto job = std::make_shared<Job>();
+    job->fn = fn;
+    job->count = count;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job_ = job;
+        ++generation_;
+    }
+    start_.notify_all();
+    drain(*job);
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [&] { return job->completed.load() == count; });
+}
+
+} // namespace pimsim

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Persistent worker pool for parallel per-channel simulation.
+ *
+ * SimThreadPool runs index-based jobs across N threads (N-1 workers plus
+ * the calling thread). PimSystem dispatches one index per pseudo channel
+ * at each epoch; workers pull indices from a shared atomic cursor, so a
+ * channel with a deep event backlog does not serialise the others behind
+ * a static partition. parallelFor() is a full barrier: it returns only
+ * after every index has been processed, which is what gives the epoch
+ * scheme its determinism (no channel state is touched by two threads,
+ * and all cross-channel merging happens after the barrier on the caller).
+ */
+
+#ifndef PIMSIM_SIM_WORKER_POOL_H
+#define PIMSIM_SIM_WORKER_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pimsim {
+
+/** A fixed-size pool executing parallel index loops with a barrier. */
+class SimThreadPool
+{
+  public:
+    /**
+     * @param threads  total concurrency including the calling thread;
+     *                 the pool spawns threads-1 workers. Clamped to >= 1.
+     */
+    explicit SimThreadPool(unsigned threads);
+    ~SimThreadPool();
+
+    SimThreadPool(const SimThreadPool &) = delete;
+    SimThreadPool &operator=(const SimThreadPool &) = delete;
+
+    /** Total concurrency (workers + caller). */
+    unsigned threads() const
+    {
+        return static_cast<unsigned>(workers_.size()) + 1;
+    }
+
+    /**
+     * Run fn(i) for every i in [0, count), distributing indices over the
+     * pool; the caller participates. Returns after all calls complete
+     * (all worker writes are visible to the caller). fn must not itself
+     * call parallelFor on the same pool.
+     */
+    void parallelFor(std::size_t count,
+                     const std::function<void(std::size_t)> &fn);
+
+  private:
+    /**
+     * One parallelFor invocation. Each job owns its index cursor and
+     * completion count so a worker that wakes late for an old job finds
+     * that job's cursor exhausted instead of stealing indices from a
+     * newer one.
+     */
+    struct Job
+    {
+        std::function<void(std::size_t)> fn;
+        std::size_t count = 0;
+        std::atomic<std::size_t> next{0};
+        std::atomic<std::size_t> completed{0};
+    };
+
+    void workerLoop();
+    /** Pull and run indices until the job is exhausted. */
+    void drain(Job &job);
+
+    std::mutex mutex_;
+    std::condition_variable start_;
+    std::condition_variable done_;
+    std::vector<std::thread> workers_;
+
+    // Current job, written under mutex_ before workers are woken.
+    std::shared_ptr<Job> job_;
+    std::uint64_t generation_ = 0;
+    bool stop_ = false;
+};
+
+} // namespace pimsim
+
+#endif // PIMSIM_SIM_WORKER_POOL_H

@@ -3,8 +3,11 @@
  * Unit and property tests for the software FP16/BF16 datapaths.
  */
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstring>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -230,6 +233,239 @@ TEST(Bf16, MacMatchesTwoStepRounding)
         const Bf16 c(rng.nextFloat(-2.0f, 2.0f));
         EXPECT_EQ(bf16Mac(a, b, c).bits(),
                   bf16Add(bf16Mul(a, b), c).bits());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Overflow-band regression + batched-kernel equivalence suite.
+//
+// The production converter is a shift-and-carry machine; this reference
+// is a different algorithm entirely — a neighbour search over the
+// (monotonic) half-value line in double precision — so a bug in the
+// band structure cannot hide in both.
+
+/** Magnitude of half pattern `h`, with 0x7c00 standing in for the
+ *  virtual next value 65536 (RNE overflows at its midpoint, 65520). */
+double
+refWiden(unsigned h)
+{
+    return h == 0x7c00u
+               ? 65536.0
+               : static_cast<double>(
+                     fp16BitsToFloat(static_cast<Fp16Bits>(h)));
+}
+
+/** Correctly rounded (RNE) float -> binary16, by neighbour search. */
+Fp16Bits
+refFloatToFp16(float f)
+{
+    std::uint32_t fb;
+    std::memcpy(&fb, &f, sizeof(fb));
+    const Fp16Bits sign = static_cast<Fp16Bits>((fb >> 16) & 0x8000u);
+    if (std::isnan(f))
+        return static_cast<Fp16Bits>(sign | 0x7e00u); // payload untested
+    const double x = std::abs(static_cast<double>(f));
+    if (x >= 65536.0)
+        return static_cast<Fp16Bits>(sign | 0x7c00u);
+    // Largest candidate (including the virtual 65536) not above x.
+    unsigned lo = 0, hi = 0x7c00u;
+    while (lo < hi) {
+        const unsigned mid = (lo + hi + 1) / 2;
+        if (refWiden(mid) <= x)
+            lo = mid;
+        else
+            hi = mid - 1;
+    }
+    const unsigned h0 = lo, h1 = std::min(lo + 1, 0x7c00u);
+    const double d0 = x - refWiden(h0), d1 = refWiden(h1) - x;
+    unsigned pick;
+    if (d0 < d1)
+        pick = h0;
+    else if (d0 > d1)
+        pick = h1;
+    else
+        pick = (h0 & 1u) ? h1 : h0; // tie: even mantissa wins
+    if (pick >= 0x7c00u)
+        return static_cast<Fp16Bits>(sign | 0x7c00u);
+    return static_cast<Fp16Bits>(sign | pick);
+}
+
+/** The float sweep every narrowing test runs: all half values nudged
+ *  across their rounding boundaries, plus the historic trouble spots. */
+std::vector<float>
+narrowingSweep()
+{
+    std::vector<float> sweep;
+    for (unsigned bits = 0; bits <= 0xffffu; ++bits) {
+        const Fp16 h = Fp16::fromBits(static_cast<Fp16Bits>(bits));
+        if (h.isNan() || h.isInf())
+            continue;
+        const float w = h.toFloat();
+        sweep.push_back(w);
+        sweep.push_back(std::nextafterf(w, 1e30f));
+        sweep.push_back(std::nextafterf(w, -1e30f));
+    }
+    for (float f : {65504.0f, 65519.0f, 65519.99f, 65520.0f,
+                    std::nextafterf(65520.0f, 0.0f),
+                    std::nextafterf(65520.0f, 1e30f), 65536.0f, 1e30f,
+                    std::ldexp(1.0f, -24), std::ldexp(1.0f, -25),
+                    std::ldexp(3.0f, -25), std::ldexp(1.0f, -26),
+                    std::nextafterf(std::ldexp(1.0f, -25), 1.0f)}) {
+        sweep.push_back(f);
+        sweep.push_back(-f);
+    }
+    Rng rng(31);
+    for (int i = 0; i < 50000; ++i)
+        sweep.push_back(rng.nextFloat(-70000.0f, 70000.0f));
+    return sweep;
+}
+
+TEST(Fp16OverflowBand, PinnedBoundaryValues)
+{
+    // The regression this suite exists for: the overflow band must keep
+    // 65504 (max finite) out of infinity and send exactly [65520, inf]
+    // to infinity, with nothing in between unreachable.
+    EXPECT_EQ(floatToFp16Bits(65504.0f), 0x7bffu);
+    EXPECT_EQ(floatToFp16Bits(-65504.0f), 0xfbffu);
+    EXPECT_EQ(floatToFp16Bits(65519.99f), 0x7bffu);
+    EXPECT_EQ(floatToFp16Bits(std::nextafterf(65520.0f, 0.0f)), 0x7bffu);
+    EXPECT_EQ(floatToFp16Bits(65520.0f), 0x7c00u); // midpoint ties to inf
+    EXPECT_EQ(floatToFp16Bits(-65520.0f), 0xfc00u);
+    EXPECT_EQ(floatToFp16Bits(std::nextafterf(65520.0f, 1e30f)), 0x7c00u);
+    EXPECT_EQ(floatToFp16Bits(65536.0f), 0x7c00u);
+}
+
+TEST(Fp16OverflowBand, TieToEvenAtSubnormalFloor)
+{
+    // 2^-25 is exactly half the smallest subnormal: ties to even (zero).
+    EXPECT_EQ(floatToFp16Bits(std::ldexp(1.0f, -25)), 0x0000u);
+    EXPECT_EQ(floatToFp16Bits(-std::ldexp(1.0f, -25)), 0x8000u);
+    // Just above half rounds up to the smallest subnormal.
+    EXPECT_EQ(floatToFp16Bits(
+                  std::nextafterf(std::ldexp(1.0f, -25), 1.0f)),
+              0x0001u);
+    // 3 * 2^-25 is halfway between subnormals 1 and 2: even (2) wins.
+    EXPECT_EQ(floatToFp16Bits(std::ldexp(3.0f, -25)), 0x0002u);
+}
+
+TEST(Fp16OverflowBand, ScalarMatchesReferenceOnSweep)
+{
+    for (float f : narrowingSweep())
+        EXPECT_EQ(floatToFp16Bits(f), refFloatToFp16(f)) << "f=" << f;
+}
+
+TEST(Fp16Batch, ExhaustiveWidenMatchesScalar)
+{
+    // All 2^16 patterns, bitwise (NaN payloads included).
+    std::vector<Fp16Bits> half(0x10000);
+    for (unsigned bits = 0; bits <= 0xffffu; ++bits)
+        half[bits] = static_cast<Fp16Bits>(bits);
+    std::vector<float> wide(half.size());
+    fp16ToFloatN(half.data(), wide.data(), half.size());
+    for (unsigned bits = 0; bits <= 0xffffu; ++bits) {
+        const float scalar = fp16BitsToFloat(half[bits]);
+        std::uint32_t sb, bb;
+        std::memcpy(&sb, &scalar, sizeof(sb));
+        std::memcpy(&bb, &wide[bits], sizeof(bb));
+        EXPECT_EQ(sb, bb) << "bits=" << bits;
+    }
+}
+
+TEST(Fp16Batch, SweepMatchesScalarNarrowing)
+{
+    // The vectorized narrowing kernel substituted for the scalar one,
+    // over the exact same sweep ScalarMatchesReferenceOnSweep pins.
+    const std::vector<float> sweep = narrowingSweep();
+    std::vector<Fp16Bits> batch(sweep.size());
+    floatToFp16N(sweep.data(), batch.data(), sweep.size());
+    for (std::size_t i = 0; i < sweep.size(); ++i)
+        EXPECT_EQ(batch[i], floatToFp16Bits(sweep[i]))
+            << "f=" << sweep[i];
+}
+
+TEST(Fp16Batch, ExhaustiveRoundTripThroughBatchKernels)
+{
+    // widen -> narrow through the batch kernels reproduces every
+    // non-NaN half exactly, like the scalar round-trip test above.
+    std::vector<Fp16Bits> half;
+    half.reserve(0x10000);
+    for (unsigned bits = 0; bits <= 0xffffu; ++bits) {
+        if (!Fp16::fromBits(static_cast<Fp16Bits>(bits)).isNan())
+            half.push_back(static_cast<Fp16Bits>(bits));
+    }
+    std::vector<float> wide(half.size());
+    std::vector<Fp16Bits> back(half.size());
+    fp16ToFloatN(half.data(), wide.data(), half.size());
+    floatToFp16N(wide.data(), back.data(), half.size());
+    EXPECT_EQ(back, half);
+}
+
+TEST(Fp16Batch, RoundFloatNMatchesScalarRoundTrip)
+{
+    const std::vector<float> sweep = narrowingSweep();
+    std::vector<float> rounded = sweep;
+    fp16RoundFloatN(rounded.data(), rounded.size());
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+        const float scalar =
+            fp16BitsToFloat(floatToFp16Bits(sweep[i]));
+        std::uint32_t sb, bb;
+        std::memcpy(&sb, &scalar, sizeof(sb));
+        std::memcpy(&bb, &rounded[i], sizeof(bb));
+        EXPECT_EQ(sb, bb) << "f=" << sweep[i];
+    }
+}
+
+TEST(Fp16Batch, RandomBitPatternsIncludingNaNs)
+{
+    // Full 32-bit bit-space fuzz: scalar and batch must agree bitwise
+    // on every input, NaNs and infinities included.
+    Rng rng(37);
+    std::vector<float> in(20000);
+    for (auto &f : in) {
+        const std::uint32_t bits = static_cast<std::uint32_t>(rng.next());
+        std::memcpy(&f, &bits, sizeof(f));
+    }
+    std::vector<Fp16Bits> batch(in.size());
+    floatToFp16N(in.data(), batch.data(), in.size());
+    for (std::size_t i = 0; i < in.size(); ++i)
+        EXPECT_EQ(batch[i], floatToFp16Bits(in[i])) << "i=" << i;
+}
+
+TEST(Bf16Batch, ExhaustiveWidenMatchesScalar)
+{
+    std::vector<std::uint16_t> half(0x10000);
+    for (unsigned bits = 0; bits <= 0xffffu; ++bits)
+        half[bits] = static_cast<std::uint16_t>(bits);
+    std::vector<float> wide(half.size());
+    bf16ToFloatN(half.data(), wide.data(), half.size());
+    for (unsigned bits = 0; bits <= 0xffffu; ++bits) {
+        const float scalar = bf16BitsToFloat(half[bits]);
+        std::uint32_t sb, bb;
+        std::memcpy(&sb, &scalar, sizeof(sb));
+        std::memcpy(&bb, &wide[bits], sizeof(bb));
+        EXPECT_EQ(sb, bb) << "bits=" << bits;
+    }
+}
+
+TEST(Bf16Batch, NarrowAndRoundMatchScalar)
+{
+    Rng rng(41);
+    std::vector<float> in(20000);
+    for (auto &f : in) {
+        const std::uint32_t bits = static_cast<std::uint32_t>(rng.next());
+        std::memcpy(&f, &bits, sizeof(f));
+    }
+    std::vector<std::uint16_t> batch(in.size());
+    floatToBf16N(in.data(), batch.data(), in.size());
+    std::vector<float> rounded = in;
+    bf16RoundFloatN(rounded.data(), rounded.size());
+    for (std::size_t i = 0; i < in.size(); ++i) {
+        EXPECT_EQ(batch[i], floatToBf16Bits(in[i])) << "i=" << i;
+        const float scalar = bf16BitsToFloat(floatToBf16Bits(in[i]));
+        std::uint32_t sb, bb;
+        std::memcpy(&sb, &scalar, sizeof(sb));
+        std::memcpy(&bb, &rounded[i], sizeof(bb));
+        EXPECT_EQ(sb, bb) << "i=" << i;
     }
 }
 

@@ -95,6 +95,59 @@ TEST(RetryPolicy, JitterStaysInBandAndReplays)
     }
 }
 
+TEST(RetryPolicy, MaxJitterNeverSchedulesIntoThePast)
+{
+    // Regression: the delay is clamped to >= 0 even at the extreme
+    // jitterFrac = 1, where an unlucky draw lands on the band's floor.
+    RetryPolicy policy;
+    policy.baseBackoffNs = 1000.0;
+    policy.maxBackoffNs = 1e9;
+    policy.jitterFrac = 1.0;
+
+    Rng rng(7);
+    for (unsigned retry = 1; retry <= 6; ++retry) {
+        for (int i = 0; i < 10000; ++i) {
+            const double d = policy.backoffNs(retry, rng);
+            EXPECT_GE(d, 0.0);
+            // Equal jitter, not full jitter: the band is centred on the
+            // exponential delay, [base*(1-j), base*(1+j)).
+            const double base =
+                std::min(1000.0 * std::pow(2.0, retry - 1.0),
+                         policy.maxBackoffNs);
+            EXPECT_LE(d, base * 2.0);
+        }
+    }
+}
+
+TEST(RetryPolicy, ValidateAcceptsSaneConfigs)
+{
+    RetryPolicy policy; // defaults
+    policy.validate();
+    policy.jitterFrac = 0.0;
+    policy.validate();
+    policy.jitterFrac = 1.0;
+    policy.validate();
+}
+
+TEST(RetryPolicyDeathTest, ValidateRejectsOutOfRangeJitter)
+{
+    RetryPolicy policy;
+    policy.jitterFrac = 1.5;
+    EXPECT_DEATH(policy.validate(), "jitterFrac");
+    policy.jitterFrac = -0.1;
+    EXPECT_DEATH(policy.validate(), "jitterFrac");
+}
+
+TEST(RetryPolicyDeathTest, ValidateRejectsNegativeBackoffs)
+{
+    RetryPolicy policy;
+    policy.baseBackoffNs = -1.0;
+    EXPECT_DEATH(policy.validate(), "baseBackoffNs");
+    policy.baseBackoffNs = 50'000.0;
+    policy.maxBackoffNs = -1.0;
+    EXPECT_DEATH(policy.validate(), "maxBackoffNs");
+}
+
 // ------------------------------------------------------------------
 // Circuit breaker
 // ------------------------------------------------------------------

@@ -100,6 +100,56 @@ TEST(PimSystemLoop, ChannelsProgressIndependently)
     EXPECT_EQ(sys.drain(5).size(), 1u);
 }
 
+TEST(PimSystemLoop, EnqueueAfterIdleRestartsClock)
+{
+    // Regression: once a channel drains, its next-tick hint is cleared
+    // (kNoCycle). A later enqueue must re-arm it, or step() would treat
+    // the channel as forever idle and never serve the new request.
+    SystemConfig cfg = SystemConfig::hbmSystem();
+    cfg.numStacks = 1;
+    PimSystem sys(cfg);
+    MemRequest r;
+    r.type = RequestType::Read;
+    r.coord.row = 1;
+    ASSERT_TRUE(sys.tryEnqueue(0, r));
+    sys.runUntilIdle();
+    ASSERT_TRUE(sys.allIdle());
+    const Cycle before = sys.now();
+
+    r.coord.row = 2;
+    r.id = 1;
+    ASSERT_TRUE(sys.tryEnqueue(0, r));
+    EXPECT_TRUE(sys.step()); // clock restarted, work observed
+    sys.runUntilIdle();
+    EXPECT_GT(sys.now(), before);
+    EXPECT_EQ(sys.drain(0).size(), 2u);
+}
+
+TEST(PimSystemLoopDeathTest, DirectControllerEnqueueTripsInvariant)
+{
+    // The event loop's invariant: a non-idle channel always has a live
+    // next-tick hint. Bypassing PimSystem::tryEnqueue violates it, and
+    // step() must fail loudly instead of silently never serving the
+    // request.
+    EXPECT_DEATH(
+        {
+            SystemConfig cfg = SystemConfig::hbmSystem();
+            cfg.numStacks = 1;
+            PimSystem sys(cfg);
+            MemRequest r;
+            r.type = RequestType::Read;
+            r.coord.row = 1;
+            // Drain once so channel 0's hint is actually cleared (a
+            // fresh system still carries the initial hint of cycle 0).
+            (void)sys.tryEnqueue(0, r);
+            sys.runUntilIdle();
+            r.id = 1;
+            sys.controller(0).enqueue(r); // wrong: bypasses the hint
+            sys.step();
+        },
+        "cleared next-tick hint");
+}
+
 TEST(PimSystemLoop, StatAggregationSums)
 {
     SystemConfig cfg = SystemConfig::hbmSystem();
