@@ -24,6 +24,9 @@
  *                      tid 2: sampled per-request span trees
  *   pid 7 "slo"      — SLO monitor burn-rate alert fire/resolve
  *                      instants (one tid per alert rule)
+ *   pid 8 "sdc"      — one tid per channel (unit health-state spans,
+ *                      ABFT detect / confirm / quarantine / re-admit
+ *                      instants)
  *
  * Flow events (flowStart/flowStep/flowEnd) draw arrows between spans on
  * different tracks — e.g. a cluster failover links the timed-out RPC on
@@ -54,6 +57,7 @@ inline constexpr int kTracePidResilience = 4;
 inline constexpr int kTracePidCluster = 5;
 inline constexpr int kTracePidLlm = 6;
 inline constexpr int kTracePidSlo = 7;
+inline constexpr int kTracePidSdc = 8;
 
 /** One recorded trace event. */
 struct TraceEvent

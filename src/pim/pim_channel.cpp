@@ -59,6 +59,15 @@ PimChannel::anyUnitFaulted() const
                        [](const auto &u) { return u->faulted(); });
 }
 
+std::uint64_t
+PimChannel::sdcExposed() const
+{
+    std::uint64_t total = 0;
+    for (const auto &u : units_)
+        total += u->sdcExposed();
+    return total;
+}
+
 void
 PimChannel::onRowCommand(const Command &cmd, Cycle cycle)
 {

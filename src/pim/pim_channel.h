@@ -59,6 +59,9 @@ class PimChannel : public ColumnInterceptor
     /** True if any unit raised an illegal-instruction fault. */
     bool anyUnitFaulted() const;
 
+    /** Sum of ground-truth SDC exposures over this channel's units. */
+    std::uint64_t sdcExposed() const;
+
     // Flat column layout of the register map; columns beyond one row's
     // width spill into configRow2. Use configAddr() to get (row, col).
     unsigned crfCol(unsigned crf_index) const { return crf_index / 8; }

@@ -192,6 +192,14 @@ PimUnit::raiseIllegalInst(std::uint32_t word)
 }
 
 void
+PimUnit::noteExposure()
+{
+    ++sdcExposed_;
+    if (stats_)
+        stats_->add("pim.sdcExposed");
+}
+
+void
 PimUnit::resolveControl()
 {
     // JUMP and EXIT are pre-decoded at the fetch stage and consume no
@@ -206,6 +214,13 @@ PimUnit::resolveControl()
         if (!isValidEncoding(word)) {
             raiseIllegalInst(word);
             return;
+        }
+        // A corrupted CRF slot that still decodes is about to steer the
+        // kernel silently — that is an exposure. (An invalid encoding
+        // raises a reported fault above and never counts.)
+        if (regs_.crfPoisoned(ppc_)) {
+            regs_.consumeCrfPoison(ppc_);
+            noteExposure();
         }
         const PimInst inst = PimInst::decode(word);
         if (inst.opcode == PimOpcode::Exit) {
@@ -253,13 +268,23 @@ PimUnit::fetchOperand(OperandSpace space, unsigned index, CommandType type,
 {
     switch (space) {
       case OperandSpace::GrfA:
-        return regs_.grf(0, index);
-      case OperandSpace::GrfB:
-        return regs_.grf(1, index);
+      case OperandSpace::GrfB: {
+        const unsigned half = space == OperandSpace::GrfA ? 0 : 1;
+        if (regs_.grfPoisoned(half, index)) {
+            regs_.consumeGrfPoison(half, index);
+            noteExposure();
+        }
+        return regs_.grf(half, index);
+      }
       case OperandSpace::SrfM:
-        return broadcast(regs_.srf(0, index));
-      case OperandSpace::SrfA:
-        return broadcast(regs_.srf(1, index));
+      case OperandSpace::SrfA: {
+        const unsigned file = space == OperandSpace::SrfM ? 0 : 1;
+        if (regs_.srfPoisoned(file, index)) {
+            regs_.consumeSrfPoison(file, index);
+            noteExposure();
+        }
+        return broadcast(regs_.srf(file, index));
+      }
       case OperandSpace::EvenBank:
       case OperandSpace::OddBank: {
         // A WR trigger carries host data on the write bus; a bank-space
@@ -414,6 +439,10 @@ PimUnit::trigger(CommandType type, unsigned col, const Burst *bus_data)
         const unsigned addend_idx =
             inst.aam ? col % config_.srfPerFile
                      : inst.src1Idx % config_.srfPerFile;
+        if (regs_.srfPoisoned(1, addend_idx)) {
+            regs_.consumeSrfPoison(1, addend_idx);
+            noteExposure();
+        }
         const LaneVector c = broadcast(regs_.srf(1, addend_idx));
         writeResult(inst.dst, d, col,
                     rowMac(config_.batchedLanes, config_.format, a, b, c));

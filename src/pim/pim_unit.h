@@ -58,6 +58,15 @@ class PimUnit
     std::uint64_t executedCount() const { return executed_; }
 
     /**
+     * Ground-truth silent-data-corruption exposures: planted register-
+     * file faults whose poisoned value the datapath actually consumed
+     * (an overwrite before use masks the plant; an illegal-instruction
+     * fault is reported, not silent — neither counts). Cumulative over
+     * the unit's lifetime, so campaigns can delta across kernels.
+     */
+    std::uint64_t sdcExposed() const { return sdcExposed_; }
+
+    /**
      * Execute one trigger (a column command in AB-PIM mode).
      *
      * @param type     Rd or Wr
@@ -102,11 +111,15 @@ class PimUnit
     /** Raise an illegal-instruction fault and halt the unit. */
     void raiseIllegalInst(std::uint32_t word);
 
+    /** Count one consumed register-file plant (see sdcExposed()). */
+    void noteExposure();
+
     unsigned ppc_ = 0;
     bool halted_ = false;
     bool faulted_ = false;
     unsigned nopConsumed_ = 0;
     std::uint64_t executed_ = 0;
+    std::uint64_t sdcExposed_ = 0;
     std::vector<int> jumpRemaining_;
 };
 

@@ -74,6 +74,19 @@ class PimRegisterFile
     /** Flip one bit of a 16-bit SRF register. */
     void flipSrfBit(unsigned file, unsigned index, unsigned bit);
 
+    // Poison tracking (SDC ground truth). A flip marks its register
+    // poisoned; an overwrite clears the mark unconsumed (the fault was
+    // masked). The datapath consumes the mark on first read of a still-
+    // poisoned register — that is the moment a plant becomes a real
+    // silent-data-corruption exposure (see PimUnit::sdcExposed()).
+    bool grfPoisoned(unsigned half, unsigned index) const;
+    bool srfPoisoned(unsigned file, unsigned index) const;
+    bool crfPoisoned(unsigned index) const;
+    /** Clear the poison mark after counting one exposure. */
+    void consumeGrfPoison(unsigned half, unsigned index);
+    void consumeSrfPoison(unsigned file, unsigned index);
+    void consumeCrfPoison(unsigned index);
+
   private:
     unsigned grfPerHalf_;
     unsigned srfPerFile_;
@@ -82,6 +95,13 @@ class PimRegisterFile
     std::vector<LaneVector> grfB_;
     std::vector<Fp16> srfM_;
     std::vector<Fp16> srfA_;
+    // One poison flag per register (not per bit): any unconsumed flip
+    // taints the whole value until it is overwritten or read.
+    std::vector<std::uint8_t> crfPoison_;
+    std::vector<std::uint8_t> grfPoisonA_;
+    std::vector<std::uint8_t> grfPoisonB_;
+    std::vector<std::uint8_t> srfPoisonM_;
+    std::vector<std::uint8_t> srfPoisonA_;
 };
 
 } // namespace pimsim

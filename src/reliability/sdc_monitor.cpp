@@ -1,0 +1,289 @@
+#include "reliability/sdc_monitor.h"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+#include "common/logging.h"
+#include "common/trace.h"
+
+namespace pimsim {
+
+const char *
+unitHealthName(UnitHealth state)
+{
+    switch (state) {
+      case UnitHealth::Healthy:
+        return "healthy";
+      case UnitHealth::Suspect:
+        return "suspect";
+      case UnitHealth::Quarantined:
+        return "quarantined";
+      case UnitHealth::Probation:
+        return "probation";
+    }
+    return "?";
+}
+
+void
+SdcMonitorConfig::validate() const
+{
+    PIMSIM_ASSERT(window > 0, "SDC monitor window must be > 0");
+    PIMSIM_ASSERT(minSamples >= 1 && minSamples <= window,
+                  "SDC monitor minSamples must be in [1, window], got ",
+                  minSamples, " with window ", window);
+    PIMSIM_ASSERT(suspectScore > 0.0 && suspectScore < quarantineScore,
+                  "suspect score must be positive and below the "
+                  "quarantine score, got ",
+                  suspectScore, " vs ", quarantineScore);
+    PIMSIM_ASSERT(quarantineScore <= 1.0,
+                  "quarantine score must be <= 1, got ", quarantineScore);
+    PIMSIM_ASSERT(probationDelayNs >= 0.0,
+                  "probation cool-down must be non-negative, got ",
+                  probationDelayNs);
+    PIMSIM_ASSERT(probationCanaries >= 1,
+                  "probation needs >= 1 canary kernel");
+}
+
+SdcMonitor::SdcMonitor(unsigned channels, unsigned units_per_channel,
+                       const SdcMonitorConfig &config)
+    : channels_(channels), unitsPerChannel_(units_per_channel),
+      config_(config),
+      units_(std::size_t{channels} * units_per_channel),
+      stats_("sdc")
+{
+    PIMSIM_ASSERT(channels > 0 && units_per_channel > 0,
+                  "SDC monitor needs a PIM device to watch");
+    config.validate();
+}
+
+SdcMonitor::Unit &
+SdcMonitor::unit(unsigned channel, unsigned index)
+{
+    PIMSIM_ASSERT(channel < channels_ && index < unitsPerChannel_,
+                  "bad SDC monitor target ", channel, "/", index);
+    return units_[std::size_t{channel} * unitsPerChannel_ + index];
+}
+
+const SdcMonitor::Unit &
+SdcMonitor::unit(unsigned channel, unsigned index) const
+{
+    PIMSIM_ASSERT(channel < channels_ && index < unitsPerChannel_,
+                  "bad SDC monitor target ", channel, "/", index);
+    return units_[std::size_t{channel} * unitsPerChannel_ + index];
+}
+
+double
+SdcMonitor::scoreOf(const Unit &u) const
+{
+    if (u.window.size() < config_.minSamples)
+        return 0.0;
+    return static_cast<double>(u.windowErrors) /
+           static_cast<double>(u.window.size());
+}
+
+void
+SdcMonitor::transition(unsigned channel, unsigned index, UnitHealth next,
+                       double now_ns)
+{
+    Unit &u = unit(channel, index);
+    if (u.state == next)
+        return;
+    if (trace_) {
+        trace_->setProcessName(kTracePidSdc, "sdc");
+        trace_->setThreadName(kTracePidSdc, static_cast<int>(channel),
+                              "ch" + std::to_string(channel));
+        // Non-healthy intervals render as spans; the instant marks the
+        // edge so single-event zooms still show what happened.
+        if (u.state != UnitHealth::Healthy && now_ns > u.stateSinceNs) {
+            trace_->span(kTracePidSdc, static_cast<int>(channel),
+                         "u" + std::to_string(index) + " " +
+                             unitHealthName(u.state),
+                         "health", u.stateSinceNs,
+                         now_ns - u.stateSinceNs);
+        }
+        trace_->instant(kTracePidSdc, static_cast<int>(channel),
+                        "u" + std::to_string(index) + " -> " +
+                            unitHealthName(next),
+                        "health", now_ns);
+    }
+    stats_.add(std::string("transition.") + unitHealthName(next));
+    u.state = next;
+    u.stateSinceNs = now_ns;
+    if (next == UnitHealth::Quarantined) {
+        ++quarantines_;
+        stats_.add("quarantines");
+        u.probationAtNs = now_ns + config_.probationDelayNs;
+        u.canaryOk = 0;
+        u.window.clear();
+        u.windowErrors = 0;
+    } else if (next == UnitHealth::Probation) {
+        u.canaryOk = 0;
+    } else if (next == UnitHealth::Healthy) {
+        u.window.clear();
+        u.windowErrors = 0;
+    }
+}
+
+void
+SdcMonitor::recordOutcome(unsigned channel, unsigned index, bool sdc,
+                          double now_ns)
+{
+    Unit &u = unit(channel, index);
+    // Outcomes reaching a fenced-off unit (a kernel already in flight
+    // when the quarantine landed) must not fight the canary flow.
+    if (u.state == UnitHealth::Quarantined ||
+        u.state == UnitHealth::Probation)
+        return;
+    u.window.push_back(sdc);
+    if (sdc)
+        ++u.windowErrors;
+    while (u.window.size() > config_.window) {
+        if (u.window.front())
+            --u.windowErrors;
+        u.window.pop_front();
+    }
+    const double s = scoreOf(u);
+    if (s >= config_.quarantineScore) {
+        transition(channel, index, UnitHealth::Quarantined, now_ns);
+    } else if (s >= config_.suspectScore) {
+        transition(channel, index, UnitHealth::Suspect, now_ns);
+    } else if (u.state == UnitHealth::Suspect) {
+        transition(channel, index, UnitHealth::Healthy, now_ns);
+    }
+}
+
+void
+SdcMonitor::recordClean(unsigned channel, unsigned unit_index,
+                        double now_ns)
+{
+    stats_.add("clean");
+    recordOutcome(channel, unit_index, false, now_ns);
+}
+
+void
+SdcMonitor::recordDetected(unsigned channel, unsigned unit_index,
+                           double now_ns)
+{
+    ++detected_;
+    stats_.add("detected");
+    if (trace_) {
+        trace_->instant(kTracePidSdc, static_cast<int>(channel),
+                        "u" + std::to_string(unit_index) + " detect",
+                        "abft", now_ns);
+    }
+}
+
+void
+SdcMonitor::recordConfirmed(unsigned channel, unsigned unit_index,
+                            double now_ns)
+{
+    ++confirmed_;
+    stats_.add("confirmed");
+    if (trace_) {
+        trace_->instant(kTracePidSdc, static_cast<int>(channel),
+                        "u" + std::to_string(unit_index) + " confirm",
+                        "abft", now_ns);
+    }
+    recordOutcome(channel, unit_index, true, now_ns);
+}
+
+void
+SdcMonitor::recordFalseAlarm(unsigned channel, unsigned unit_index,
+                             double now_ns)
+{
+    ++falseAlarms_;
+    stats_.add("falseAlarm");
+    recordOutcome(channel, unit_index, false, now_ns);
+}
+
+void
+SdcMonitor::advanceTo(double now_ns)
+{
+    for (unsigned ch = 0; ch < channels_; ++ch) {
+        for (unsigned u = 0; u < unitsPerChannel_; ++u) {
+            Unit &target = unit(ch, u);
+            if (target.state == UnitHealth::Quarantined &&
+                target.probationAtNs <= now_ns)
+                transition(ch, u, UnitHealth::Probation,
+                           std::max(target.probationAtNs, now_ns));
+        }
+    }
+}
+
+double
+SdcMonitor::nextEventNs() const
+{
+    double next = std::numeric_limits<double>::infinity();
+    for (const Unit &u : units_) {
+        if (u.state == UnitHealth::Quarantined)
+            next = std::min(next, u.probationAtNs);
+    }
+    return next;
+}
+
+void
+SdcMonitor::recordCanary(unsigned channel, unsigned unit_index, bool ok,
+                         double now_ns)
+{
+    Unit &u = unit(channel, unit_index);
+    PIMSIM_ASSERT(u.state == UnitHealth::Probation,
+                  "canary outcome for a unit not on probation (",
+                  unitHealthName(u.state), ")");
+    stats_.add(ok ? "canaryOk" : "canaryFailed");
+    if (!ok) {
+        transition(channel, unit_index, UnitHealth::Quarantined, now_ns);
+        return;
+    }
+    if (++u.canaryOk >= config_.probationCanaries) {
+        ++readmits_;
+        stats_.add("readmits");
+        transition(channel, unit_index, UnitHealth::Healthy, now_ns);
+    }
+}
+
+UnitHealth
+SdcMonitor::state(unsigned channel, unsigned unit_index) const
+{
+    return unit(channel, unit_index).state;
+}
+
+double
+SdcMonitor::score(unsigned channel, unsigned unit_index) const
+{
+    return scoreOf(unit(channel, unit_index));
+}
+
+bool
+SdcMonitor::channelWithdrawn(unsigned channel) const
+{
+    for (unsigned u = 0; u < unitsPerChannel_; ++u) {
+        const UnitHealth s = state(channel, u);
+        if (s == UnitHealth::Quarantined || s == UnitHealth::Probation)
+            return true;
+    }
+    return false;
+}
+
+bool
+SdcMonitor::channelOnProbation(unsigned channel) const
+{
+    for (unsigned u = 0; u < unitsPerChannel_; ++u) {
+        if (state(channel, u) == UnitHealth::Probation)
+            return true;
+    }
+    return false;
+}
+
+std::vector<unsigned>
+SdcMonitor::withdrawnChannels() const
+{
+    std::vector<unsigned> out;
+    for (unsigned ch = 0; ch < channels_; ++ch) {
+        if (channelWithdrawn(ch))
+            out.push_back(ch);
+    }
+    return out;
+}
+
+} // namespace pimsim

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Online silent-data-corruption localization over (channel, PIM unit).
+ *
+ * The ABFT layer (PimBlas checksum verification) classifies each kernel
+ * tile outcome as clean, detected (checksum tripped), confirmed (golden
+ * recompute disagreed — a real SDC) or false alarm (golden agreed). The
+ * monitor attributes those outcomes to the (channel, unit) that produced
+ * the tile and maintains a per-unit sliding outcome window, driving a
+ * device-local health state machine shaped like the cluster
+ * HealthTracker:
+ *
+ *   healthy -> suspect      window error score >= suspectScore
+ *   suspect -> quarantined  window error score >= quarantineScore
+ *   suspect -> healthy      score drops back below suspectScore
+ *   quarantined -> probation  cool-down expired (advanceTo)
+ *   probation -> healthy    probationCanaries verified canary kernels
+ *   probation -> quarantined  a canary failed (cool-down restarts)
+ *
+ * A channel is withdrawn from serving while any of its units is
+ * quarantined or on probation; the serving layer replans shards around
+ * withdrawn channels and runs canaries behind the fence. Everything is
+ * deterministic: state is a pure function of the recorded sequence.
+ */
+
+#ifndef PIMSIM_RELIABILITY_SDC_MONITOR_H
+#define PIMSIM_RELIABILITY_SDC_MONITOR_H
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace pimsim {
+
+class TraceSession;
+
+/** Per-unit health states (see file comment for the transitions). */
+enum class UnitHealth
+{
+    Healthy,
+    Suspect,
+    Quarantined,
+    Probation,
+};
+
+const char *unitHealthName(UnitHealth state);
+
+/** Quarantine thresholds and probation policy. */
+struct SdcMonitorConfig
+{
+    /** Sliding window of most recent verified tile outcomes per unit. */
+    unsigned window = 32;
+    /** Outcomes required in the window before scores are acted on. */
+    unsigned minSamples = 4;
+    /** Error fraction at or above which a unit becomes suspect. */
+    double suspectScore = 0.25;
+    /** Error fraction at or above which a unit is quarantined. */
+    double quarantineScore = 0.5;
+    /** Cool-down after quarantine before probation canaries start. */
+    double probationDelayNs = 5'000'000.0;
+    /** Consecutive verified canaries required to re-admit a unit. */
+    unsigned probationCanaries = 3;
+
+    /**
+     * Assert the configuration is sane (window > 0, minSamples in
+     * [1, window], 0 < suspectScore < quarantineScore <= 1, canary count
+     * >= 1, non-negative cool-down). Engines call this when the monitor
+     * is installed so a bad config fails at setup, not mid-campaign.
+     */
+    void validate() const;
+};
+
+/** Windowed SDC scores and quarantine state per (channel, unit). */
+class SdcMonitor
+{
+  public:
+    SdcMonitor(unsigned channels, unsigned units_per_channel,
+               const SdcMonitorConfig &config);
+
+    // ---- Verified kernel-tile outcomes (the ABFT layer's feed) ----
+    /** Checksum verified, no mismatch. */
+    void recordClean(unsigned channel, unsigned unit, double now_ns);
+    /** Checksum mismatch, before golden confirmation. */
+    void recordDetected(unsigned channel, unsigned unit, double now_ns);
+    /** Golden recompute disagreed: a real silent corruption. */
+    void recordConfirmed(unsigned channel, unsigned unit, double now_ns);
+    /** Golden recompute agreed: the checksum band tripped spuriously. */
+    void recordFalseAlarm(unsigned channel, unsigned unit, double now_ns);
+
+    // ---- Probation flow ----
+    /** Move quarantined units whose cool-down expired to probation. */
+    void advanceTo(double now_ns);
+    /** Earliest pending probation entry (+inf when none). */
+    double nextEventNs() const;
+    /** Report one canary kernel outcome for a unit on probation. */
+    void recordCanary(unsigned channel, unsigned unit, bool ok,
+                      double now_ns);
+
+    UnitHealth state(unsigned channel, unsigned unit) const;
+    /** Window error fraction (0 until minSamples outcomes arrive). */
+    double score(unsigned channel, unsigned unit) const;
+
+    /** True while any unit of `channel` is quarantined or on probation. */
+    bool channelWithdrawn(unsigned channel) const;
+    /** Channels currently withdrawn, ascending. */
+    std::vector<unsigned> withdrawnChannels() const;
+    /** True while any unit of `channel` is on probation (canaries due). */
+    bool channelOnProbation(unsigned channel) const;
+
+    std::uint64_t detected() const { return detected_; }
+    std::uint64_t confirmed() const { return confirmed_; }
+    std::uint64_t falseAlarms() const { return falseAlarms_; }
+    std::uint64_t quarantines() const { return quarantines_; }
+    std::uint64_t readmits() const { return readmits_; }
+
+    unsigned numChannels() const
+    {
+        return static_cast<unsigned>(channels_);
+    }
+    unsigned unitsPerChannel() const { return unitsPerChannel_; }
+    const SdcMonitorConfig &config() const { return config_; }
+
+    StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
+
+    /**
+     * Record unit health transitions on the pid-8 `sdc` track of a
+     * Chrome-trace session (nullptr disables): one tid per channel,
+     * spans for non-healthy intervals, instants for detect / confirm /
+     * quarantine / re-admit events.
+     */
+    void setTrace(TraceSession *session) { trace_ = session; }
+
+  private:
+    struct Unit
+    {
+        UnitHealth state = UnitHealth::Healthy;
+        std::deque<bool> window; ///< true = confirmed SDC
+        unsigned windowErrors = 0;
+        double probationAtNs = 0.0; ///< cool-down expiry when quarantined
+        unsigned canaryOk = 0;
+        double stateSinceNs = 0.0;
+    };
+
+    Unit &unit(unsigned channel, unsigned index);
+    const Unit &unit(unsigned channel, unsigned index) const;
+    /** Push one outcome and run the score-driven transitions. */
+    void recordOutcome(unsigned channel, unsigned index, bool sdc,
+                       double now_ns);
+    void transition(unsigned channel, unsigned index, UnitHealth next,
+                    double now_ns);
+    double scoreOf(const Unit &u) const;
+
+    unsigned channels_;
+    unsigned unitsPerChannel_;
+    SdcMonitorConfig config_;
+    std::vector<Unit> units_; ///< channel-major [channel * units + unit]
+
+    std::uint64_t detected_ = 0;
+    std::uint64_t confirmed_ = 0;
+    std::uint64_t falseAlarms_ = 0;
+    std::uint64_t quarantines_ = 0;
+    std::uint64_t readmits_ = 0;
+
+    StatGroup stats_;
+    TraceSession *trace_ = nullptr;
+};
+
+} // namespace pimsim
+
+#endif // PIMSIM_RELIABILITY_SDC_MONITOR_H

@@ -77,6 +77,69 @@ ChaosCampaign::faultEvents(unsigned shard, double start_ns, double end_ns)
     return static_cast<unsigned>(hi - lo);
 }
 
+void
+ChaosCampaign::configureSdc(unsigned num_channels,
+                            unsigned units_per_channel)
+{
+    PIMSIM_ASSERT(num_channels > 0 && units_per_channel > 0,
+                  "SDC process needs a device shape");
+    PIMSIM_ASSERT(config_.sdcPerSec >= 0.0 && config_.sdcHotFactor >= 0.0,
+                  "SDC rates must be non-negative");
+    sdcUnitsPerChannel_ = units_per_channel;
+    sdcStreams_.clear();
+    sdcStreams_.reserve(num_channels);
+    // A different decorrelation constant keeps the SDC streams
+    // independent of the shard fault streams under the same seed.
+    for (unsigned ch = 0; ch < num_channels; ++ch) {
+        sdcStreams_.emplace_back(
+            config_.seed ^
+            (0xd1b54a32d192ed03ULL * (std::uint64_t{ch} + 1)));
+    }
+}
+
+void
+ChaosCampaign::extendSdc(unsigned channel, double until_ns)
+{
+    double rate = config_.sdcPerSec;
+    if (config_.sdcHotChannel >= 0 &&
+        channel == static_cast<unsigned>(config_.sdcHotChannel))
+        rate *= config_.sdcHotFactor;
+    if (rate <= 0.0)
+        return;
+    SdcStream &stream = sdcStreams_[channel];
+    const double mean_gap_ns = 1e9 / rate;
+    while (stream.lastNs < until_ns) {
+        const double u = stream.rng.nextDouble();
+        stream.lastNs += -std::log(1.0 - u) * mean_gap_ns;
+        SdcEvent event;
+        event.ns = stream.lastNs;
+        event.channel = channel;
+        event.unit = static_cast<unsigned>(
+            stream.rng.nextBelow(sdcUnitsPerChannel_));
+        stream.events.push_back(event);
+    }
+}
+
+std::vector<SdcEvent>
+ChaosCampaign::sdcEvents(unsigned channel, double start_ns, double end_ns)
+{
+    PIMSIM_ASSERT(channel < sdcStreams_.size(),
+                  "SDC query for channel ", channel,
+                  " outside the configured device (",
+                  sdcStreams_.size(), " channels; call configureSdc)");
+    if (end_ns <= start_ns)
+        return {};
+    extendSdc(channel, end_ns);
+    const auto &ev = sdcStreams_[channel].events;
+    const auto lo = std::lower_bound(
+        ev.begin(), ev.end(), start_ns,
+        [](const SdcEvent &e, double t) { return e.ns < t; });
+    const auto hi = std::lower_bound(
+        lo, ev.end(), end_ns,
+        [](const SdcEvent &e, double t) { return e.ns < t; });
+    return {lo, hi};
+}
+
 const char *
 hostFaultKindName(HostFaultSpec::Kind kind)
 {

@@ -56,6 +56,14 @@ struct ChaosConfig
     /** Event rate inside the burst window (replaces the base rate). */
     double burstFaultsPerSec = 0.0;
     std::uint64_t seed = 0x5eed;
+
+    // Silent-corruption process (SdcModel; rates are per channel).
+    /** Steady-state silent-corruption events per second per channel. */
+    double sdcPerSec = 0.0;
+    /** Optional sick channel whose SDC rate is multiplied (-1: none). */
+    int sdcHotChannel = -1;
+    /** Rate multiplier of the sick channel (>= 0). */
+    double sdcHotFactor = 1.0;
 };
 
 /** One scheduled host-level fault episode. */
@@ -82,13 +90,28 @@ struct HostFaultSpec
 const char *hostFaultKindName(HostFaultSpec::Kind kind);
 
 /** A deterministic per-shard fault-event process. */
-class ChaosCampaign : public FaultModel, public HostFaultModel
+class ChaosCampaign : public FaultModel,
+                      public HostFaultModel,
+                      public SdcModel
 {
   public:
     ChaosCampaign(const ChaosConfig &config, unsigned num_shards);
 
     unsigned faultEvents(unsigned shard, double start_ns,
                          double end_ns) override;
+
+    /**
+     * Arm the silent-corruption process: one decorrelated Poisson stream
+     * per channel at sdcPerSec (the hot channel at sdcPerSec *
+     * sdcHotFactor), each event pinned to a uniformly drawn PIM unit.
+     * Must be called before sdcEvents(); idempotent re-arming resets the
+     * streams.
+     */
+    void configureSdc(unsigned num_channels, unsigned units_per_channel);
+
+    // SdcModel
+    std::vector<SdcEvent> sdcEvents(unsigned channel, double start_ns,
+                                    double end_ns) override;
 
     /** Schedule one host-level fault episode (validated). */
     void addHostFault(const HostFaultSpec &spec);
@@ -128,6 +151,8 @@ class ChaosCampaign : public FaultModel, public HostFaultModel
   private:
     /** Extend `shard`'s event stream to cover [0, until_ns). */
     void extend(unsigned shard, double until_ns);
+    /** Extend `channel`'s SDC stream to cover [0, until_ns). */
+    void extendSdc(unsigned channel, double until_ns);
 
     struct Stream
     {
@@ -137,10 +162,20 @@ class ChaosCampaign : public FaultModel, public HostFaultModel
         std::vector<double> events;
     };
 
+    struct SdcStream
+    {
+        explicit SdcStream(std::uint64_t seed) : rng(seed) {}
+        Rng rng;
+        double lastNs = 0.0; ///< last exponential arrival drawn
+        std::vector<SdcEvent> events;
+    };
+
     ChaosConfig config_;
     double maxRate_; ///< thinning envelope (faults/sec)
     FaultInjector *injector_ = nullptr;
     std::vector<Stream> streams_;
+    std::vector<SdcStream> sdcStreams_;
+    unsigned sdcUnitsPerChannel_ = 0;
     std::vector<HostFaultSpec> hostFaults_;
     std::uint64_t generated_ = 0;
 };

@@ -29,6 +29,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <vector>
 
 #include "common/rng.h"
 
@@ -161,6 +162,33 @@ class FaultModel
     /** Fault events striking `shard` in [start_ns, end_ns). */
     virtual unsigned faultEvents(unsigned shard, double start_ns,
                                  double end_ns) = 0;
+};
+
+/** One silent-corruption event pinned to its device location. */
+struct SdcEvent
+{
+    double ns = 0.0;      ///< serving-clock instant the value corrupted
+    unsigned channel = 0; ///< absolute pseudo-channel index
+    unsigned unit = 0;    ///< PIM unit within the channel
+};
+
+/**
+ * Engine-facing source of silent-data-corruption events on the serving
+ * clock. Unlike FaultModel's events these are never reported by the
+ * device: a batch whose service window covers one completes normally
+ * with a wrong result unless the ABFT layer catches it. Events carry
+ * the (channel, unit) that produced the bad value, so the SdcMonitor
+ * can localize. Implemented by ChaosCampaign; tests plug in stubs.
+ */
+class SdcModel
+{
+  public:
+    virtual ~SdcModel() = default;
+
+    /** SDC events striking `channel` in [start_ns, end_ns), ascending. */
+    virtual std::vector<SdcEvent> sdcEvents(unsigned channel,
+                                            double start_ns,
+                                            double end_ns) = 0;
 };
 
 /**

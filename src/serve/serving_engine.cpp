@@ -55,6 +55,13 @@ ServingEngine::ServingEngine(const ServeConfig &config)
     PIMSIM_ASSERT(config.system.withPim(),
                   "the serving layer drives a PIM-HBM system");
     config.retry.validate();
+    if (config.sdc.enabled) {
+        config.sdc.monitor.validate();
+        PIMSIM_ASSERT(config.sdc.canaryPeriodNs > 0.0,
+                      "canary period must be positive");
+        PIMSIM_ASSERT(config.sdc.migrationNsPerRow >= 0.0,
+                      "migration cost must be non-negative");
+    }
 
     const unsigned pim_rows =
         PimConfMap::forRows(config.system.geometry.rowsPerBank)
@@ -67,6 +74,7 @@ ServingEngine::ServingEngine(const ServeConfig &config)
                                     static_cast<unsigned>(
                                         config.tenants.size()));
 
+    plan_.assertRowIsolation();
     if (plan_.isSharded()) {
         for (unsigned t = 0; t < config.tenants.size(); ++t) {
             const ShardSpec &spec = plan_.shard(plan_.shardOf(t));
@@ -76,6 +84,15 @@ ServingEngine::ServingEngine(const ServeConfig &config)
     } else {
         drivers_.push_back(std::make_unique<PimDriver>(*system_));
     }
+
+    if (config.sdc.enabled) {
+        sdcMonitor_ = std::make_unique<SdcMonitor>(
+            system_->numChannels(), config.system.pim.unitsPerPch,
+            config.sdc.monitor);
+        system_->statsRegistry().addGroup("sdc", &sdcMonitor_->stats());
+    }
+    canaryDueNs_ = kNoEventNs;
+    lastCanaryNs_.assign(system_->numChannels(), 0.0);
 
     for (unsigned s = 0; s < plan_.numShards(); ++s) {
         models_.push_back(std::make_unique<ShardServiceModel>(
@@ -117,6 +134,8 @@ void
 ServingEngine::setTrace(TraceSession *session)
 {
     trace_ = session;
+    if (sdcMonitor_)
+        sdcMonitor_->setTrace(session);
     if (!trace_)
         return;
     trace_->setProcessName(kTracePidServing, "serving");
@@ -137,6 +156,23 @@ ServingEngine::tenantDriver(unsigned tenant)
 }
 
 double
+ServingEngine::capacityPenalty(unsigned s) const
+{
+    if (!sdcMonitor_ || !config_.sdc.quarantine)
+        return 1.0;
+    const unsigned total = plan_.shard(s).numChannels;
+    const unsigned active = plan_.activeChannelsOf(s);
+    if (total == 0 || active == 0 || active == total)
+        return 1.0;
+    // Work redistribution: a GEMV's output rows stripe over the shard's
+    // channels, so the same work on `active` of `total` channels takes
+    // proportionally longer. (The shard-sized timing model stays at the
+    // plan size; the analytic scale avoids the power-of-two cliff a
+    // rebuilt 15-channel model would hit.)
+    return static_cast<double>(total) / static_cast<double>(active);
+}
+
+double
 ServingEngine::svc1Ns(unsigned tenant)
 {
     auto &state = tenants_[tenant];
@@ -144,7 +180,9 @@ ServingEngine::svc1Ns(unsigned tenant)
         state.svc1Ns = models_[plan_.shardOf(tenant)]->serviceNs(
             state.spec.app, 1);
     }
-    return state.svc1Ns;
+    // Degraded capacity stretches the admission estimate too, so the
+    // deadline gate sheds what the thinner shard cannot carry.
+    return state.svc1Ns * capacityPenalty(plan_.shardOf(tenant));
 }
 
 double
@@ -249,6 +287,11 @@ ServingEngine::nextEventNs() const
     for (unsigned s = 0; s < servers_.size(); ++s) {
         if (servers_[s].busy) {
             next = std::min(next, servers_[s].freeNs);
+        } else if (shards_[s].holdUntilNs > nowNs_) {
+            // A migration hold defers every pick; the hold expiry is the
+            // shard's next event (reporting ready work here would spin
+            // the event loop against the dispatch gate).
+            next = std::min(next, shards_[s].holdUntilNs);
         } else {
             next = std::min(next, sched_->nextReadyNs(
                                       queue_, plan_.tenantsOf(s), nowNs_));
@@ -264,6 +307,13 @@ ServingEngine::nextEventNs() const
         if (head && head->hasDeadline())
             next = std::min(next, head->deadlineNs);
     }
+    // Probation cool-downs and canary rounds advance only while other
+    // work exists: pending canaries alone must not keep drain() alive
+    // against an unbounded fault process.
+    if (next < kNoEventNs && sdcMonitor_) {
+        next = std::min(next, sdcMonitor_->nextEventNs());
+        next = std::min(next, canaryDueNs_);
+    }
     return next;
 }
 
@@ -277,6 +327,7 @@ ServingEngine::advanceTo(double ns)
         nowNs_ = std::max(nowNs_, event);
         completeDue();
         expireDue();
+        runSdcDue();
         dispatchAll();
     }
     nowNs_ = std::max(nowNs_, ns);
@@ -403,6 +454,12 @@ ServingEngine::noteBreakerState(unsigned s)
 void
 ServingEngine::startBatch(unsigned s, Batch &&batch, bool force_host)
 {
+    // A shard with every channel withdrawn has no PIM capacity left:
+    // its tenants ride the host golden path until probation re-admits.
+    if (!force_host && sdcMonitor_ && config_.sdc.quarantine &&
+        plan_.shard(s).numChannels > 0 && plan_.activeChannelsOf(s) == 0)
+        force_host = true;
+
     DispatchRoute route = DispatchRoute::Host;
     if (!force_host) {
         route = shards_[s].breaker.route(nowNs_);
@@ -413,7 +470,8 @@ ServingEngine::startBatch(unsigned s, Batch &&batch, bool force_host)
     auto &state = tenants_[batch.tenant];
     const double service_ns =
         host ? hostModel_->serviceNs(state.spec.app, batch.size())
-             : models_[s]->serviceNs(state.spec.app, batch.size());
+             : models_[s]->serviceNs(state.spec.app, batch.size()) *
+                   capacityPenalty(s);
     sched_->onDispatched(batch, service_ns);
     for (auto &r : batch.requests) {
         r.dispatchNs = nowNs_;
@@ -463,6 +521,8 @@ void
 ServingEngine::dispatchAll()
 {
     for (unsigned s = 0; s < servers_.size(); ++s) {
+        if (shards_[s].holdUntilNs > nowNs_)
+            continue; // weight-stripe migration in progress
         while (!servers_[s].busy) {
             // Due retries are older work: they run before fresh picks.
             const int retry = dueRetryIndex(s);
@@ -516,10 +576,41 @@ ServingEngine::finishBatch(unsigned shard)
         noteBreakerState(shard);
     }
 
+    // Silent corruptions: invisible to the device's error reporting,
+    // so they only matter on batches that completed "successfully".
+    bool sdc_rerun = false;
+    bool sdc_silent = false;
+    if (!failed && !server.fallback && sdcModel_ &&
+        config_.sdc.enabled) {
+        const bool struck = applySdcOutcomes(
+            shard, server.freeNs - server.serviceNs, server.freeNs);
+        if (struck) {
+            // With ABFT the checksum catches the corruption and the
+            // batch re-executes on the host golden path; without it the
+            // batch completes and serves wrong values.
+            sdc_rerun = config_.sdc.abft;
+            sdc_silent = !config_.sdc.abft;
+        }
+    }
+
     // Device time is consumed whether or not the batch succeeded.
     state.servedNs += server.serviceNs;
 
-    if (failed) {
+    if (sdc_rerun) {
+        PendingRetry pending;
+        pending.batch = std::move(server.inFlight);
+        pending.readyNs = server.freeNs;
+        pending.forceHost = true;
+        state.retries += pending.batch.size();
+        stats.add("tenant." + state.spec.name + ".sdcReruns",
+                  pending.batch.size());
+        if (trace_) {
+            trace_->instant(kTracePidResilience,
+                            static_cast<int>(shard), "sdcDetected",
+                            "sdc", server.freeNs);
+        }
+        res.retries.push_back(std::move(pending));
+    } else if (failed) {
         Batch batch = std::move(server.inFlight);
         const unsigned attempts = batch.requests.empty()
                                       ? 1u
@@ -557,12 +648,19 @@ ServingEngine::finishBatch(unsigned shard)
                 stats.add("tenant." + state.spec.name +
                           ".fallbackCompleted");
             }
+            if (sdc_silent) {
+                ++state.silentlyWrong;
+                stats.add("tenant." + state.spec.name +
+                          ".silentlyWrong");
+            }
             if (r.hasDeadline() && r.completeNs > r.deadlineNs) {
                 ++state.sloViolations;
                 stats.add("tenant." + state.spec.name +
                           ".sloViolations");
             }
-            finishRequestTrace(r, r.completeNs, nullptr, false);
+            // A silently wrong completion burns SLO error budget like
+            // an error: the user saw a bad answer on time.
+            finishRequestTrace(r, r.completeNs, nullptr, sdc_silent);
             completions_.push_back(r);
         }
         ++state.batches;
@@ -575,6 +673,158 @@ ServingEngine::finishBatch(unsigned shard)
     server.fallback = false;
     server.probe = false;
     server.inFlight = Batch{};
+}
+
+bool
+ServingEngine::applySdcOutcomes(unsigned shard, double start_ns,
+                                double end_ns)
+{
+    const ShardSpec &spec = plan_.shard(shard);
+    auto &stats = system_->serveStats();
+    const unsigned units = sdcMonitor_->unitsPerChannel();
+    bool struck = false;
+    std::vector<std::uint8_t> unit_struck(units);
+    for (unsigned c = 0; c < spec.numChannels; ++c) {
+        const unsigned ch = spec.firstChannel + c;
+        if (plan_.channelQuarantined(ch))
+            continue; // withdrawn channels ran no part of this batch
+        const std::vector<SdcEvent> events =
+            sdcModel_->sdcEvents(ch, start_ns, end_ns);
+        if (!events.empty()) {
+            struck = true;
+            stats.add("sdc.batchEvents", events.size());
+        }
+        // Localization needs detection: only the ABFT arm feeds the
+        // monitor (an undefended serving path never learns it served
+        // garbage, which is exactly the point).
+        if (!config_.sdc.abft)
+            continue;
+        std::fill(unit_struck.begin(), unit_struck.end(), 0);
+        for (const SdcEvent &e : events) {
+            if (e.unit < units)
+                unit_struck[e.unit] = 1;
+        }
+        for (unsigned u = 0; u < units; ++u) {
+            if (unit_struck[u]) {
+                sdcMonitor_->recordDetected(ch, u, end_ns);
+                sdcMonitor_->recordConfirmed(ch, u, end_ns);
+            } else {
+                sdcMonitor_->recordClean(ch, u, end_ns);
+            }
+        }
+    }
+    if (struck)
+        reconcileQuarantine();
+    return struck;
+}
+
+void
+ServingEngine::reconcileQuarantine()
+{
+    if (!sdcMonitor_ || !config_.sdc.quarantine)
+        return;
+    auto &stats = system_->serveStats();
+    for (unsigned s = 0; s < plan_.numShards(); ++s) {
+        const ShardSpec &spec = plan_.shard(s);
+        bool changed = false;
+        for (unsigned c = 0; c < spec.numChannels; ++c) {
+            const unsigned ch = spec.firstChannel + c;
+            const bool withdrawn = sdcMonitor_->channelWithdrawn(ch);
+            if (withdrawn == plan_.channelQuarantined(ch))
+                continue;
+            changed = true;
+            if (withdrawn) {
+                plan_.quarantineChannel(ch);
+                stats.add("sdc.channelQuarantined");
+            } else {
+                plan_.restoreChannel(ch);
+                stats.add("sdc.channelRestored");
+            }
+            if (trace_) {
+                trace_->instant(kTracePidResilience,
+                                static_cast<int>(s),
+                                (withdrawn ? "quarantine ch"
+                                           : "restore ch") +
+                                    std::to_string(ch),
+                                "sdc", nowNs_);
+            }
+        }
+        if (!changed)
+            continue;
+        // The capacity change replans the shard: the same row slices on
+        // a different channel set. Row isolation must survive.
+        plan_.assertRowIsolation();
+        if (config_.sdc.migrationNsPerRow > 0.0) {
+            // Re-striping pauses dispatch while the affected weight
+            // rows stream to their new homes.
+            unsigned resident_rows = 0;
+            if (plan_.isSharded()) {
+                for (unsigned t : plan_.tenantsOf(s)) {
+                    resident_rows += drivers_[t]->capacityRows() -
+                                     drivers_[t]->freeRows();
+                }
+            } else {
+                resident_rows = drivers_[0]->capacityRows() -
+                                drivers_[0]->freeRows();
+            }
+            if (resident_rows > 0) {
+                shards_[s].holdUntilNs = std::max(
+                    shards_[s].holdUntilNs,
+                    nowNs_ + static_cast<double>(resident_rows) *
+                                 config_.sdc.migrationNsPerRow);
+                stats.add("sdc.migrations");
+            }
+        }
+    }
+}
+
+void
+ServingEngine::runSdcDue()
+{
+    if (!sdcMonitor_)
+        return;
+    sdcMonitor_->advanceTo(nowNs_);
+
+    auto any_probation = [&]() {
+        for (unsigned ch = 0; ch < sdcMonitor_->numChannels(); ++ch) {
+            if (sdcMonitor_->channelOnProbation(ch))
+                return true;
+        }
+        return false;
+    };
+    if (!any_probation()) {
+        canaryDueNs_ = kNoEventNs;
+        return;
+    }
+    if (canaryDueNs_ == kNoEventNs)
+        canaryDueNs_ = nowNs_ + config_.sdc.canaryPeriodNs;
+    if (canaryDueNs_ > nowNs_)
+        return;
+
+    // One canary round: every probation channel runs a host-verified
+    // canary kernel behind the serving fence (no serving capacity is
+    // consumed). The canary is clean iff no SDC event struck the
+    // channel since the previous round.
+    auto &stats = system_->serveStats();
+    for (unsigned ch = 0; ch < sdcMonitor_->numChannels(); ++ch) {
+        if (!sdcMonitor_->channelOnProbation(ch))
+            continue;
+        const double window_start =
+            std::max(lastCanaryNs_[ch],
+                     nowNs_ - config_.sdc.canaryPeriodNs);
+        const bool clean =
+            sdcModel_ == nullptr ||
+            sdcModel_->sdcEvents(ch, window_start, nowNs_).empty();
+        lastCanaryNs_[ch] = nowNs_;
+        stats.add(clean ? "sdc.canaryOk" : "sdc.canaryFailed");
+        for (unsigned u = 0; u < sdcMonitor_->unitsPerChannel(); ++u) {
+            if (sdcMonitor_->state(ch, u) == UnitHealth::Probation)
+                sdcMonitor_->recordCanary(ch, u, clean, nowNs_);
+        }
+    }
+    reconcileQuarantine();
+    canaryDueNs_ = any_probation() ? nowNs_ + config_.sdc.canaryPeriodNs
+                                   : kNoEventNs;
 }
 
 std::vector<ServeRequest>
@@ -606,6 +856,7 @@ ServingEngine::summarise(const TenantState &t, double horizon_ns) const
     r.retries = t.retries;
     r.fallbackCompleted = t.fallbackCompleted;
     r.sloViolations = t.sloViolations;
+    r.silentlyWrong = t.silentlyWrong;
     r.servedNs = t.servedNs;
     r.throughputRps =
         horizon_ns > 0.0
@@ -637,6 +888,7 @@ ServingEngine::report() const
         report.total.retries += r.retries;
         report.total.fallbackCompleted += r.fallbackCompleted;
         report.total.sloViolations += r.sloViolations;
+        report.total.silentlyWrong += r.silentlyWrong;
         report.total.servedNs += r.servedNs;
         report.tenants.push_back(std::move(r));
     }
@@ -654,6 +906,15 @@ ServingEngine::report() const
         r.probes = shards_[s].breaker.probes();
         r.batchFaults = shards_[s].batchFaults;
         report.shards.push_back(r);
+    }
+
+    if (sdcMonitor_) {
+        report.sdc.detected = sdcMonitor_->detected();
+        report.sdc.confirmed = sdcMonitor_->confirmed();
+        report.sdc.falseAlarms = sdcMonitor_->falseAlarms();
+        report.sdc.quarantines = sdcMonitor_->quarantines();
+        report.sdc.readmits = sdcMonitor_->readmits();
+        report.sdc.withdrawnChannels = sdcMonitor_->withdrawnChannels();
     }
 
     // Aggregate latency summaries: weighted mean, worst-tenant tails

@@ -38,6 +38,7 @@
 #include "common/rng.h"
 #include "common/slo.h"
 #include "common/stats.h"
+#include "reliability/sdc_monitor.h"
 #include "serve/request.h"
 #include "serve/request_queue.h"
 #include "serve/resilience.h"
@@ -52,6 +53,32 @@ class TraceSession;
 }
 
 namespace pimsim::serve {
+
+/** Silent-data-corruption defense policy of the serving layer. */
+struct SdcPolicy
+{
+    /** Consult the attached SdcModel at all. */
+    bool enabled = false;
+    /**
+     * ABFT verification on PIM batches: every SDC event striking a
+     * batch is detected and the batch re-executes on the host golden
+     * path (no silently wrong completion). With ABFT off, struck
+     * batches complete normally with wrong results (silentlyWrong).
+     */
+    bool abft = true;
+    /** Withdraw channels the monitor quarantines and replan capacity. */
+    bool quarantine = true;
+    /** Thresholds of the per-(channel, unit) health state machine. */
+    SdcMonitorConfig monitor;
+    /** Cadence of probation canary kernels per withdrawn channel. */
+    double canaryPeriodNs = 1'000'000.0;
+    /**
+     * Re-replicating a withdrawn channel's weight stripe onto the
+     * surviving channels pauses the shard's dispatch for
+     * migrationNsPerRow per resident row (0: instant migration).
+     */
+    double migrationNsPerRow = 100.0;
+};
 
 /** Full serving-layer configuration. */
 struct ServeConfig
@@ -73,6 +100,8 @@ struct ServeConfig
     RetryPolicy retry;
     /** Per-shard circuit breaker (disabled by default). */
     BreakerConfig breaker;
+    /** Silent-corruption defense (disabled by default). */
+    SdcPolicy sdc;
     /**
      * Shed requests at admission when the shard's backlog estimate says
      * their deadline cannot be met (only tenants with a deadline).
@@ -117,6 +146,9 @@ struct TenantReport
     std::uint64_t fallbackCompleted = 0;
     /** Completions that landed after their deadline. */
     std::uint64_t sloViolations = 0;
+    /** Completions returned with silently corrupted results (only
+     *  possible with the SDC defense's ABFT arm off). */
+    std::uint64_t silentlyWrong = 0;
     double servedNs = 0.0; ///< device time consumed (failed tries too)
     double throughputRps = 0.0;
     LatencySummary queue;   ///< arrival -> dispatch
@@ -136,6 +168,18 @@ struct ShardResilienceReport
     std::uint64_t batchFaults = 0;
 };
 
+/** Whole-run SDC-defense outcome (zeros when the defense is off). */
+struct SdcDefenseReport
+{
+    std::uint64_t detected = 0;
+    std::uint64_t confirmed = 0;
+    std::uint64_t falseAlarms = 0;
+    std::uint64_t quarantines = 0;
+    std::uint64_t readmits = 0;
+    /** Channels withdrawn from serving at report time. */
+    std::vector<unsigned> withdrawnChannels;
+};
+
 /** Whole-run serving outcome. */
 struct ServeReport
 {
@@ -143,6 +187,7 @@ struct ServeReport
     std::vector<TenantReport> tenants;
     TenantReport total; ///< all tenants aggregated
     std::vector<ShardResilienceReport> shards;
+    SdcDefenseReport sdc;
 
     /**
      * PIMSIM_ASSERT that every submitted request reached exactly one
@@ -208,6 +253,30 @@ class ServingEngine
      */
     void setFaultModel(FaultModel *model) { faults_ = model; }
 
+    /**
+     * Attach the source of silent-corruption events (nullptr detaches;
+     * not owned). Consulted only when config.sdc.enabled: each PIM
+     * batch queries its shard's active channels over the batch's
+     * occupancy interval, and probation canaries query the window since
+     * the previous canary. The same model must stay attached for the
+     * whole run for the replay to be deterministic.
+     */
+    void setSdcModel(SdcModel *model) { sdcModel_ = model; }
+
+    /** The health/quarantine tracker (nullptr when the defense is off). */
+    const SdcMonitor *sdcMonitor() const { return sdcMonitor_.get(); }
+
+    /** Channels of shard `s` currently serving. */
+    unsigned activeChannels(unsigned s) const
+    {
+        return plan_.activeChannelsOf(s);
+    }
+    /** Serving capacity of shard `s` as a fraction of its plan size. */
+    double capacityFraction(unsigned s) const
+    {
+        return plan_.capacityFraction(s);
+    }
+
     /** One shard's circuit breaker (read-only observation). */
     const CircuitBreaker &breaker(unsigned shard) const
     {
@@ -258,6 +327,7 @@ class ServingEngine
         std::uint64_t retries = 0;
         std::uint64_t fallbackCompleted = 0;
         std::uint64_t sloViolations = 0;
+        std::uint64_t silentlyWrong = 0;
         double servedNs = 0.0;
         /** Memoised batch-1 PIM service time (admission estimate). */
         double svc1Ns = -1.0;
@@ -291,6 +361,8 @@ class ServingEngine
         /** Breaker state currently drawn on the trace track. */
         BreakerState traceState = BreakerState::Closed;
         double traceSinceNs = 0.0;
+        /** Dispatch paused until here (weight-stripe migration). */
+        double holdUntilNs = 0.0;
     };
 
     /** Complete every in-flight batch due by the current clock. */
@@ -310,6 +382,18 @@ class ServingEngine
     double backlogNs(unsigned s);
     /** Emit breaker state-change trace spans and stats. */
     void noteBreakerState(unsigned s);
+    /** Service-time multiplier of shard `s` under withdrawn channels
+     *  (total / active; +inf is never returned — see dispatch gating). */
+    double capacityPenalty(unsigned s) const;
+    /** Feed one PIM batch's SDC events through ABFT + monitor. Returns
+     *  true when the batch must re-execute on the host golden path. */
+    bool applySdcOutcomes(unsigned shard, double start_ns, double end_ns);
+    /** Quarantine newly withdrawn channels / restore re-admitted ones,
+     *  pausing dispatch for the migration where capacity changed. */
+    void reconcileQuarantine();
+    /** Probation bookkeeping due by the clock: monitor cool-downs and
+     *  canary kernels. */
+    void runSdcDue();
     /** Close a request's trace (root span + outcome) and record its
      *  SLO observation. `terminal` names non-completed ends. */
     void finishRequestTrace(ServeRequest &request, double end_ns,
@@ -329,6 +413,12 @@ class ServingEngine
     std::vector<TenantState> tenants_;
 
     FaultModel *faults_ = nullptr;
+    SdcModel *sdcModel_ = nullptr;
+    std::unique_ptr<SdcMonitor> sdcMonitor_;
+    /** Next probation canary round (kNoEventNs: none scheduled). */
+    double canaryDueNs_;
+    /** Last canary round per channel (canary window start). */
+    std::vector<double> lastCanaryNs_;
     Rng retryRng_;
 
     std::vector<ServeRequest> completions_;

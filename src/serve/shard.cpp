@@ -1,8 +1,35 @@
 #include "serve/shard.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace pimsim::serve {
+
+void
+assertDisjointRowRanges(const std::vector<ShardSpec> &shards)
+{
+    // Sort the non-empty slices by start; disjointness then reduces to
+    // each slice ending before the next begins.
+    std::vector<ShardSpec> sorted;
+    for (const ShardSpec &s : shards) {
+        if (s.numRows > 0)
+            sorted.push_back(s);
+    }
+    std::sort(sorted.begin(), sorted.end(),
+              [](const ShardSpec &a, const ShardSpec &b) {
+                  return a.firstRow < b.firstRow;
+              });
+    for (std::size_t i = 1; i < sorted.size(); ++i) {
+        const unsigned prev_end =
+            sorted[i - 1].firstRow + sorted[i - 1].numRows;
+        PIMSIM_ASSERT(prev_end <= sorted[i].firstRow,
+                      "tenant row isolation violated: slice [",
+                      sorted[i - 1].firstRow, ", ", prev_end,
+                      ") overlaps slice starting at ",
+                      sorted[i].firstRow);
+    }
+}
 
 unsigned
 floorPow2(unsigned n)
@@ -22,6 +49,7 @@ ShardPlan::shared(unsigned total_channels, unsigned pim_rows,
     plan.shards_.push_back(
         ShardSpec{0, total_channels, 0, pim_rows});
     plan.shardOf_.assign(num_tenants, 0);
+    plan.quarantined_.assign(total_channels, 0);
     plan.sharded_ = false;
     return plan;
 }
@@ -37,6 +65,7 @@ ShardPlan::sharded(unsigned total_channels, unsigned pim_rows,
 
     ShardPlan plan;
     plan.sharded_ = true;
+    plan.quarantined_.assign(total_channels, 0);
     unsigned channel_cursor = 0;
     unsigned row_cursor = 0;
     for (std::size_t t = 0; t < weights.size(); ++t) {
@@ -65,6 +94,49 @@ ShardPlan::sharded(unsigned total_channels, unsigned pim_rows,
         plan.shards_.push_back(spec);
     }
     return plan;
+}
+
+void
+ShardPlan::quarantineChannel(unsigned channel)
+{
+    PIMSIM_ASSERT(channel < quarantined_.size(), "bad channel ", channel);
+    quarantined_[channel] = 1;
+}
+
+void
+ShardPlan::restoreChannel(unsigned channel)
+{
+    PIMSIM_ASSERT(channel < quarantined_.size(), "bad channel ", channel);
+    quarantined_[channel] = 0;
+}
+
+bool
+ShardPlan::channelQuarantined(unsigned channel) const
+{
+    PIMSIM_ASSERT(channel < quarantined_.size(), "bad channel ", channel);
+    return quarantined_[channel] != 0;
+}
+
+unsigned
+ShardPlan::activeChannelsOf(unsigned s) const
+{
+    const ShardSpec &spec = shards_[s];
+    unsigned active = 0;
+    for (unsigned c = 0; c < spec.numChannels; ++c) {
+        if (!channelQuarantined(spec.firstChannel + c))
+            ++active;
+    }
+    return active;
+}
+
+double
+ShardPlan::capacityFraction(unsigned s) const
+{
+    const ShardSpec &spec = shards_[s];
+    if (spec.numChannels == 0)
+        return 1.0;
+    return static_cast<double>(activeChannelsOf(s)) /
+           static_cast<double>(spec.numChannels);
 }
 
 std::vector<unsigned>

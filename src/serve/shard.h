@@ -17,6 +17,7 @@
 #ifndef PIMSIM_SERVE_SHARD_H
 #define PIMSIM_SERVE_SHARD_H
 
+#include <cstdint>
 #include <vector>
 
 namespace pimsim::serve {
@@ -32,6 +33,14 @@ struct ShardSpec
 
 /** Largest power of two <= n (n >= 1). */
 unsigned floorPow2(unsigned n);
+
+/**
+ * PIMSIM_ASSERT that the shards' (firstRow, numRows) slices are pairwise
+ * disjoint: cross-tenant row overlap would let one tenant's weight
+ * residency alias another's. Engines call this after every (re)plan;
+ * empty slices are allowed.
+ */
+void assertDisjointRowRanges(const std::vector<ShardSpec> &shards);
 
 /** Tenant -> shard assignment over one system's channels and rows. */
 class ShardPlan
@@ -61,9 +70,30 @@ class ShardPlan
     /** True when every tenant has its own shard. */
     bool isSharded() const { return sharded_; }
 
+    // ---- Degraded-capacity serving (SDC quarantine) ----
+    // Quarantining withdraws a channel from every shard that contains
+    // it; the shard's tenants keep their row slice (rows are striped
+    // across the shard's channels, so surviving channels absorb the
+    // withdrawn channel's stripe) but serve on fewer channels until the
+    // channel is restored.
+
+    /** Withdraw `channel` from serving (idempotent). */
+    void quarantineChannel(unsigned channel);
+    /** Return `channel` to serving (idempotent). */
+    void restoreChannel(unsigned channel);
+    bool channelQuarantined(unsigned channel) const;
+    /** Channels of shard `s` currently serving. */
+    unsigned activeChannelsOf(unsigned s) const;
+    /** activeChannelsOf / numChannels in [0, 1]. */
+    double capacityFraction(unsigned s) const;
+
+    /** Assert tenant row isolation over the current shard set. */
+    void assertRowIsolation() const { assertDisjointRowRanges(shards_); }
+
   private:
     std::vector<ShardSpec> shards_;
     std::vector<unsigned> shardOf_; ///< tenant -> shard index
+    std::vector<std::uint8_t> quarantined_; ///< per absolute channel
     bool sharded_ = false;
 };
 

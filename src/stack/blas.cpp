@@ -1,12 +1,14 @@
 #include "stack/blas.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/bits.h"
 #include "common/logging.h"
 #include "common/trace.h"
 #include "energy/probe.h"
 #include "pim/pim_channel.h"
+#include "reliability/sdc_monitor.h"
 #include "stack/reference.h"
 
 namespace pimsim {
@@ -727,6 +729,10 @@ PimBlas::gemv(const Fp16Vector &w, unsigned m, unsigned n,
         const bool faulted = anyUnitFaulted();
         const bool new_uc = system_.errorLog().uncorrectable() > uc0;
         if (!faulted && !new_uc) {
+            // Reported-error-free run: the only remaining hazard is a
+            // silent corruption, which only the checksum can see.
+            if (abft_)
+                abftVerifyGemv(w, m, n, x, y, blocks, timing);
             timing.eccCorrected = system_.errorLog().corrected() - corr0;
             timing.eccUncorrectable =
                 system_.errorLog().uncorrectable() - uc_start;
@@ -750,6 +756,176 @@ PimBlas::gemv(const Fp16Vector &w, unsigned m, unsigned n,
     timing.eccUncorrectable = system_.errorLog().uncorrectable() - uc_start;
     traceKernel(span_name, start);
     return timing;
+}
+
+void
+PimBlas::abftVerifyGemv(const Fp16Vector &w, unsigned m, unsigned n,
+                        const Fp16Vector &x, Fp16Vector &y,
+                        unsigned blocks, BlasTiming &timing)
+{
+    const unsigned channels = system_.numChannels();
+    const unsigned units = system_.config().pim.unitsPerPch;
+    const unsigned slots = channels * units;
+    const unsigned passes =
+        static_cast<unsigned>(divCeil(m, std::uint64_t{2} * slots));
+
+    // ---- Tolerance band, from the fp16 rounding model ----
+    // Each lane accumulates 8 MACs per block; every non-fused MAC rounds
+    // the product and the add (2 roundings), and the host reduction's
+    // final fp16 store adds one more relative + absolute rounding. With
+    // eps = 2^-11 (round-to-nearest half-ulp) and delta = 2^-25 (half of
+    // the smallest subnormal, covering underflow flushes), first-order
+    // accumulation theory bounds a tile's sum deviation by
+    //   roundings * (eps * sum|w||x| + 16 * delta * rows).
+    // kSafety absorbs the second-order terms and the double reduction.
+    const double eps = 0x1p-11;
+    const double delta = 0x1p-25;
+    const double roundings = 16.0 * blocks + 2.0;
+    const double kSafety = 4.0;
+
+    // Two checksum rows per tile: the plain column sum s1 and the
+    // index-weighted sum s2 (weight 1 + local row index). A pair of
+    // in-tile errors cancelling in s1 cannot also cancel in s2, so any
+    // corruption of at most two rows per tile is always caught.
+    std::vector<double> xd(n), xa(n);
+    bool x_finite = true;
+    for (unsigned j = 0; j < n; ++j) {
+        xd[j] = static_cast<double>(x[j].toFloat());
+        xa[j] = std::fabs(xd[j]);
+        x_finite = x_finite && std::isfinite(xd[j]);
+    }
+
+    struct TileVerdict
+    {
+        unsigned slot;
+        bool tripped; ///< checksum band mismatch (vs. saturated partials)
+    };
+    std::vector<TileVerdict> flagged;
+    std::vector<unsigned> cleanSlots;
+    std::vector<double> s1(n), s2(n), a1(n), a2(n);
+
+    const double now = system_.nowNs();
+    for (unsigned slot = 0; slot < slots; ++slot) {
+        std::fill(s1.begin(), s1.end(), 0.0);
+        std::fill(s2.begin(), s2.end(), 0.0);
+        std::fill(a1.begin(), a1.end(), 0.0);
+        std::fill(a2.begin(), a2.end(), 0.0);
+        double y1 = 0.0, y2 = 0.0, wsum = 0.0;
+        unsigned rows = 0;
+        bool finite = x_finite;
+        for (unsigned p = 0; p < passes; ++p) {
+            for (unsigned k = 0; k < 2; ++k) {
+                const std::uint64_t mm =
+                    2ull * (std::uint64_t{p} * slots + slot) + k;
+                if (mm >= m)
+                    continue;
+                const double omega = 1.0 + 2.0 * p + k;
+                for (unsigned j = 0; j < n; ++j) {
+                    const double wv =
+                        static_cast<double>(w[mm * n + j].toFloat());
+                    const double wa = std::fabs(wv);
+                    s1[j] += wv;
+                    s2[j] += omega * wv;
+                    a1[j] += wa;
+                    a2[j] += omega * wa;
+                    finite = finite && std::isfinite(wv);
+                }
+                const double yv = static_cast<double>(y[mm].toFloat());
+                y1 += yv;
+                y2 += omega * yv;
+                finite = finite && std::isfinite(yv);
+                wsum += omega;
+                ++rows;
+            }
+        }
+        if (rows == 0)
+            continue;
+        ++timing.abftChecks;
+        double cs1 = 0.0, cs2 = 0.0, ca1 = 0.0, ca2 = 0.0;
+        for (unsigned j = 0; j < n; ++j) {
+            cs1 += s1[j] * xd[j];
+            cs2 += s2[j] * xd[j];
+            ca1 += a1[j] * xa[j];
+            ca2 += a2[j] * xa[j];
+        }
+        if (!finite || !std::isfinite(cs1) || !std::isfinite(cs2)) {
+            // Saturated partials carry no checksum information: a clean
+            // overflow and a corruption look identical here, so the tile
+            // goes straight to the golden compare.
+            ++timing.abftUnverifiable;
+            flagged.push_back({slot, false});
+            continue;
+        }
+        const double tol1 =
+            kSafety * roundings * (eps * ca1 + 16.0 * delta * rows);
+        const double tol2 =
+            kSafety * roundings * (eps * ca2 + 16.0 * delta * wsum);
+        if (std::fabs(y1 - cs1) > tol1 || std::fabs(y2 - cs2) > tol2) {
+            ++timing.abftMismatches;
+            if (sdcMonitor_)
+                sdcMonitor_->recordDetected(slot / units, slot % units,
+                                            now);
+            flagged.push_back({slot, true});
+        } else {
+            cleanSlots.push_back(slot);
+        }
+    }
+    // Verification streams x and y through the host checker once.
+    timing.abftNs += (static_cast<double>(m) + n) * 2.0 /
+                     (system_.config().offChipBandwidthGBs() * 0.8);
+
+    if (flagged.empty()) {
+        if (sdcMonitor_) {
+            for (unsigned slot : cleanSlots)
+                sdcMonitor_->recordClean(slot / units, slot % units, now);
+        }
+        return;
+    }
+
+    // ---- Golden confirmation ----
+    // refGemv reproduces the PIM datapath bit-exactly on a fault-free
+    // run, so any bit difference inside a flagged tile is a confirmed
+    // silent corruption; bit equality on a tripped band is a false alarm.
+    const Fp16Vector golden = refGemv(w, m, n, x);
+    bool corrupted_any = false;
+    for (const TileVerdict &v : flagged) {
+        bool corrupted = false;
+        for (unsigned p = 0; p < passes && !corrupted; ++p) {
+            for (unsigned k = 0; k < 2; ++k) {
+                const std::uint64_t mm =
+                    2ull * (std::uint64_t{p} * slots + v.slot) + k;
+                if (mm < m && y[mm].bits() != golden[mm].bits()) {
+                    corrupted = true;
+                    break;
+                }
+            }
+        }
+        const unsigned ch = v.slot / units;
+        const unsigned u = v.slot % units;
+        if (corrupted) {
+            ++timing.sdcConfirmed;
+            corrupted_any = true;
+            if (sdcMonitor_)
+                sdcMonitor_->recordConfirmed(ch, u, now);
+        } else if (v.tripped) {
+            ++timing.sdcFalseAlarms;
+            if (sdcMonitor_)
+                sdcMonitor_->recordFalseAlarm(ch, u, now);
+        } else if (sdcMonitor_) {
+            // Saturated but bit-identical to golden: verified clean.
+            sdcMonitor_->recordClean(ch, u, now);
+        }
+    }
+    if (sdcMonitor_) {
+        for (unsigned slot : cleanSlots)
+            sdcMonitor_->recordClean(slot / units, slot % units, now);
+    }
+    if (corrupted_any) {
+        PIMSIM_WARN("GEMV ABFT confirmed ", timing.sdcConfirmed,
+                    " corrupted tile(s); returning the host golden result");
+        y = golden;
+        timing.hostFallback = true;
+    }
 }
 
 } // namespace pimsim

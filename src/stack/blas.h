@@ -26,6 +26,7 @@
 
 namespace pimsim {
 
+class SdcMonitor;
 class TraceSession;
 
 /** Timing and traffic results of one PIM BLAS call. */
@@ -48,7 +49,15 @@ struct BlasTiming
     std::uint64_t eccCorrected = 0;     ///< ECC corrections observed
     std::uint64_t eccUncorrectable = 0; ///< uncorrectable ECC events seen
 
-    double totalNs() const { return ns + readbackNs; }
+    // ABFT outcome of the call (GEMV with setAbft(true) only).
+    std::uint64_t abftChecks = 0;     ///< checksum-verified (ch, unit) tiles
+    std::uint64_t abftMismatches = 0; ///< tiles whose checksum band tripped
+    std::uint64_t abftUnverifiable = 0; ///< tiles with saturated partials
+    std::uint64_t sdcConfirmed = 0;   ///< tiles golden-confirmed corrupted
+    std::uint64_t sdcFalseAlarms = 0; ///< tripped tiles golden found clean
+    double abftNs = 0.0;              ///< checksum verification time
+
+    double totalNs() const { return ns + readbackNs + abftNs; }
 };
 
 /** Vector of FP16 values (host-side view of a tensor). */
@@ -120,6 +129,22 @@ class PimBlas
      */
     void setTrace(TraceSession *session) { trace_ = session; }
 
+    /**
+     * Enable algorithm-based fault tolerance on GEMV: every (channel,
+     * unit) tile's output sum is verified against the tile's checksum
+     * row dotted with x inside an fp16-derived tolerance band. A tripped
+     * tile is re-run on the host golden path to confirm; confirmed SDCs
+     * replace the result with the golden values (the call never returns
+     * a silently wrong result beyond the band) and are attributed to
+     * their (channel, unit) at the attached SdcMonitor.
+     */
+    void setAbft(bool on) { abft_ = on; }
+    bool abft() const { return abft_; }
+
+    /** Attribution sink for verified tile outcomes (nullptr detaches;
+     *  not owned, must outlive the BLAS instance or be detached). */
+    void setSdcMonitor(SdcMonitor *monitor) { sdcMonitor_ = monitor; }
+
   private:
     /** Emit a kernel span [start_ns, now) if tracing is on. */
     void traceKernel(const std::string &name, double start_ns);
@@ -142,10 +167,21 @@ class PimBlas
     /** True if any channel's PIM logic reports a faulted unit. */
     bool anyUnitFaulted() const;
 
+    /**
+     * ABFT verification of a GEMV result: per-tile checksum compare,
+     * golden confirmation of tripped tiles, correction of confirmed
+     * SDCs in `y`, outcome attribution at the SdcMonitor.
+     */
+    void abftVerifyGemv(const Fp16Vector &w, unsigned m, unsigned n,
+                        const Fp16Vector &x, Fp16Vector &y,
+                        unsigned blocks, BlasTiming &timing);
+
     PimSystem &system_;
     PimDriver driver_;
     bool useFences_ = true;
     unsigned maxRetries_ = 2;
+    bool abft_ = false;
+    SdcMonitor *sdcMonitor_ = nullptr;
     TraceSession *trace_ = nullptr;
 
     /** SRF file payloads staged for the next kernel prologue (BN). */
